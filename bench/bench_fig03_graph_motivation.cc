@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Fig 3(c): graph-update slowdown of the static CSR
+ * representation vs a dynamic structure (array of linked lists on
+ * PIM-malloc-SW) as the pre-update graph grows from Small to Large
+ * while the number of newly added edges stays constant. Values are
+ * normalized to Static/Small, as in the paper.
+ */
+
+#include <iostream>
+
+#include "util/table.hh"
+#include "workloads/graph/update_driver.hh"
+
+using namespace pim;
+using namespace pim::workloads::graph;
+
+namespace {
+
+double
+updateSeconds(StructureKind structure, unsigned scale)
+{
+    GraphUpdateConfig cfg;
+    cfg.structure = structure;
+    cfg.allocator = core::AllocatorKind::PimMallocSw;
+    cfg.numDpus = 32;
+    cfg.sampleDpus = 32;
+    cfg.tasklets = 16;
+    cfg.gen.numNodes = 12000 * scale;
+    cfg.gen.numEdges = 60000ull * scale;
+    cfg.gen.seed = 42;
+    cfg.maxUpdateEdges = 2000; // fixed #new edges across sizes
+    return runGraphUpdate(cfg).updateSeconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::pair<const char *, unsigned> sizes[] = {
+        {"Small", 1}, {"Medium", 2}, {"Large", 4}};
+
+    const double base = updateSeconds(StructureKind::StaticCsr, 1);
+
+    util::Table table("Fig 3(c): update slowdown vs pre-update graph size "
+                      "(normalized to Static/Small)");
+    table.setHeader({"Pre-update size", "Static (CSR)",
+                     "Dynamic (linked list)"});
+    for (const auto &[name, scale] : sizes) {
+        const double stat = updateSeconds(StructureKind::StaticCsr, scale);
+        const double dyn = updateSeconds(StructureKind::LinkedList, scale);
+        table.addRow({name, util::Table::num(stat / base, 2),
+                      util::Table::num(dyn / base, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape: Static grows with the pre-update "
+                 "graph; Dynamic stays flat (paper: static reaches ~2-3x "
+                 "while dynamic is size-independent).\n";
+    return 0;
+}

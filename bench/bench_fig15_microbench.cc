@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces Fig 15: average memory allocation latency of the straw-man
+ * PIM buddy allocator, PIM-malloc-SW, and PIM-malloc-HW/SW for 32 B,
+ * 256 B, and 4 KB requests under (a) a single tasklet (no contention)
+ * and (b) 16 tasklets (lock contention). Each tasklet issues 128
+ * allocations. Also prints the headline speedups (paper: PIM-malloc-SW
+ * 66x over the straw-man; HW/SW +31% over SW).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "workloads/microbench.hh"
+
+using namespace pim;
+
+namespace {
+
+double
+avgLatency(core::AllocatorKind kind, unsigned tasklets, uint32_t size)
+{
+    workloads::MicrobenchConfig cfg;
+    cfg.allocator = kind;
+    cfg.tasklets = tasklets;
+    cfg.allocsPerTasklet = 128;
+    cfg.allocSize = size;
+    cfg.freeEachAlloc = false;
+    return workloads::runMicrobench(cfg).avgLatencyUs;
+}
+
+} // namespace
+
+int
+main()
+{
+    const uint32_t sizes[] = {32, 256, 4096};
+    const unsigned thread_counts[] = {1, 16};
+
+    std::vector<double> sw_speedups;   // straw-man / SW
+    std::vector<double> hwsw_speedups; // SW / HW-SW
+
+    for (unsigned tasklets : thread_counts) {
+        util::Table table(
+            std::string("Fig 15(") + (tasklets == 1 ? "a" : "b")
+            + "): average allocation latency (us), "
+            + std::to_string(tasklets) + " tasklet(s) x 128 allocs");
+        table.setHeader({"Alloc size", "Straw-man", "PIM-malloc-SW",
+                         "PIM-malloc-HW/SW", "SW speedup", "HW/SW vs SW"});
+        for (uint32_t size : sizes) {
+            const double straw =
+                avgLatency(core::AllocatorKind::StrawMan, tasklets, size);
+            const double sw =
+                avgLatency(core::AllocatorKind::PimMallocSw, tasklets, size);
+            const double hwsw = avgLatency(
+                core::AllocatorKind::PimMallocHwSw, tasklets, size);
+            sw_speedups.push_back(straw / sw);
+            hwsw_speedups.push_back(sw / hwsw);
+            table.addRow({std::to_string(size) + " B",
+                          util::Table::num(straw, 2),
+                          util::Table::num(sw, 2),
+                          util::Table::num(hwsw, 2),
+                          util::Table::num(straw / sw, 1) + "x",
+                          util::Table::num((sw / hwsw - 1.0) * 100.0, 1)
+                              + "%"});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    util::Table headline("Headline speedups (paper: 66x and +31%)");
+    headline.setHeader({"Metric", "Measured"});
+    headline.addRow({"PIM-malloc-SW vs straw-man (geomean)",
+                     util::Table::num(util::geomean(sw_speedups), 1) + "x"});
+    headline.addRow({"PIM-malloc-HW/SW vs SW (geomean)",
+                     "+" + util::Table::num(
+                         (util::geomean(hwsw_speedups) - 1.0) * 100.0, 1)
+                         + "%"});
+    headline.print(std::cout);
+    return 0;
+}

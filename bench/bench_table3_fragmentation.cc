@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces Table III: memory fragmentation (A/U — allocator-reserved
+ * bytes over program-requested bytes) of PIM-malloc as-is (eager
+ * pre-population) vs PIM-malloc-lazy, for the three workloads: dynamic
+ * graph update with an array of linked lists, dynamic graph update with
+ * variable-sized arrays, and LLM attention.
+ */
+
+#include <iostream>
+
+#include "alloc/pim_malloc.hh"
+#include "sim/dpu.hh"
+#include "util/table.hh"
+#include "workloads/graph/update_driver.hh"
+#include "workloads/llm/kv_cache.hh"
+#include "workloads/llm/llm_config.hh"
+
+using namespace pim;
+using namespace pim::workloads;
+
+namespace {
+
+double
+graphFragmentation(graph::StructureKind structure, core::AllocatorKind kind)
+{
+    graph::GraphUpdateConfig cfg;
+    cfg.structure = structure;
+    cfg.allocator = kind;
+    cfg.numDpus = 64;
+    cfg.sampleDpus = 1;
+    cfg.gen.numNodes = 196591;
+    cfg.gen.numEdges = 950327;
+    return graph::runGraphUpdate(cfg).fragmentation;
+}
+
+double
+attentionFragmentation(bool lazy)
+{
+    sim::Dpu dpu;
+    alloc::PimMallocConfig cfg;
+    cfg.numTasklets = 16;
+    cfg.prePopulate = !lazy;
+    alloc::PimMallocAllocator a(dpu, cfg);
+    llm::KvCacheManager kv(a, 512);
+    const llm::LlmModelConfig model;
+    const uint64_t per_token = model.kvBytesPerTokenPerDpu(512);
+    dpu.run(1, [&](sim::Tasklet &t) { a.init(t); });
+    dpu.run(16, [&](sim::Tasklet &t) {
+        for (unsigned req = 0; req < 4; ++req) {
+            for (unsigned tok = 0; tok < 384; ++tok)
+                kv.appendBytes(t, t.id() * 4 + req, per_token);
+        }
+    });
+    return a.stats().peakFragmentation;
+}
+
+} // namespace
+
+int
+main()
+{
+    util::Table table("Table III: memory fragmentation (A/U), PIM-malloc "
+                      "as-is vs PIM-malloc-lazy");
+    table.setHeader({"Workload", "PIM-malloc (as-is)", "PIM-malloc-lazy"});
+
+    table.addRow({"Dynamic graph update (array of linked list)",
+                  util::Table::num(
+                      graphFragmentation(graph::StructureKind::LinkedList,
+                                         core::AllocatorKind::PimMallocSw),
+                      2),
+                  util::Table::num(
+                      graphFragmentation(
+                          graph::StructureKind::LinkedList,
+                          core::AllocatorKind::PimMallocSwLazy),
+                      2)});
+    table.addRow({"Dynamic graph update (variable sized array)",
+                  util::Table::num(
+                      graphFragmentation(graph::StructureKind::VarArray,
+                                         core::AllocatorKind::PimMallocSw),
+                      2),
+                  util::Table::num(
+                      graphFragmentation(
+                          graph::StructureKind::VarArray,
+                          core::AllocatorKind::PimMallocSwLazy),
+                      2)});
+    table.addRow({"LLM attention",
+                  util::Table::num(attentionFragmentation(false), 2),
+                  util::Table::num(attentionFragmentation(true), 2)});
+    table.print(std::cout);
+    std::cout << "\nPaper's Table III: 1.95/1.21, 1.72/1.49, 1.66/1.00 — "
+                 "lazy allocation reduces fragmentation everywhere, most "
+                 "for single-size-class workloads.\n";
+    return 0;
+}

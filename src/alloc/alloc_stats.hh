@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Instrumentation shared by all allocators: request counts by service
+ * level (frontend thread cache / backend buddy / bypass), latency
+ * aggregation, per-request trace for time-series plots, and the
+ * fragmentation accounting of Table III (A/U ratio per [Berger et al.,
+ * Hoard ASPLOS'00] as cited by the paper).
+ */
+
+#ifndef PIM_ALLOC_ALLOC_STATS_HH
+#define PIM_ALLOC_ALLOC_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace pim::alloc {
+
+/** Where a pimMalloc() request was serviced (Fig 11). */
+enum class ServiceLevel : uint8_t {
+    Frontend = 0, ///< thread cache hit
+    Backend = 1,  ///< thread cache miss -> buddy refill, or buddy directly
+    Bypass = 2,   ///< > 2 KB request sent straight to the buddy
+};
+
+/** One recorded allocation event (for Fig 8(a) / Fig 17(c) series). */
+struct AllocEvent
+{
+    uint64_t startCycle;
+    uint64_t latencyCycles;
+    uint32_t size;
+    ServiceLevel level;
+    unsigned taskletId;
+};
+
+/** Aggregated allocator statistics. */
+struct AllocStats
+{
+    uint64_t mallocCalls = 0;
+    uint64_t freeCalls = 0;
+    uint64_t failures = 0;
+
+    /** Requests and cycles by service level. */
+    uint64_t serviced[3] = {0, 0, 0};
+    uint64_t cyclesByLevel[3] = {0, 0, 0};
+
+    /** Latency distribution over all pimMalloc() calls, in cycles. */
+    util::Percentile latency;
+
+    /** Optional per-event trace (enabled by setTraceEvents). */
+    std::vector<AllocEvent> events;
+    bool traceEvents = false;
+
+    // --- Fragmentation accounting (Table III) ---
+    /** Live bytes reserved by the allocator from the heap (A). */
+    uint64_t reservedBytes = 0;
+    /** Live bytes requested by the program (U). */
+    uint64_t requestedBytes = 0;
+    /**
+     * A/U measured at the program's peak memory usage (the Table III
+     * metric): sampling at peak U avoids the degenerate ratios right
+     * after pre-population, when A is large but almost nothing has been
+     * requested yet.
+     */
+    double peakFragmentation = 0.0;
+    /** Peak of U (program high-water mark). */
+    uint64_t peakRequestedBytes = 0;
+    /** Peak of A alone (heap high-water mark). */
+    uint64_t peakReservedBytes = 0;
+
+    /** Record one serviced request. */
+    void
+    recordMalloc(ServiceLevel level, uint64_t start, uint64_t latency_cycles,
+                 uint32_t size, unsigned tasklet)
+    {
+        ++mallocCalls;
+        serviced[static_cast<size_t>(level)] += 1;
+        cyclesByLevel[static_cast<size_t>(level)] += latency_cycles;
+        latency.add(static_cast<double>(latency_cycles));
+        if (traceEvents)
+            events.push_back({start, latency_cycles, size, level, tasklet});
+    }
+
+    /** Update A (allocator-reserved bytes) by a signed delta. */
+    void
+    adjustReserved(int64_t delta)
+    {
+        reservedBytes = static_cast<uint64_t>(
+            static_cast<int64_t>(reservedBytes) + delta);
+        if (reservedBytes > peakReservedBytes)
+            peakReservedBytes = reservedBytes;
+        if (requestedBytes > 0 && requestedBytes == peakRequestedBytes)
+            peakFragmentation = fragmentation();
+    }
+
+    /** Update U (program-requested bytes) by a signed delta. */
+    void
+    adjustRequested(int64_t delta)
+    {
+        requestedBytes = static_cast<uint64_t>(
+            static_cast<int64_t>(requestedBytes) + delta);
+        if (requestedBytes > 0 && requestedBytes >= peakRequestedBytes) {
+            peakRequestedBytes = requestedBytes;
+            peakFragmentation = fragmentation();
+        }
+    }
+
+    /**
+     * Zero the request counters, latency distribution, and trace while
+     * preserving the live fragmentation state (A/U and peaks survive so
+     * Table III still covers the whole run). Used by workload drivers to
+     * separate an untimed build phase from the measured phase.
+     */
+    void
+    resetCounters()
+    {
+        mallocCalls = 0;
+        freeCalls = 0;
+        failures = 0;
+        for (auto &s : serviced)
+            s = 0;
+        for (auto &c : cyclesByLevel)
+            c = 0;
+        latency.reset();
+        events.clear();
+    }
+
+    /** Fraction of requests serviced at @p level. */
+    double
+    servicedFraction(ServiceLevel level) const
+    {
+        return mallocCalls
+            ? static_cast<double>(serviced[static_cast<size_t>(level)])
+                / static_cast<double>(mallocCalls)
+            : 0.0;
+    }
+
+    /** Fraction of total allocation cycles spent at @p level. */
+    double
+    cyclesFraction(ServiceLevel level) const
+    {
+        uint64_t total = cyclesByLevel[0] + cyclesByLevel[1]
+            + cyclesByLevel[2];
+        return total
+            ? static_cast<double>(cyclesByLevel[static_cast<size_t>(level)])
+                / static_cast<double>(total)
+            : 0.0;
+    }
+
+    /** Current A/U; 0 when nothing requested. */
+    double
+    fragmentation() const
+    {
+        return requestedBytes
+            ? static_cast<double>(reservedBytes)
+                / static_cast<double>(requestedBytes)
+            : 0.0;
+    }
+
+};
+
+} // namespace pim::alloc
+
+#endif // PIM_ALLOC_ALLOC_STATS_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The abstract dynamic-memory-allocator interface every design point in
+ * the paper implements: the straw-man buddy_alloc_PIM_DRAM, PIM-malloc-SW,
+ * PIM-malloc-HW/SW (and their lazy variants). Mirrors the paper's
+ * Table II API: initAllocator / pimMalloc / pimFree.
+ */
+
+#ifndef PIM_ALLOC_ALLOCATOR_HH
+#define PIM_ALLOC_ALLOCATOR_HH
+
+#include <string>
+
+#include "alloc/alloc_stats.hh"
+#include "sim/tasklet.hh"
+#include "sim/types.hh"
+
+namespace pim::alloc {
+
+/** Abstract per-DPU dynamic memory allocator. */
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    /**
+     * One-time initialization (the paper's initAllocator()): resets
+     * metadata and, for eager PIM-malloc variants, pre-populates the
+     * thread caches. Must be called by exactly one tasklet (id 0 by
+     * convention) before any pimMalloc().
+     */
+    virtual void init(sim::Tasklet &t) = 0;
+
+    /**
+     * Allocate @p size bytes in the DPU's MRAM heap.
+     * @return MRAM address, or sim::kNullAddr on exhaustion.
+     */
+    virtual sim::MramAddr malloc(sim::Tasklet &t, uint32_t size) = 0;
+
+    /**
+     * Release a block previously returned by malloc().
+     * @return false on an invalid pointer or double free.
+     */
+    virtual bool free(sim::Tasklet &t, sim::MramAddr addr) = 0;
+
+    /** Aggregated statistics (service levels, latency, fragmentation). */
+    virtual const AllocStats &stats() const = 0;
+    virtual AllocStats &stats() = 0;
+
+    /** MRAM bytes used for allocator metadata (Section VI-E). */
+    virtual uint64_t metadataBytes() const = 0;
+
+    /** Human-readable design-point name. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace pim::alloc
+
+#endif // PIM_ALLOC_ALLOCATOR_HH

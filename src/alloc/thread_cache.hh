@@ -1,0 +1,140 @@
+/**
+ * @file
+ * PIM-malloc's frontend: the per-tasklet thread cache (Section IV-A).
+ *
+ * Each tasklet owns eight linked lists, one per power-of-two size class
+ * from 16 B to 2 KB. Each list holds 4 KB spans obtained from the buddy
+ * backend, subdivided into fixed-size sub-blocks whose allocation state
+ * is a per-span bitmap (bit = 1 means free, as in the paper's Fig 9(b)).
+ * Because every list is an independent pool of fixed-size chunks there
+ * is no external fragmentation inside the cache, and because the cache
+ * is private to its tasklet no mutex is ever taken on the fast path.
+ *
+ * Lists keep spans with free sub-blocks at the front: a span that
+ * becomes full is rotated to the back, and a full span that receives a
+ * free is rotated to the front, so the allocation fast path touches a
+ * bounded number of records regardless of how many spans are live.
+ * Span records themselves are MRAM-resident (Section VI-E accounts
+ * them per workload, far beyond the 64 KB scratchpad); only the list
+ * heads live in WRAM.
+ */
+
+#ifndef PIM_ALLOC_THREAD_CACHE_HH
+#define PIM_ALLOC_THREAD_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/tasklet.hh"
+#include "sim/types.hh"
+
+namespace pim::alloc {
+
+/** Thread cache tuning parameters. */
+struct ThreadCacheConfig
+{
+    /** Span granularity fetched from the buddy backend (paper: 4 KB). */
+    uint32_t spanBytes = 4096;
+    /** Size classes, ascending powers of two (paper: 16 B .. 2 KB). */
+    std::vector<uint32_t> sizeClasses{16, 32, 64, 128, 256, 512, 1024, 2048};
+    /** Max simultaneously held span records, per cache. */
+    uint32_t maxSpans = 8192;
+};
+
+/** The per-tasklet frontend allocator. */
+class ThreadCache
+{
+  public:
+    /** MRAM bytes of one span record: base + 256-bit bitmap + counters. */
+    static constexpr uint32_t kSpanRecordBytes = 48;
+
+    ThreadCache(unsigned owner, const ThreadCacheConfig &cfg);
+
+    /**
+     * Size-class index for @p size, or -1 when the request exceeds the
+     * largest class and must bypass the cache.
+     */
+    int classFor(uint32_t size) const;
+
+    /**
+     * Fast-path allocation from class @p cls.
+     * @return sub-block address, or sim::kNullAddr when every span of
+     *         the class is full (caller refills via the backend).
+     */
+    sim::MramAddr tryAlloc(sim::Tasklet &t, unsigned cls);
+
+    /**
+     * Add a fresh span (from the backend) to class @p cls.
+     * @return false when the record budget is exhausted; the span is
+     *         then NOT installed and the caller keeps ownership.
+     */
+    bool installSpan(sim::Tasklet &t, unsigned cls, sim::MramAddr base);
+
+    /** Result of a free through the cache. */
+    struct FreeResult
+    {
+        bool ok = false;            ///< block was live in the span
+        bool spanReleased = false;  ///< span became empty and was dropped
+        sim::MramAddr spanBase = sim::kNullAddr; ///< span to return if so
+    };
+
+    /**
+     * Release sub-block @p addr of class @p cls living in the span based
+     * at @p span_base. An empty span is dropped from the list (and must
+     * be returned to the backend by the caller) unless it is the last
+     * span of its class, which stays cached to serve the next burst.
+     */
+    FreeResult free(sim::Tasklet &t, unsigned cls, sim::MramAddr span_base,
+                    sim::MramAddr addr);
+
+    /** Number of size classes. */
+    size_t numClasses() const { return cfg_.sizeClasses.size(); }
+
+    /** Byte size of class @p cls. */
+    uint32_t classSize(unsigned cls) const { return cfg_.sizeClasses[cls]; }
+
+    /** Spans currently held in class @p cls. */
+    size_t spanCount(unsigned cls) const { return lists_[cls].size(); }
+
+    /** Spans currently held across all classes. */
+    size_t totalSpans() const { return index_.size(); }
+
+    /** Free sub-blocks currently available in class @p cls. */
+    uint32_t freeBlocks(unsigned cls) const;
+
+    /** High-water mark of simultaneously held spans (metadata sizing). */
+    uint32_t peakSpans() const { return peakSpans_; }
+
+    /** Owning tasklet id. */
+    unsigned owner() const { return owner_; }
+
+  private:
+    /** One 4 KB span and its sub-block bitmap (bit set = free). */
+    struct Span
+    {
+        sim::MramAddr base = sim::kNullAddr;
+        std::array<uint64_t, 4> bitmap{};
+        uint16_t freeCount = 0;
+        uint16_t totalCount = 0;
+    };
+
+    using SpanList = std::list<Span>;
+
+    /** Initialize a span's bitmap for @p cls (all sub-blocks free). */
+    Span makeSpan(unsigned cls, sim::MramAddr base) const;
+
+    unsigned owner_;
+    ThreadCacheConfig cfg_;
+    std::vector<SpanList> lists_;
+    /** O(1) span lookup by base address: (class, list position). */
+    std::unordered_map<sim::MramAddr, std::pair<unsigned, SpanList::iterator>>
+        index_;
+    uint32_t peakSpans_ = 0;
+};
+
+} // namespace pim::alloc
+
+#endif // PIM_ALLOC_THREAD_CACHE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reimplementation of UPMEM's scratchpad buddy_alloc() (Section II-A):
+ * a buddy allocator over a small WRAM heap whose metadata also lives in
+ * WRAM, so no MRAM DMA is ever needed. It is deliberately standalone
+ * (not built on BuddyTree) so tests can use it as an independent
+ * reference implementation of the buddy algorithm.
+ */
+
+#ifndef PIM_ALLOC_WRAM_BUDDY_HH
+#define PIM_ALLOC_WRAM_BUDDY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/dpu.hh"
+#include "sim/mutex.hh"
+#include "sim/tasklet.hh"
+
+namespace pim::alloc {
+
+/** Return value for WRAM allocation failure. */
+inline constexpr uint32_t kWramNull = UINT32_MAX;
+
+/** Scratchpad buddy allocator (UPMEM SDK's buddy_alloc equivalent). */
+class WramBuddy
+{
+  public:
+    /**
+     * @param dpu        owning DPU; heap and metadata WRAM are reserved
+     *                   from its scratchpad budget.
+     * @param heap_bytes WRAM heap size (UPMEM default 32 KB, max 64 KB).
+     * @param min_block  smallest allocation (UPMEM: 32 B).
+     */
+    WramBuddy(sim::Dpu &dpu, uint32_t heap_bytes = 32u << 10,
+              uint32_t min_block = 32);
+
+    /**
+     * Allocate @p size bytes of WRAM.
+     * @return WRAM offset, or kWramNull on exhaustion.
+     */
+    uint32_t alloc(sim::Tasklet &t, uint32_t size);
+
+    /**
+     * Free a block previously returned by alloc().
+     * @return false on an invalid or double free.
+     */
+    bool free(sim::Tasklet &t, uint32_t addr);
+
+    /** Tree levels (UPMEM's 32 KB / 32 B heap: 11 levels). */
+    uint32_t levels() const { return levels_; }
+
+    /** Metadata footprint in WRAM bytes (one byte per node here). */
+    uint32_t metadataBytes() const;
+
+    /** Heap bytes currently allocated (after power-of-two rounding). */
+    uint64_t allocatedBytes() const { return allocatedBytes_; }
+
+  private:
+    enum class State : uint8_t { Free = 0, Split = 1, Allocated = 2 };
+
+    uint32_t blockSize(uint32_t level) const { return heapBytes_ >> level; }
+    uint32_t offsetOf(uint32_t node, uint32_t level) const;
+    uint32_t tryAlloc(sim::Tasklet &t, uint32_t node, uint32_t level,
+                      uint32_t target);
+
+    sim::Dpu &dpu_;
+    uint32_t heapBytes_;
+    uint32_t minBlock_;
+    uint32_t levels_;
+    uint32_t heapBase_; ///< WRAM offset of the heap region
+    std::vector<State> states_;
+    sim::SimMutex mutex_;
+    uint64_t allocatedBytes_ = 0;
+};
+
+} // namespace pim::alloc
+
+#endif // PIM_ALLOC_WRAM_BUDDY_HH

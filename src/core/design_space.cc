@@ -1,0 +1,133 @@
+#include "core/design_space.hh"
+
+#include "alloc/buddy_tree.hh"
+#include "alloc/cost_model.hh"
+#include "alloc/metadata_store.hh"
+#include "sim/dpu.hh"
+#include "util/logging.hh"
+
+namespace pim::core {
+
+const char *
+designStrategyName(DesignStrategy s)
+{
+    switch (s) {
+      case DesignStrategy::HostMetaHostExec:
+        return "Host-Metadata/Host-Executed";
+      case DesignStrategy::HostMetaPimExec:
+        return "Host-Metadata/PIM-Executed";
+      case DesignStrategy::PimMetaHostExec:
+        return "PIM-Metadata/Host-Executed";
+      case DesignStrategy::PimMetaPimExec:
+        return "PIM-Metadata/PIM-Executed";
+    }
+    return "?";
+}
+
+uint64_t
+metadataBytesPerDpu(const alloc::StrawManConfig &cfg)
+{
+    const uint32_t nodes =
+        alloc::BuddyTree::nodesFor(cfg.heapBytes, cfg.minBlock);
+    return (static_cast<uint64_t>(nodes) + 15) / 16 * 4; // 2 bits/node
+}
+
+namespace {
+
+/**
+ * Simulate the PIM-executed buddy allocator on one representative DPU
+ * (all DPUs run the identical program, so one is exact) and return the
+ * makespan in seconds.
+ */
+double
+pimExecutedSeconds(const DesignSpaceParams &p)
+{
+    sim::Dpu dpu(p.dpuCfg);
+    alloc::StrawManAllocator allocator(dpu, p.allocCfg);
+    const unsigned allocs_per_tasklet =
+        p.allocsPerDpu / p.taskletsPerDpu;
+    dpu.run(1, [&](sim::Tasklet &t) { allocator.init(t); });
+    dpu.run(p.taskletsPerDpu, [&](sim::Tasklet &t) {
+        for (unsigned i = 0; i < allocs_per_tasklet; ++i) {
+            const auto addr = allocator.malloc(t, p.allocSize);
+            PIM_ASSERT(addr != sim::kNullAddr,
+                       "design-space experiment ran out of heap");
+        }
+    });
+    return dpu.lastElapsedSeconds();
+}
+
+/** Host-side buddy execution time for all DPUs' requests. */
+double
+hostExecutedSeconds(const DesignSpaceParams &p)
+{
+    const uint32_t nodes =
+        alloc::BuddyTree::nodesFor(p.allocCfg.heapBytes, p.allocCfg.minBlock);
+    // levels = log2(nodes+1)
+    uint32_t levels = 0;
+    while ((1u << (levels + 1)) - 1 <= nodes)
+        ++levels;
+    const uint64_t instrs_per_alloc = alloc::cost::kHostAllocOverheadInstrs
+        + static_cast<uint64_t>(levels) * alloc::cost::kHostInstrsPerLevel;
+    const sim::HostModel host(p.hostCfg);
+    // Each allocation round services one request per DPU, parallelized
+    // across host worker threads; rounds are serial (the PIM program
+    // consumes pointers round by round).
+    const double per_round =
+        host.seconds(p.numDpus, instrs_per_alloc)
+        + static_cast<double>(p.numDpus) * p.driverCallSec
+            / p.hostCfg.threads;
+    return per_round * p.allocsPerDpu;
+}
+
+} // namespace
+
+DesignSpaceResult
+evalStrategy(DesignStrategy s, const DesignSpaceParams &p)
+{
+    DesignSpaceResult r;
+    r.strategy = s;
+
+    const sim::TransferModel xfer(p.xferCfg);
+    const uint64_t meta_bytes = metadataBytesPerDpu(p.allocCfg);
+    const uint64_t ptr_bytes = 8; // one returned pointer per round
+
+    switch (s) {
+      case DesignStrategy::PimMetaPimExec:
+        // Metadata local, execution local: one kernel launch, no
+        // steady-state transfers.
+        r.computeSeconds = pimExecutedSeconds(p);
+        r.transferSeconds = p.xferCfg.launchLatencySec;
+        break;
+
+      case DesignStrategy::HostMetaPimExec:
+        // The authoritative metadata lives in host DRAM: every
+        // allocation round ships it to the PIM side before the launch
+        // and back after (Fig 5(b)).
+        r.computeSeconds = pimExecutedSeconds(p);
+        r.transferSeconds = 2.0 * p.allocsPerDpu
+            * xfer.seconds(meta_bytes, p.numDpus);
+        break;
+
+      case DesignStrategy::PimMetaHostExec:
+        // Metadata lives in each PIM bank but the host executes the
+        // algorithm: per round, pull metadata up, push updated metadata
+        // and the returned pointers down (Fig 5(c)).
+        r.computeSeconds = hostExecutedSeconds(p);
+        r.transferSeconds = p.allocsPerDpu
+            * (2.0 * xfer.seconds(meta_bytes, p.numDpus)
+               + xfer.seconds(ptr_bytes, p.numDpus));
+        break;
+
+      case DesignStrategy::HostMetaHostExec:
+        // Everything host-side except the returned pointers, which must
+        // reach the PIM cores each round (Fig 5(a)).
+        r.computeSeconds = hostExecutedSeconds(p);
+        r.transferSeconds = p.allocsPerDpu
+            * xfer.seconds(ptr_bytes, p.numDpus);
+        break;
+    }
+    return r;
+}
+
+} // namespace pim::core

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The design-space exploration of Table I / Fig 6: the four straw-man
+ * implementations of buddy_alloc_PIM_DRAM that differ in where the
+ * allocator metadata lives (host DRAM vs PIM MRAM) and which processor
+ * executes the buddy algorithm (host CPU vs PIM cores).
+ *
+ * The experiment (Fig 6) has every PIM core issue `allocsPerDpu`
+ * identical allocations; "Host-Executed" strategies run the buddy code
+ * on the host model, "PIM-Executed" strategies run it on the DPU
+ * simulator, and metadata/pointer movement between the two sides is
+ * costed with the transfer model — one metadata sync per allocation
+ * round, exactly like the Fig 5 pseudo-code loop.
+ */
+
+#ifndef PIM_CORE_DESIGN_SPACE_HH
+#define PIM_CORE_DESIGN_SPACE_HH
+
+#include <string>
+
+#include "alloc/straw_man.hh"
+#include "sim/config.hh"
+#include "sim/host_model.hh"
+#include "sim/transfer_model.hh"
+
+namespace pim::core {
+
+/** The four Table I strategies. */
+enum class DesignStrategy {
+    HostMetaHostExec,
+    HostMetaPimExec,
+    PimMetaHostExec,
+    PimMetaPimExec,
+};
+
+/** All strategies in the paper's presentation order. */
+inline constexpr DesignStrategy kAllStrategies[] = {
+    DesignStrategy::HostMetaHostExec,
+    DesignStrategy::HostMetaPimExec,
+    DesignStrategy::PimMetaHostExec,
+    DesignStrategy::PimMetaPimExec,
+};
+
+/** Display name matching Table I. */
+const char *designStrategyName(DesignStrategy s);
+
+/** Experiment parameters (defaults reproduce Fig 6). */
+struct DesignSpaceParams
+{
+    /** PIM cores issuing allocations concurrently. */
+    unsigned numDpus = 512;
+    /** Allocations per PIM core (Fig 6: 128). */
+    unsigned allocsPerDpu = 128;
+    /** Allocation size (Fig 6: 32 B). */
+    uint32_t allocSize = 32;
+    /** Tasklets running the PIM-executed allocator. */
+    unsigned taskletsPerDpu = 1;
+    /** Straw-man allocator configuration (heap, tree, buffer). */
+    alloc::StrawManConfig allocCfg{};
+    /** DPU hardware parameters. */
+    sim::DpuConfig dpuCfg{};
+    /** Host CPU parameters. */
+    sim::HostConfig hostCfg{};
+    /** Host<->PIM transfer parameters. */
+    sim::TransferConfig xferCfg{};
+    /**
+     * Per-DPU driver interaction time for host-side bookkeeping of one
+     * allocation round (dpu_copy of returned pointers, rank sync).
+     */
+    double driverCallSec = 25e-6;
+};
+
+/** Decomposed latency of one strategy. */
+struct DesignSpaceResult
+{
+    DesignStrategy strategy{};
+    double computeSeconds = 0.0;  ///< buddy algorithm execution
+    double transferSeconds = 0.0; ///< DRAM<->PIM metadata + pointer moves
+
+    double
+    totalSeconds() const
+    {
+        return computeSeconds + transferSeconds;
+    }
+
+    /** Fraction of time in transfers (Fig 6(b)). */
+    double
+    transferFraction() const
+    {
+        const double t = totalSeconds();
+        return t > 0 ? transferSeconds / t : 0.0;
+    }
+};
+
+/** Evaluate one design strategy under @p params. */
+DesignSpaceResult evalStrategy(DesignStrategy s,
+                               const DesignSpaceParams &params);
+
+/** Bytes of straw-man buddy metadata per DPU under @p cfg. */
+uint64_t metadataBytesPerDpu(const alloc::StrawManConfig &cfg);
+
+} // namespace pim::core
+
+#endif // PIM_CORE_DESIGN_SPACE_HH

@@ -1,0 +1,75 @@
+#include "core/host_runtime.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pim::core {
+
+HostRuntime::HostRuntime(const HostRuntimeConfig &cfg)
+    : cfg_(cfg), host_(cfg.hostCfg), xfer_(cfg.xferCfg)
+{
+    PIM_ASSERT(cfg.numDpus > 0, "need at least one DPU");
+    const unsigned sample = cfg.sampleDpus == 0
+        ? cfg.numDpus : std::min(cfg.sampleDpus, cfg.numDpus);
+    for (unsigned i = 0; i < sample; ++i)
+        dpus_.push_back(std::make_unique<sim::Dpu>(cfg.dpuCfg));
+}
+
+sim::Dpu &
+HostRuntime::dpu(unsigned sample_index)
+{
+    return *dpus_.at(sample_index);
+}
+
+unsigned
+HostRuntime::globalIndex(unsigned sample_index) const
+{
+    const unsigned sample = static_cast<unsigned>(dpus_.size());
+    return sample == cfg_.numDpus
+        ? sample_index : sample_index * (cfg_.numDpus / sample);
+}
+
+double
+HostRuntime::pimMemcpy(uint64_t bytes_per_dpu, CopyDirection dir)
+{
+    (void)dir; // symmetric cost model
+    const double sec = xfer_.seconds(bytes_per_dpu, cfg_.numDpus);
+    elapsed_ += sec;
+    transferredBytes_ += bytes_per_dpu * cfg_.numDpus;
+    return sec;
+}
+
+double
+HostRuntime::pimLaunch(unsigned tasklets,
+                       const std::function<void(sim::Tasklet &, unsigned)>
+                           &body)
+{
+    uint64_t max_cycles = 0;
+    for (unsigned i = 0; i < dpus_.size(); ++i) {
+        const unsigned global = globalIndex(i);
+        dpus_[i]->run(tasklets, [&](sim::Tasklet &t) { body(t, global); });
+        max_cycles = std::max(max_cycles, dpus_[i]->lastElapsedCycles());
+    }
+    const double sec = cfg_.xferCfg.launchLatencySec
+        + cfg_.dpuCfg.cyclesToSeconds(max_cycles);
+    elapsed_ += sec;
+    return sec;
+}
+
+double
+HostRuntime::hostCompute(uint64_t tasks, uint64_t instrs_per_task)
+{
+    const double sec = host_.seconds(tasks, instrs_per_task);
+    elapsed_ += sec;
+    return sec;
+}
+
+void
+HostRuntime::resetTimeline()
+{
+    elapsed_ = 0.0;
+    transferredBytes_ = 0;
+}
+
+} // namespace pim::core

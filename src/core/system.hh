@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Multi-DPU orchestration. Bank-level PIM cores never share state, so a
+ * system of N DPUs is simulated by running per-DPU programs one at a
+ * time and reducing: makespan = max over DPUs, throughput/traffic = sum.
+ * To keep large sweeps tractable, a sample of representative DPUs can be
+ * simulated and results extrapolated — valid because the paper's
+ * workloads statically shard work uniformly across DPUs.
+ */
+
+#ifndef PIM_CORE_SYSTEM_HH
+#define PIM_CORE_SYSTEM_HH
+
+#include <functional>
+
+#include "sim/config.hh"
+#include "sim/dpu.hh"
+#include "sim/types.hh"
+
+namespace pim::core {
+
+/** Reduction of a multi-DPU launch. */
+struct MultiDpuResult
+{
+    /** DPUs represented (the full system size). */
+    unsigned numDpus = 0;
+    /** DPUs actually simulated. */
+    unsigned simulatedDpus = 0;
+    /** Max per-DPU makespan, in cycles / seconds. */
+    uint64_t maxCycles = 0;
+    double maxSeconds = 0.0;
+    /** Mean per-DPU makespan in seconds (for throughput estimates). */
+    double meanSeconds = 0.0;
+    /** Cycle breakdown summed over simulated DPUs. */
+    sim::CycleBreakdown breakdown{};
+    /** DMA traffic summed over simulated DPUs, then scaled to numDpus. */
+    sim::TrafficStats traffic{};
+};
+
+/**
+ * Simulate @p num_dpus DPUs running @p program; @p sample limits how
+ * many distinct DPUs are actually simulated (0 = all). The program
+ * receives a fresh Dpu and its global DPU index, and must run it to
+ * completion (Dpu::run / Dpu::runBodies).
+ */
+MultiDpuResult
+simulateDpus(unsigned num_dpus, const sim::DpuConfig &cfg,
+             const std::function<void(sim::Dpu &, unsigned)> &program,
+             unsigned sample = 0);
+
+} // namespace pim::core
+
+#endif // PIM_CORE_SYSTEM_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Analytic area/power/timing model for the hardware buddy cache
+ * (Section VI-F). The paper evaluates a 16-entry CAM with CACTI 7.0 at
+ * a 32 nm logic node, then scales area by 10x and delay by 3x to account
+ * for the DRAM process PIM cores are fabricated in. The constants here
+ * are calibrated so the default configuration reproduces the paper's
+ * reported overheads (0.019 mm^2, 5 mW, < 1 PIM cycle), while still
+ * scaling sensibly with entry count for the sensitivity study.
+ */
+
+#ifndef PIM_SIM_AREA_MODEL_HH
+#define PIM_SIM_AREA_MODEL_HH
+
+#include "sim/config.hh"
+
+namespace pim::sim {
+
+/** Result of one buddy-cache hardware estimate. */
+struct HardwareOverheads
+{
+    double areaMm2 = 0.0;        ///< after DRAM-process scaling
+    double powerMw = 0.0;        ///< after DRAM-process scaling
+    double accessNs = 0.0;       ///< after DRAM-process scaling
+    double logicAreaMm2 = 0.0;   ///< raw 32 nm logic estimate
+    double cyclesAt350Mhz = 0.0; ///< accessNs expressed in PIM cycles
+};
+
+/** CAM estimator for the buddy cache. */
+class AreaModel
+{
+  public:
+    /** Process scaling factors (paper: DRAM ~10x less dense, 3x slower). */
+    struct Scaling
+    {
+        double areaFactor = 10.0;
+        double delayFactor = 3.0;
+    };
+
+    explicit AreaModel(Scaling scaling);
+    AreaModel() : AreaModel(Scaling{}) {}
+
+    /** Estimate hardware overheads for the given cache configuration. */
+    HardwareOverheads estimate(const BuddyCacheConfig &cfg) const;
+
+  private:
+    Scaling scaling_;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_AREA_MODEL_HH

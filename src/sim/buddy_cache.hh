@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Hardware buddy cache model (Section IV-B of the paper): a small
+ * fully-associative CAM, one per DPU, that caches 4-byte words of the
+ * buddy allocator's packed metadata array. Managed with true LRU and a
+ * write-back policy; hits cost one PIM core cycle.
+ *
+ * The four ISA extensions map to methods here:
+ *   init_bc    -> init()
+ *   lookup_bc  -> lookup()
+ *   read_bc    -> read()
+ *   write_bc   -> write() / insert()
+ */
+
+#ifndef PIM_SIM_BUDDY_CACHE_HH
+#define PIM_SIM_BUDDY_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace pim::sim {
+
+/** Statistics exported by the buddy cache. */
+struct BuddyCacheStats
+{
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t dirtyEvictions = 0;
+
+    /** Hit rate in [0,1]; 0 when no lookups happened. */
+    double
+    hitRate() const
+    {
+        return lookups ? static_cast<double>(hits)
+            / static_cast<double>(lookups) : 0.0;
+    }
+};
+
+/** The per-DPU CAM-based metadata cache. */
+class BuddyCache
+{
+  public:
+    explicit BuddyCache(const BuddyCacheConfig &cfg = BuddyCacheConfig{});
+
+    /** Invalidate all entries (the init_bc instruction). */
+    void init();
+
+    /**
+     * Tag lookup (the lookup_bc instruction). Counts toward hit/miss
+     * statistics. @return true if @p addr is resident.
+     */
+    bool lookup(MramAddr addr);
+
+    /**
+     * Read the cached word for @p addr (the read_bc instruction).
+     * @pre a preceding lookup(addr) returned true.
+     */
+    uint32_t read(MramAddr addr);
+
+    /**
+     * Update the cached word for @p addr in place and mark it dirty.
+     * @pre the word is resident.
+     */
+    void write(MramAddr addr, uint32_t value);
+
+    /**
+     * Insert a word fetched from DRAM, evicting the LRU entry if the
+     * cache is full (the write_bc fill path).
+     * @return the evicted (addr, value) pair if the victim was dirty and
+     *         must be written back to DRAM, std::nullopt otherwise.
+     */
+    std::optional<std::pair<MramAddr, uint32_t>>
+    insert(MramAddr addr, uint32_t value, bool dirty);
+
+    /**
+     * Flush all dirty entries; returns them so the caller can charge the
+     * write-back DMA traffic. Used when an allocator is torn down.
+     */
+    std::vector<std::pair<MramAddr, uint32_t>> flushDirty();
+
+    /** True if @p addr is resident (no statistics side effects). */
+    bool contains(MramAddr addr) const;
+
+    /** Statistics accessors. */
+    const BuddyCacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = BuddyCacheStats{}; }
+
+    /** Configuration. */
+    const BuddyCacheConfig &config() const { return cfg_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool dirty = false;
+        MramAddr addr = 0;
+        uint32_t value = 0;
+        uint64_t lastUse = 0;
+    };
+
+    /** Index of the entry holding @p addr, or -1. */
+    int find(MramAddr addr) const;
+
+    BuddyCacheConfig cfg_;
+    std::vector<Entry> entries_;
+    BuddyCacheStats stats_;
+    uint64_t useClock_ = 0;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_BUDDY_CACHE_HH

@@ -1,0 +1,65 @@
+#include "sim/dpu.hh"
+
+#include "sim/scheduler.hh"
+#include "util/logging.hh"
+
+namespace pim::sim {
+
+Dpu::Dpu(const DpuConfig &cfg)
+    : cfg_(cfg),
+      mram_(cfg.mramBytes, "MRAM"),
+      wram_(cfg.wramBytes, "WRAM"),
+      buddyCache_(cfg.buddyCache)
+{
+}
+
+uint64_t
+Dpu::run(unsigned num_tasklets, const std::function<void(Tasklet &)> &body)
+{
+    std::vector<std::function<void(Tasklet &)>> bodies(num_tasklets, body);
+    return runBodies(std::move(bodies));
+}
+
+uint64_t
+Dpu::runBodies(std::vector<std::function<void(Tasklet &)>> bodies)
+{
+    PIM_ASSERT(!bodies.empty(), "DPU launch needs at least one tasklet");
+    TaskletScheduler sched(*this);
+    for (auto &b : bodies)
+        sched.spawn(std::move(b));
+    sched.runToCompletion();
+
+    lastElapsed_ = sched.elapsedCycles();
+    lastBreakdown_ = CycleBreakdown{};
+    for (size_t i = 0; i < sched.numTasklets(); ++i) {
+        const auto &bd = sched.tasklet(i).breakdown();
+        lastBreakdown_.merge(bd);
+        // Pad tasklets that finished before the makespan with Idle(Etc)
+        // so occupancy fractions are meaningful across the whole launch.
+        lastBreakdown_.add(CycleKind::IdleEtc,
+                           lastElapsed_ - sched.tasklet(i).clock());
+    }
+    return lastElapsed_;
+}
+
+uint32_t
+Dpu::wramReserve(uint32_t bytes)
+{
+    PIM_ASSERT(wramUsed_ + bytes <= cfg_.wramBytes,
+               "WRAM budget exceeded: used=", wramUsed_, " request=", bytes,
+               " capacity=", cfg_.wramBytes);
+    const uint32_t offset = wramUsed_;
+    wramUsed_ += bytes;
+    return offset;
+}
+
+void
+Dpu::resetStats()
+{
+    traffic_ = TrafficStats{};
+    buddyCache_.resetStats();
+    lastElapsed_ = 0;
+    lastBreakdown_ = CycleBreakdown{};
+}
+
+} // namespace pim::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cooperative user-level fibers built on POSIX ucontext. Each simulated
+ * tasklet runs on its own fiber so allocator and workload code can be
+ * written as straight-line C++ while the scheduler interleaves tasklets
+ * deterministically at cycle-charge boundaries.
+ */
+
+#ifndef PIM_SIM_FIBER_HH
+#define PIM_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pim::sim {
+
+/**
+ * A single cooperatively-scheduled execution context.
+ *
+ * The owner (scheduler) calls resume(); the fiber body calls
+ * Fiber::yield() to suspend back to the owner. When the body returns the
+ * fiber becomes finished and further resume() calls are invalid.
+ */
+class Fiber
+{
+  public:
+    /**
+     * @param body   function executed on the fiber's own stack.
+     * @param stack_bytes size of the private stack (default 256 KiB,
+     *        enough for the deepest buddy-tree recursion plus workloads).
+     */
+    explicit Fiber(std::function<void()> body,
+                   size_t stack_bytes = 256 * 1024);
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /** Switch from the caller into the fiber. @pre !finished(). */
+    void resume();
+
+    /**
+     * Suspend the currently running fiber back to its resumer.
+     * @pre called from inside a fiber body.
+     */
+    static void yield();
+
+    /** True once the body function has returned. */
+    bool finished() const { return finished_; }
+
+  private:
+    static void trampoline(unsigned hi, unsigned lo);
+    void run();
+
+    std::function<void()> body_;
+    std::vector<uint8_t> stack_;
+    ucontext_t context_;
+    ucontext_t caller_;
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_FIBER_HH

@@ -1,0 +1,28 @@
+#include "sim/host_model.hh"
+
+#include "util/logging.hh"
+
+namespace pim::sim {
+
+HostModel::HostModel(const HostConfig &cfg) : cfg_(cfg)
+{
+    PIM_ASSERT(cfg.clockGhz > 0 && cfg.ipc > 0 && cfg.threads > 0,
+               "invalid host config");
+}
+
+double
+HostModel::seconds(uint64_t tasks, uint64_t instrs_per_task) const
+{
+    if (tasks == 0)
+        return 0.0;
+    const uint64_t waves = (tasks + cfg_.threads - 1) / cfg_.threads;
+    return serialSeconds(waves * instrs_per_task);
+}
+
+double
+HostModel::serialSeconds(uint64_t instrs) const
+{
+    return static_cast<double>(instrs) / (cfg_.ipc * cfg_.clockGhz * 1e9);
+}
+
+} // namespace pim::sim

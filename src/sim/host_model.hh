@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Analytic model of the host CPU used by the "Host-Executed" design
+ * points of the design-space exploration (Table I / Fig 6). The paper's
+ * host is an Intel Xeon Gold 5222 running the buddy algorithm under
+ * pthreads; we model it as `threads` workers retiring `ipc` instructions
+ * per cycle at `clockGhz`.
+ */
+
+#ifndef PIM_SIM_HOST_MODEL_HH
+#define PIM_SIM_HOST_MODEL_HH
+
+#include <cstdint>
+
+namespace pim::sim {
+
+/** Host CPU parameters. */
+struct HostConfig
+{
+    /** Core clock in GHz (Xeon Gold 5222: 3.8 GHz boost). */
+    double clockGhz = 3.8;
+    /** Sustained IPC on the pointer-chasing buddy traversal. */
+    double ipc = 1.5;
+    /** Worker threads available to the pthreads parallel-for. */
+    unsigned threads = 16;
+};
+
+/** Converts host instruction counts to wall-clock seconds. */
+class HostModel
+{
+  public:
+    explicit HostModel(const HostConfig &cfg = HostConfig{});
+
+    /**
+     * Time to execute @p tasks independent tasks of
+     * @p instrs_per_task instructions each, parallelized across the
+     * host's worker threads (ceil-div load balancing).
+     */
+    double seconds(uint64_t tasks, uint64_t instrs_per_task) const;
+
+    /** Time for a single serial instruction stream. */
+    double serialSeconds(uint64_t instrs) const;
+
+    const HostConfig &config() const { return cfg_; }
+
+  private:
+    HostConfig cfg_;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_HOST_MODEL_HH

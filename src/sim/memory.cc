@@ -1,0 +1,47 @@
+#include "sim/memory.hh"
+
+namespace pim::sim {
+
+FlatMemory::FlatMemory(size_t bytes, const char *name)
+    : data_(bytes, 0), name_(name)
+{
+}
+
+void
+FlatMemory::checkRange(MramAddr addr, size_t n) const
+{
+    PIM_ASSERT(static_cast<size_t>(addr) + n <= data_.size(),
+               name_, " access out of range: addr=", addr, " len=", n,
+               " size=", data_.size());
+}
+
+void
+FlatMemory::readBytes(MramAddr addr, void *dst, size_t n) const
+{
+    checkRange(addr, n);
+    std::memcpy(dst, data_.data() + addr, n);
+}
+
+void
+FlatMemory::writeBytes(MramAddr addr, const void *src, size_t n)
+{
+    checkRange(addr, n);
+    std::memcpy(data_.data() + addr, src, n);
+}
+
+void
+FlatMemory::moveBytes(MramAddr dst, MramAddr src, size_t n)
+{
+    checkRange(dst, n);
+    checkRange(src, n);
+    std::memmove(data_.data() + dst, data_.data() + src, n);
+}
+
+void
+FlatMemory::fill(MramAddr addr, size_t n, uint8_t value)
+{
+    checkRange(addr, n);
+    std::memset(data_.data() + addr, value, n);
+}
+
+} // namespace pim::sim

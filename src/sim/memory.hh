@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Backing storage for a DPU's memories: the 64 KB scratchpad (WRAM) and
+ * the 64 MB local DRAM bank (MRAM). These classes model *storage* only;
+ * cycle costs for moving data between them are charged by the Tasklet DMA
+ * interface (Tasklet::dmaRead / Tasklet::dmaWrite).
+ */
+
+#ifndef PIM_SIM_MEMORY_HH
+#define PIM_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/types.hh"
+#include "util/logging.hh"
+
+namespace pim::sim {
+
+/**
+ * A flat byte-addressable memory with bounds-checked typed access.
+ * Used for both WRAM and MRAM (they differ only in size and in the cost
+ * model applied by the caller).
+ */
+class FlatMemory
+{
+  public:
+    /** @param bytes capacity; @param name used in error messages. */
+    FlatMemory(size_t bytes, const char *name);
+
+    /** Capacity in bytes. */
+    size_t size() const { return data_.size(); }
+
+    /** Read a trivially-copyable value at @p addr. */
+    template <typename T>
+    T
+    read(MramAddr addr) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        checkRange(addr, sizeof(T));
+        T value;
+        std::memcpy(&value, data_.data() + addr, sizeof(T));
+        return value;
+    }
+
+    /** Write a trivially-copyable value at @p addr. */
+    template <typename T>
+    void
+    write(MramAddr addr, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        checkRange(addr, sizeof(T));
+        std::memcpy(data_.data() + addr, &value, sizeof(T));
+    }
+
+    /** Bulk copy out of the memory. */
+    void readBytes(MramAddr addr, void *dst, size_t n) const;
+
+    /** Bulk copy into the memory. */
+    void writeBytes(MramAddr addr, const void *src, size_t n);
+
+    /** memmove within the memory (used by the CSR shift model). */
+    void moveBytes(MramAddr dst, MramAddr src, size_t n);
+
+    /** Zero-fill a range. */
+    void fill(MramAddr addr, size_t n, uint8_t value);
+
+    /** Raw pointer for read-only inspection in tests. */
+    const uint8_t *raw() const { return data_.data(); }
+
+  private:
+    void checkRange(MramAddr addr, size_t n) const;
+
+    std::vector<uint8_t> data_;
+    const char *name_;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_MEMORY_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Simulated intra-DPU mutex. UPMEM tasklets synchronize through WRAM
+ * atomics; a blocked tasklet spins (there is no sleeping), which is
+ * exactly the busy-waiting behaviour the paper's Fig 8 measures. Each
+ * spin iteration charges BusyWait cycles, so contention shows up in the
+ * latency breakdown automatically.
+ */
+
+#ifndef PIM_SIM_MUTEX_HH
+#define PIM_SIM_MUTEX_HH
+
+#include <cstdint>
+
+#include "sim/tasklet.hh"
+
+namespace pim::sim {
+
+/** Test-and-set spin lock with acquisition statistics. */
+class SimMutex
+{
+  public:
+    /** Instruction cost of one lock attempt (test-and-set + branch). */
+    static constexpr uint64_t kAttemptInstrs = 4;
+    /** Instruction cost of releasing the lock. */
+    static constexpr uint64_t kReleaseInstrs = 2;
+
+    /**
+     * Acquire the lock, spinning until available. Spin iterations are
+     * charged to the tasklet as BusyWait; the successful final attempt
+     * is charged as Run.
+     */
+    void lock(Tasklet &t);
+
+    /** Try to acquire without spinning. @return true on success. */
+    bool tryLock(Tasklet &t);
+
+    /** Release the lock. @pre held. */
+    void unlock(Tasklet &t);
+
+    /** True while some tasklet holds the lock. */
+    bool held() const { return locked_; }
+
+    /** Total successful acquisitions. */
+    uint64_t acquisitions() const { return acquisitions_; }
+
+    /** Acquisitions that had to spin at least once. */
+    uint64_t contendedAcquisitions() const { return contended_; }
+
+  private:
+    bool locked_ = false;
+    uint64_t acquisitions_ = 0;
+    uint64_t contended_ = 0;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_MUTEX_HH

@@ -1,0 +1,75 @@
+#include "sim/scheduler.hh"
+
+#include <algorithm>
+
+#include "sim/dpu.hh"
+#include "util/logging.hh"
+
+namespace pim::sim {
+
+TaskletScheduler::TaskletScheduler(Dpu &dpu) : dpu_(dpu) {}
+
+void
+TaskletScheduler::spawn(std::function<void(Tasklet &)> body)
+{
+    PIM_ASSERT(!running_, "cannot spawn while running");
+    PIM_ASSERT(tasklets_.size() < dpu_.config().maxTasklets,
+               "DPU supports at most ", dpu_.config().maxTasklets,
+               " tasklets");
+    const unsigned id = static_cast<unsigned>(tasklets_.size());
+    tasklets_.push_back(std::make_unique<Tasklet>(dpu_, *this, id));
+    Tasklet *t = tasklets_.back().get();
+    fibers_.push_back(std::make_unique<Fiber>(
+        [body = std::move(body), t]() { body(*t); }));
+}
+
+void
+TaskletScheduler::runToCompletion()
+{
+    PIM_ASSERT(!running_, "scheduler already running");
+    PIM_ASSERT(!tasklets_.empty(), "no tasklets spawned");
+    running_ = true;
+    active_ = static_cast<unsigned>(tasklets_.size());
+
+    // Always resume the unfinished tasklet with the smallest virtual
+    // clock; ties break toward the lowest id. This is a discrete-event
+    // loop where each event is one cycle charge.
+    for (;;) {
+        int next = -1;
+        uint64_t best = UINT64_MAX;
+        for (size_t i = 0; i < tasklets_.size(); ++i) {
+            if (fibers_[i]->finished())
+                continue;
+            if (tasklets_[i]->clock() < best) {
+                best = tasklets_[i]->clock();
+                next = static_cast<int>(i);
+            }
+        }
+        if (next < 0)
+            break;
+        fibers_[static_cast<size_t>(next)]->resume();
+        if (fibers_[static_cast<size_t>(next)]->finished())
+            --active_;
+    }
+    running_ = false;
+}
+
+uint64_t
+TaskletScheduler::elapsedCycles() const
+{
+    uint64_t best = 0;
+    for (const auto &t : tasklets_)
+        best = std::max(best, t->clock());
+    return best;
+}
+
+void
+TaskletScheduler::chargeAndYield(Tasklet &t, uint64_t cycles, CycleKind kind)
+{
+    t.clock_ += cycles;
+    t.breakdown_.add(kind, cycles);
+    if (running_)
+        Fiber::yield();
+}
+
+} // namespace pim::sim

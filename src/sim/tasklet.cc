@@ -1,0 +1,105 @@
+#include "sim/tasklet.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/dpu.hh"
+#include "sim/scheduler.hh"
+
+namespace pim::sim {
+
+const char *
+cycleKindName(CycleKind kind)
+{
+    switch (kind) {
+      case CycleKind::Run: return "Run";
+      case CycleKind::BusyWait: return "Busy-waiting";
+      case CycleKind::IdleMemory: return "Idle(Memory)";
+      case CycleKind::IdleEtc: return "Idle(Etc)";
+    }
+    return "?";
+}
+
+Tasklet::Tasklet(Dpu &dpu, TaskletScheduler &sched, unsigned id)
+    : dpu_(dpu), sched_(sched), id_(id)
+{
+}
+
+void
+Tasklet::execute(uint64_t instrs, CycleKind kind)
+{
+    if (instrs == 0)
+        return;
+    const unsigned interval = std::max<unsigned>(
+        dpu_.config().pipelineIssueInterval, sched_.activeCount());
+    sched_.chargeAndYield(*this, instrs * interval, kind);
+}
+
+void
+Tasklet::stall(uint64_t cycles, CycleKind kind)
+{
+    if (cycles == 0)
+        return;
+    sched_.chargeAndYield(*this, cycles, kind);
+}
+
+void
+Tasklet::dmaRead(MramAddr addr, uint32_t bytes, TrafficClass tc)
+{
+    (void)addr;
+    const auto &cfg = dpu_.config();
+    const uint64_t cycles = cfg.dmaSetupCycles
+        + static_cast<uint64_t>(std::ceil(cfg.dmaCyclesPerByte * bytes));
+    auto &traffic = dpu_.traffic();
+    ++traffic.dmaTransfers;
+    if (tc == TrafficClass::Metadata)
+        traffic.metadataReadBytes += bytes;
+    else
+        traffic.dataReadBytes += bytes;
+    sched_.chargeAndYield(*this, cycles, CycleKind::IdleMemory);
+}
+
+void
+Tasklet::dmaWrite(MramAddr addr, uint32_t bytes, TrafficClass tc)
+{
+    (void)addr;
+    const auto &cfg = dpu_.config();
+    const uint64_t cycles = cfg.dmaSetupCycles
+        + static_cast<uint64_t>(std::ceil(cfg.dmaCyclesPerByte * bytes));
+    auto &traffic = dpu_.traffic();
+    ++traffic.dmaTransfers;
+    if (tc == TrafficClass::Metadata)
+        traffic.metadataWriteBytes += bytes;
+    else
+        traffic.dataWriteBytes += bytes;
+    sched_.chargeAndYield(*this, cycles, CycleKind::IdleMemory);
+}
+
+template <typename T>
+T
+Tasklet::mramRead(MramAddr addr, TrafficClass tc)
+{
+    dmaRead(addr, std::max<uint32_t>(8, sizeof(T)), tc);
+    return dpu_.mram().read<T>(addr);
+}
+
+template <typename T>
+void
+Tasklet::mramWrite(MramAddr addr, const T &value, TrafficClass tc)
+{
+    dpu_.mram().write<T>(addr, value);
+    dmaWrite(addr, std::max<uint32_t>(8, sizeof(T)), tc);
+}
+
+// Explicit instantiations for the types workloads use.
+template uint32_t Tasklet::mramRead<uint32_t>(MramAddr, TrafficClass);
+template uint64_t Tasklet::mramRead<uint64_t>(MramAddr, TrafficClass);
+template int32_t Tasklet::mramRead<int32_t>(MramAddr, TrafficClass);
+template void Tasklet::mramWrite<uint32_t>(MramAddr, const uint32_t &,
+                                           TrafficClass);
+template void Tasklet::mramWrite<uint64_t>(MramAddr, const uint64_t &,
+                                           TrafficClass);
+template void Tasklet::mramWrite<int32_t>(MramAddr, const int32_t &,
+                                          TrafficClass);
+
+} // namespace pim::sim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The execution context handed to code running "on" a DPU hardware
+ * thread. All simulated work flows through this interface: instruction
+ * blocks (execute), MRAM DMA (dmaRead/dmaWrite and the typed helpers),
+ * and raw stalls. Each charge advances the tasklet's virtual clock and
+ * yields to the scheduler, which interleaves tasklets deterministically.
+ */
+
+#ifndef PIM_SIM_TASKLET_HH
+#define PIM_SIM_TASKLET_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace pim::sim {
+
+class Dpu;
+class TaskletScheduler;
+
+/**
+ * One DPU hardware thread. Instances are created and owned by the
+ * TaskletScheduler; workload code receives a reference.
+ */
+class Tasklet
+{
+  public:
+    Tasklet(Dpu &dpu, TaskletScheduler &sched, unsigned id);
+
+    Tasklet(const Tasklet &) = delete;
+    Tasklet &operator=(const Tasklet &) = delete;
+
+    /**
+     * Execute a block of @p instrs instructions. The wall-clock cost is
+     * instrs x max(pipelineIssueInterval, activeTasklets) cycles, which
+     * models the UPMEM fine-grained multithreaded pipeline: one tasklet
+     * alone is bounded by the issue interval, and a full pipeline shares
+     * one issue slot per cycle among all active tasklets.
+     *
+     * @param kind  accounting category (Run for useful work, BusyWait
+     *              for lock spinning).
+     */
+    void execute(uint64_t instrs, CycleKind kind = CycleKind::Run);
+
+    /** Charge raw cycles without pipeline scaling (e.g. fixed latencies). */
+    void stall(uint64_t cycles, CycleKind kind);
+
+    /**
+     * Charge the cost of one MRAM->WRAM DMA transfer of @p bytes and
+     * record the traffic. Time is accounted as Idle(Memory).
+     */
+    void dmaRead(MramAddr addr, uint32_t bytes,
+                 TrafficClass tc = TrafficClass::Data);
+
+    /** WRAM->MRAM counterpart of dmaRead(). */
+    void dmaWrite(MramAddr addr, uint32_t bytes,
+                  TrafficClass tc = TrafficClass::Data);
+
+    /**
+     * Read a value from MRAM, charging a DMA of max(8, sizeof(T)) bytes
+     * (the UPMEM DMA engine moves at least 8 bytes).
+     */
+    template <typename T>
+    T mramRead(MramAddr addr, TrafficClass tc = TrafficClass::Data);
+
+    /** Typed MRAM write; see mramRead() for the cost model. */
+    template <typename T>
+    void mramWrite(MramAddr addr, const T &value,
+                   TrafficClass tc = TrafficClass::Data);
+
+    /** Virtual clock of this tasklet, in DPU cycles. */
+    uint64_t clock() const { return clock_; }
+
+    /** Hardware thread id (0-based). */
+    unsigned id() const { return id_; }
+
+    /** The DPU this tasklet runs on. */
+    Dpu &dpu() { return dpu_; }
+
+    /** Per-category cycle totals accumulated so far. */
+    const CycleBreakdown &breakdown() const { return breakdown_; }
+
+  private:
+    friend class TaskletScheduler;
+
+    Dpu &dpu_;
+    TaskletScheduler &sched_;
+    unsigned id_;
+    uint64_t clock_ = 0;
+    CycleBreakdown breakdown_{};
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_TASKLET_HH

@@ -1,0 +1,32 @@
+#include "sim/transfer_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pim::sim {
+
+TransferModel::TransferModel(const TransferConfig &cfg) : cfg_(cfg)
+{
+    PIM_ASSERT(cfg.perDpuBytesPerSec > 0 && cfg.peakBytesPerSec > 0,
+               "invalid transfer config");
+}
+
+double
+TransferModel::bandwidth(unsigned num_dpus) const
+{
+    return std::min(cfg_.peakBytesPerSec,
+                    cfg_.perDpuBytesPerSec * static_cast<double>(num_dpus));
+}
+
+double
+TransferModel::seconds(uint64_t bytes_per_dpu, unsigned num_dpus) const
+{
+    if (num_dpus == 0 || bytes_per_dpu == 0)
+        return 0.0;
+    const double total =
+        static_cast<double>(bytes_per_dpu) * static_cast<double>(num_dpus);
+    return cfg_.launchLatencySec + total / bandwidth(num_dpus);
+}
+
+} // namespace pim::sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Host<->PIM data transfer cost model (the pimMemcpy() of Fig 5,
+ * implemented on real hardware with dpu_push_xfer()). UPMEM transfers
+ * are staged through the memory bus by the host; aggregate bandwidth
+ * grows with the number of DPUs addressed in one call until the bus
+ * saturates. Constants follow the published UPMEM characterization
+ * (PrIM: ~0.3-0.6 GB/s per rank, saturating around 6-7 GB/s system-wide
+ * for parallel transfers).
+ */
+
+#ifndef PIM_SIM_TRANSFER_MODEL_HH
+#define PIM_SIM_TRANSFER_MODEL_HH
+
+#include <cstdint>
+
+namespace pim::sim {
+
+/** Transfer engine parameters. */
+struct TransferConfig
+{
+    /** Fixed software overhead per transfer call (driver + staging). */
+    double launchLatencySec = 20e-6;
+    /** Single-DPU streaming bandwidth, bytes/s. */
+    double perDpuBytesPerSec = 600e6;
+    /** System-wide saturation bandwidth, bytes/s. */
+    double peakBytesPerSec = 6.5e9;
+};
+
+/** Computes host<->PIM copy times for per-DPU payloads. */
+class TransferModel
+{
+  public:
+    explicit TransferModel(const TransferConfig &cfg = TransferConfig{});
+
+    /**
+     * Time to copy @p bytes_per_dpu to/from each of @p num_dpus DPUs in
+     * one batched transfer call.
+     */
+    double seconds(uint64_t bytes_per_dpu, unsigned num_dpus) const;
+
+    /** Effective aggregate bandwidth for a batch of @p num_dpus DPUs. */
+    double bandwidth(unsigned num_dpus) const;
+
+    const TransferConfig &config() const { return cfg_; }
+
+  private:
+    TransferConfig cfg_;
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_TRANSFER_MODEL_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared simulator value types: cycle accounting categories, traffic
+ * classes, and the per-tasklet cycle breakdown used by the paper's
+ * latency-breakdown figures (Fig 8(b), Fig 17(a)).
+ */
+
+#ifndef PIM_SIM_TYPES_HH
+#define PIM_SIM_TYPES_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pim::sim {
+
+/** 32-bit address within a DPU's local MRAM bank. */
+using MramAddr = uint32_t;
+
+/** Sentinel for "no address" (allocation failure). */
+inline constexpr MramAddr kNullAddr = UINT32_MAX;
+
+/**
+ * What a block of consumed cycles was spent on. Mirrors the paper's
+ * breakdown: Run (useful compute), Busy-waiting (spinning on the
+ * allocator mutex), Idle(Memory) (stalled on MRAM DMA), Idle(Etc)
+ * (launch/teardown and scheduling gaps).
+ */
+enum class CycleKind : uint8_t {
+    Run = 0,
+    BusyWait = 1,
+    IdleMemory = 2,
+    IdleEtc = 3,
+};
+
+/** Number of CycleKind categories. */
+inline constexpr size_t kNumCycleKinds = 4;
+
+/** Human-readable name of a CycleKind. */
+const char *cycleKindName(CycleKind kind);
+
+/** Per-category cycle totals. */
+struct CycleBreakdown
+{
+    std::array<uint64_t, kNumCycleKinds> cycles{};
+
+    /** Add cycles to one category. */
+    void
+    add(CycleKind kind, uint64_t n)
+    {
+        cycles[static_cast<size_t>(kind)] += n;
+    }
+
+    /** Cycles in one category. */
+    uint64_t
+    of(CycleKind kind) const
+    {
+        return cycles[static_cast<size_t>(kind)];
+    }
+
+    /** Sum over all categories. */
+    uint64_t
+    total() const
+    {
+        uint64_t t = 0;
+        for (auto c : cycles)
+            t += c;
+        return t;
+    }
+
+    /** Fraction of the total spent in one category; 0 if empty. */
+    double
+    fraction(CycleKind kind) const
+    {
+        const uint64_t t = total();
+        return t ? static_cast<double>(of(kind)) / static_cast<double>(t)
+                 : 0.0;
+    }
+
+    /** Element-wise accumulate. */
+    void
+    merge(const CycleBreakdown &other)
+    {
+        for (size_t i = 0; i < kNumCycleKinds; ++i)
+            cycles[i] += other.cycles[i];
+    }
+};
+
+/**
+ * Classification of MRAM<->WRAM DMA traffic, so the benchmarks can report
+ * allocator-metadata traffic separately from workload data traffic
+ * (Fig 17(d)).
+ */
+enum class TrafficClass : uint8_t {
+    Data = 0,
+    Metadata = 1,
+};
+
+/** Aggregate DMA traffic counters for one DPU run. */
+struct TrafficStats
+{
+    uint64_t dataReadBytes = 0;
+    uint64_t dataWriteBytes = 0;
+    uint64_t metadataReadBytes = 0;
+    uint64_t metadataWriteBytes = 0;
+    uint64_t dmaTransfers = 0;
+
+    /** Total bytes moved in either direction. */
+    uint64_t
+    totalBytes() const
+    {
+        return dataReadBytes + dataWriteBytes + metadataReadBytes
+            + metadataWriteBytes;
+    }
+
+    /** Metadata-only bytes (the Fig 17(d) metric). */
+    uint64_t
+    metadataBytes() const
+    {
+        return metadataReadBytes + metadataWriteBytes;
+    }
+
+    void
+    merge(const TrafficStats &other)
+    {
+        dataReadBytes += other.dataReadBytes;
+        dataWriteBytes += other.dataWriteBytes;
+        metadataReadBytes += other.metadataReadBytes;
+        metadataWriteBytes += other.metadataWriteBytes;
+        dmaTransfers += other.dmaTransfers;
+    }
+};
+
+} // namespace pim::sim
+
+#endif // PIM_SIM_TYPES_HH

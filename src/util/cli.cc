@@ -1,0 +1,86 @@
+#include "util/cli.hh"
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace pim::util {
+
+Cli::Cli(int argc, char **argv, const std::string &known)
+{
+    std::set<std::string> allowed;
+    if (!known.empty()) {
+        std::istringstream is(known);
+        std::string tok;
+        while (std::getline(is, tok, ','))
+            allowed.insert(tok);
+    }
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            PIM_FATAL("unexpected positional argument '", arg, "'");
+        arg = arg.substr(2);
+        std::string name;
+        std::string value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            // --flag value (if next token is not a flag), else boolean.
+            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
+                value = argv[++i];
+            else
+                value = "true";
+        }
+        if (!allowed.empty() && !allowed.count(name))
+            PIM_FATAL("unknown flag --", name);
+        values_[name] = value;
+    }
+}
+
+bool
+Cli::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+Cli::get(const std::string &name, const std::string &def) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+}
+
+int64_t
+Cli::getInt(const std::string &name, int64_t def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+Cli::getDouble(const std::string &name, double def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Cli::getBool(const std::string &name, bool def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return it->second != "false" && it->second != "0";
+}
+
+} // namespace pim::util

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for examples and bench binaries.
+ * Flags take the form --name=value or --name value; unknown flags are a
+ * fatal error so typos never silently change an experiment.
+ */
+
+#ifndef PIM_UTIL_CLI_HH
+#define PIM_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pim::util {
+
+/** Parsed command line with typed accessors and defaults. */
+class Cli
+{
+  public:
+    /**
+     * Parse argv. @param known comma-separated list of accepted flag
+     * names; pass "" to accept anything (used by tests).
+     */
+    Cli(int argc, char **argv, const std::string &known = "");
+
+    /** True if --name was given. */
+    bool has(const std::string &name) const;
+
+    /** String flag with default. */
+    std::string get(const std::string &name, const std::string &def) const;
+
+    /** Integer flag with default. */
+    int64_t getInt(const std::string &name, int64_t def) const;
+
+    /** Floating-point flag with default. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** Boolean flag: present without value, or =true/=false. */
+    bool getBool(const std::string &name, bool def) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace pim::util
+
+#endif // PIM_UTIL_CLI_HH

@@ -1,0 +1,29 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+
+namespace pim::util {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+} // namespace pim::util

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and tests.
+ *
+ * All randomness in this repository flows through Rng so that every
+ * experiment is exactly reproducible from its seed. The core generator is
+ * xoshiro256** (public domain, Blackman & Vigna), which is fast, has a
+ * 256-bit state, and passes BigCrush.
+ */
+
+#ifndef PIM_UTIL_RNG_HH
+#define PIM_UTIL_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pim::util {
+
+/**
+ * Deterministic random number generator (xoshiro256**).
+ *
+ * Seeding uses splitmix64 to expand a single 64-bit seed into the
+ * 256-bit state, as recommended by the xoshiro authors.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. The same seed yields the same stream. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    uint64_t uniformInt(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    uint64_t uniformRange(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool bernoulli(double p);
+
+    /**
+     * Sample from a lognormal distribution with the given parameters of
+     * the underlying normal (mu, sigma). Used for ShareGPT-like sequence
+     * length modelling.
+     */
+    double logNormal(double mu, double sigma);
+
+    /** Standard normal via Box-Muller (one value per call, no caching). */
+    double normal();
+
+    /** Exponential with the given rate (mean 1/rate). @pre rate > 0. */
+    double exponential(double rate);
+
+    /**
+     * Zipf-like integer in [0, n) with exponent s, used by the synthetic
+     * power-law graph generator. Implemented via inverse-CDF on a
+     * precomputed table-free approximation (rejection-free, O(1) after an
+     * O(1) harmonic estimate), adequate for workload shaping.
+     */
+    uint64_t zipf(uint64_t n, double s);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        if (v.empty()) return;
+        for (size_t i = v.size() - 1; i > 0; --i) {
+            size_t j = uniformInt(i + 1);
+            std::swap(v[i], v[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for per-DPU streams). */
+    Rng fork();
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace pim::util
+
+#endif // PIM_UTIL_RNG_HH

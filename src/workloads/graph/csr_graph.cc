@@ -1,0 +1,134 @@
+#include "workloads/graph/csr_graph.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pim::workloads::graph {
+
+namespace {
+/** WRAM staging granularity of the array-rewrite loops. */
+constexpr uint32_t kStreamChunkBytes = 2048;
+} // namespace
+
+CsrGraph::CsrGraph(sim::Dpu &dpu, sim::MramAddr base, uint32_t num_nodes,
+                   uint32_t max_edges)
+    : dpu_(dpu), base_(base), numNodes_(num_nodes), maxEdges_(max_edges)
+{
+    PIM_ASSERT(static_cast<uint64_t>(base) + footprintBytes()
+                   <= dpu.mram().size(),
+               "CSR arrays do not fit in MRAM");
+    // NodePtr starts all-zero (empty graph).
+    dpu.mram().fill(base_, (numNodes_ + 1) * 4, 0);
+}
+
+uint64_t
+CsrGraph::footprintBytes() const
+{
+    return static_cast<uint64_t>(numNodes_ + 1) * 4
+        + static_cast<uint64_t>(maxEdges_) * 4;
+}
+
+void
+CsrGraph::chargeStream(sim::Tasklet &t, sim::MramAddr addr, uint64_t bytes)
+{
+    // Shift loops stage MRAM through WRAM chunk by chunk: each chunk is
+    // one DMA read + one DMA write plus a small copy loop.
+    uint64_t remaining = bytes;
+    sim::MramAddr a = addr;
+    while (remaining > 0) {
+        const uint32_t n = static_cast<uint32_t>(
+            std::min<uint64_t>(remaining, kStreamChunkBytes));
+        t.dmaRead(a, n);
+        t.execute(n / 32 + 1); // word-copy loop, 8 words per iteration
+        t.dmaWrite(a, n);
+        a += n;
+        remaining -= n;
+    }
+}
+
+void
+CsrGraph::build(sim::Tasklet &t, const std::vector<Edge> &edges)
+{
+    PIM_ASSERT(edges.size() <= maxEdges_, "CSR capacity too small");
+    // Batch construction: counting sort by source (host side), then one
+    // streaming write of both arrays.
+    std::vector<uint32_t> counts(numNodes_ + 1, 0);
+    for (const auto &e : edges) {
+        PIM_ASSERT(e.src < numNodes_, "local src out of range");
+        ++counts[e.src + 1];
+    }
+    for (uint32_t i = 1; i <= numNodes_; ++i)
+        counts[i] += counts[i - 1];
+    std::vector<uint32_t> cursor(counts.begin(), counts.end() - 1);
+    for (uint32_t i = 0; i <= numNodes_; ++i)
+        dpu_.mram().write<uint32_t>(nodePtrAddr(i), counts[i]);
+    for (const auto &e : edges)
+        dpu_.mram().write<uint32_t>(edgeAddr(cursor[e.src]++), e.dst);
+    numEdges_ = static_cast<uint32_t>(edges.size());
+    // One bulk upload charge for the whole structure.
+    t.dmaWrite(base_, static_cast<uint32_t>((numNodes_ + 1) * 4
+                                            + numEdges_ * 4));
+}
+
+bool
+CsrGraph::insertEdge(sim::Tasklet &t, uint32_t u_local, uint32_t v_global)
+{
+    PIM_ASSERT(u_local < numNodes_, "local src out of range");
+    mutex_.lock(t);
+    if (numEdges_ >= maxEdges_) {
+        mutex_.unlock(t);
+        return false;
+    }
+    auto &mram = dpu_.mram();
+
+    // Insert position: end of u's neighbor run.
+    const uint32_t pos = t.mramRead<uint32_t>(nodePtrAddr(u_local + 1));
+
+    // Shift the EdgeIdx tail [pos, numEdges) up by one slot.
+    const uint64_t tail_bytes =
+        static_cast<uint64_t>(numEdges_ - pos) * 4;
+    if (tail_bytes > 0) {
+        mram.moveBytes(edgeAddr(pos + 1), edgeAddr(pos), tail_bytes);
+        chargeStream(t, edgeAddr(pos), tail_bytes);
+    }
+    t.mramWrite<uint32_t>(edgeAddr(pos), v_global);
+
+    // Rewrite the NodePtr suffix (every pointer after u shifts by one).
+    for (uint32_t i = u_local + 1; i <= numNodes_; ++i) {
+        const uint32_t v = mram.read<uint32_t>(nodePtrAddr(i));
+        mram.write<uint32_t>(nodePtrAddr(i), v + 1);
+    }
+    const uint64_t ptr_bytes =
+        static_cast<uint64_t>(numNodes_ - u_local) * 4;
+    if (ptr_bytes > 0)
+        chargeStream(t, nodePtrAddr(u_local + 1), ptr_bytes);
+
+    ++numEdges_;
+    mutex_.unlock(t);
+    return true;
+}
+
+uint64_t
+CsrGraph::degree(uint32_t u_local) const
+{
+    const uint32_t lo = dpu_.mram().read<uint32_t>(nodePtrAddr(u_local));
+    const uint32_t hi =
+        dpu_.mram().read<uint32_t>(nodePtrAddr(u_local + 1));
+    return hi - lo;
+}
+
+std::vector<uint32_t>
+CsrGraph::neighbors(uint32_t u_local) const
+{
+    const uint32_t lo = dpu_.mram().read<uint32_t>(nodePtrAddr(u_local));
+    const uint32_t hi =
+        dpu_.mram().read<uint32_t>(nodePtrAddr(u_local + 1));
+    std::vector<uint32_t> out;
+    out.reserve(hi - lo);
+    for (uint32_t i = lo; i < hi; ++i)
+        out.push_back(dpu_.mram().read<uint32_t>(edgeAddr(i)));
+    return out;
+}
+
+} // namespace pim::workloads::graph

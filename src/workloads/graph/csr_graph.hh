@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The static CSR baseline (Fig 3(b) top). NodePtr and EdgeIdx arrays
+ * live in MRAM; inserting an edge shifts the EdgeIdx tail one slot and
+ * rewrites the NodePtr suffix, so insertion cost grows with the size of
+ * the pre-update graph — the pathology motivating dynamic allocation.
+ * Concurrent inserts serialize on one mutex (the arrays are global
+ * state), which surfaces as busy-waiting in the Fig 17 breakdown.
+ */
+
+#ifndef PIM_WORKLOADS_GRAPH_CSR_GRAPH_HH
+#define PIM_WORKLOADS_GRAPH_CSR_GRAPH_HH
+
+#include "sim/dpu.hh"
+#include "sim/mutex.hh"
+#include "workloads/graph/dynamic_graph.hh"
+
+namespace pim::workloads::graph {
+
+/** Static compressed-sparse-row adjacency for one DPU's shard. */
+class CsrGraph : public GraphStructure
+{
+  public:
+    /**
+     * @param dpu        owning DPU; arrays are placed in its MRAM.
+     * @param base       MRAM byte offset of the structure.
+     * @param num_nodes  shard-local node count.
+     * @param max_edges  EdgeIdx capacity (inserting beyond it fails).
+     */
+    CsrGraph(sim::Dpu &dpu, sim::MramAddr base, uint32_t num_nodes,
+             uint32_t max_edges);
+
+    void build(sim::Tasklet &t, const std::vector<Edge> &edges) override;
+    bool insertEdge(sim::Tasklet &t, uint32_t u_local,
+                    uint32_t v_global) override;
+    uint64_t degree(uint32_t u_local) const override;
+    std::vector<uint32_t> neighbors(uint32_t u_local) const override;
+    uint64_t edgeCount() const override { return numEdges_; }
+    std::string name() const override { return "Static (CSR)"; }
+
+    /** MRAM bytes occupied by the arrays. */
+    uint64_t footprintBytes() const;
+
+  private:
+    /** Byte address of NodePtr[i]. */
+    sim::MramAddr nodePtrAddr(uint32_t i) const { return base_ + i * 4; }
+    /** Byte address of EdgeIdx[i]. */
+    sim::MramAddr
+    edgeAddr(uint32_t i) const
+    {
+        return base_ + (numNodes_ + 1) * 4 + i * 4;
+    }
+
+    /** Charge a streaming rewrite of @p bytes (read + write, chunked). */
+    void chargeStream(sim::Tasklet &t, sim::MramAddr addr, uint64_t bytes);
+
+    sim::Dpu &dpu_;
+    sim::MramAddr base_;
+    uint32_t numNodes_;
+    uint32_t maxEdges_;
+    uint32_t numEdges_ = 0;
+    sim::SimMutex mutex_;
+};
+
+} // namespace pim::workloads::graph
+
+#endif // PIM_WORKLOADS_GRAPH_CSR_GRAPH_HH

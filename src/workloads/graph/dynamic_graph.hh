@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Common interface of the three graph representations the paper
+ * evaluates for dynamic updates (Fig 3, Fig 17): the static CSR
+ * baseline, the array of linked lists (faimGraph-style, fixed 256 B
+ * chunks), and the variable-sized array (Hornet-style, power-of-two
+ * arrays grown by doubling). Each instance manages the node shard
+ * assigned to one DPU.
+ */
+
+#ifndef PIM_WORKLOADS_GRAPH_DYNAMIC_GRAPH_HH
+#define PIM_WORKLOADS_GRAPH_DYNAMIC_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/tasklet.hh"
+#include "workloads/graph/graph_gen.hh"
+
+namespace pim::workloads::graph {
+
+/** Abstract per-DPU adjacency structure. */
+class GraphStructure
+{
+  public:
+    virtual ~GraphStructure() = default;
+
+    /**
+     * Bulk-load the pre-update shard. Static structures may use an
+     * efficient batch path; dynamic structures insert edge by edge
+     * (costs are charged to @p t but the caller runs this in an untimed
+     * launch).
+     *
+     * @param edges  local edges with src already remapped to local ids.
+     */
+    virtual void build(sim::Tasklet &t,
+                       const std::vector<Edge> &edges) = 0;
+
+    /**
+     * Insert one edge (timed path). @p u_local is the shard-local source
+     * id, @p v_global the destination's global id (stored verbatim).
+     * @return false when the structure is out of capacity.
+     */
+    virtual bool insertEdge(sim::Tasklet &t, uint32_t u_local,
+                            uint32_t v_global) = 0;
+
+    /** Out-degree of a local node (host-side verification). */
+    virtual uint64_t degree(uint32_t u_local) const = 0;
+
+    /** Neighbor multiset of a local node (host-side verification). */
+    virtual std::vector<uint32_t> neighbors(uint32_t u_local) const = 0;
+
+    /** Total edges stored. */
+    virtual uint64_t edgeCount() const = 0;
+
+    /** Display name. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace pim::workloads::graph
+
+#endif // PIM_WORKLOADS_GRAPH_DYNAMIC_GRAPH_HH

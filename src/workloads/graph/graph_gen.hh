@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Synthetic dynamic-graph workload generation. The paper uses the
+ * loc-gowalla social network (196,591 nodes, 950,327 edges) and models
+ * updates by randomly sampling edges: the sampled third becomes the
+ * "newly added" stream, the rest is the pre-update graph (1:2 ratio,
+ * Section V). loc-gowalla itself is not available offline, so we
+ * generate a Chung-Lu style power-law graph with matched node/edge
+ * counts and degree skew — the update-cost shapes depend only on graph
+ * size and degree distribution, both of which are preserved.
+ */
+
+#ifndef PIM_WORKLOADS_GRAPH_GRAPH_GEN_HH
+#define PIM_WORKLOADS_GRAPH_GRAPH_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace pim::workloads::graph {
+
+/** One directed edge. */
+struct Edge
+{
+    uint32_t src;
+    uint32_t dst;
+};
+
+/** A generated graph. */
+struct GraphDataset
+{
+    uint32_t numNodes = 0;
+    std::vector<Edge> edges;
+};
+
+/** Parameters of the synthetic generator. */
+struct GraphGenConfig
+{
+    /** Node count (loc-gowalla: 196,591). */
+    uint32_t numNodes = 196591;
+    /** Edge count (loc-gowalla: 950,327 directed edges). */
+    uint64_t numEdges = 950327;
+    /** Zipf exponent of the out-degree skew. */
+    double skew = 0.75;
+    /** Cap on any node's out-degree (keeps var-arrays within 32 KB). */
+    uint32_t maxDegree = 8192;
+    /** Generator seed. */
+    uint64_t seed = 42;
+};
+
+/** Generate a power-law graph. Deterministic in the config. */
+GraphDataset generateGraph(const GraphGenConfig &cfg);
+
+/** A dataset split into pre-update graph + update stream. */
+struct UpdateWorkload
+{
+    uint32_t numNodes = 0;
+    std::vector<Edge> baseEdges;   ///< the pre-update graph
+    std::vector<Edge> updateEdges; ///< the newly added edges
+};
+
+/**
+ * Randomly sample edges into an update stream. @p new_fraction is the
+ * share of all edges that become updates (paper: 1:2 new:existing, i.e.
+ * 1/3).
+ */
+UpdateWorkload splitForUpdate(const GraphDataset &g, double new_fraction,
+                              uint64_t seed);
+
+} // namespace pim::workloads::graph
+
+#endif // PIM_WORKLOADS_GRAPH_GRAPH_GEN_HH

@@ -1,0 +1,76 @@
+#include "workloads/graph/linked_list_graph.hh"
+
+#include "util/logging.hh"
+
+namespace pim::workloads::graph {
+
+namespace {
+/** Null head pointer: MRAM address 0 is always allocator metadata. */
+constexpr sim::MramAddr kNullHead = 0;
+} // namespace
+
+LinkedListGraph::LinkedListGraph(sim::Dpu &dpu, alloc::Allocator &allocator,
+                                 sim::MramAddr table_base,
+                                 uint32_t num_nodes)
+    : dpu_(dpu), allocator_(allocator), tableBase_(table_base),
+      numNodes_(num_nodes)
+{
+    PIM_ASSERT(static_cast<uint64_t>(table_base)
+                   + static_cast<uint64_t>(num_nodes) * 4
+                   <= dpu.mram().size(),
+               "node table does not fit in MRAM");
+    dpu.mram().fill(tableBase_, num_nodes * 4, 0);
+}
+
+void
+LinkedListGraph::build(sim::Tasklet &t, const std::vector<Edge> &edges)
+{
+    for (const auto &e : edges) {
+        const bool ok = insertEdge(t, e.src, e.dst);
+        PIM_ASSERT(ok, "linked-list build ran out of heap");
+    }
+}
+
+bool
+LinkedListGraph::insertEdge(sim::Tasklet &t, uint32_t u_local,
+                            uint32_t v_global)
+{
+    PIM_ASSERT(u_local < numNodes_, "local src out of range");
+    // One fixed-size element per edge, prepended in O(1): allocate,
+    // link to the old head, publish as the new head.
+    const sim::MramAddr head = t.mramRead<uint32_t>(headAddr(u_local));
+    const sim::MramAddr elem = allocator_.malloc(t, kChunkBytes);
+    if (elem == sim::kNullAddr)
+        return false;
+    t.mramWrite<uint32_t>(elem, head);          // next
+    t.mramWrite<uint32_t>(elem + 4, v_global);  // dst
+    t.mramWrite<uint32_t>(headAddr(u_local), elem);
+    ++numEdges_;
+    return true;
+}
+
+uint64_t
+LinkedListGraph::degree(uint32_t u_local) const
+{
+    uint64_t n = 0;
+    sim::MramAddr elem = dpu_.mram().read<uint32_t>(headAddr(u_local));
+    while (elem != kNullHead) {
+        ++n;
+        elem = dpu_.mram().read<uint32_t>(elem);
+    }
+    return n;
+}
+
+std::vector<uint32_t>
+LinkedListGraph::neighbors(uint32_t u_local) const
+{
+    std::vector<uint32_t> out;
+    sim::MramAddr elem = dpu_.mram().read<uint32_t>(headAddr(u_local));
+    while (elem != kNullHead) {
+        out.push_back(dpu_.mram().read<uint32_t>(elem + 4));
+        elem = dpu_.mram().read<uint32_t>(elem);
+    }
+    return out;
+}
+
+} // namespace pim::workloads::graph

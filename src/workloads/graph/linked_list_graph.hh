@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The "array of linked lists" dynamic representation (Fig 3(b) bottom,
+ * [Winter et al., faimGraph SC'18] as cited by the paper): per node, a
+ * singly linked list of fixed-size 256 B edge elements allocated with
+ * pimMalloc(). Following the paper's evaluation setup ("a constant
+ * allocation size — we assume 256 B — because its edge-storing elements
+ * are fixed-size arrays"), every inserted edge allocates one element
+ * and prepends it: memory is allocated solely for the new edge and
+ * connected via pointers, so insertion cost is O(1) and independent of
+ * the pre-update graph size — the Fig 3(c) point.
+ *
+ * Element layout (256 B): [next:u32][dst:u32][padding to 256 B].
+ */
+
+#ifndef PIM_WORKLOADS_GRAPH_LINKED_LIST_GRAPH_HH
+#define PIM_WORKLOADS_GRAPH_LINKED_LIST_GRAPH_HH
+
+#include "alloc/allocator.hh"
+#include "sim/dpu.hh"
+#include "workloads/graph/dynamic_graph.hh"
+
+namespace pim::workloads::graph {
+
+/** Linked-element adjacency for one DPU's shard. */
+class LinkedListGraph : public GraphStructure
+{
+  public:
+    /** Fixed element allocation size (paper: 256 B). */
+    static constexpr uint32_t kChunkBytes = 256;
+
+    /**
+     * @param dpu        owning DPU.
+     * @param allocator  the dynamic allocator under evaluation.
+     * @param table_base MRAM offset of the per-node head table (must not
+     *                   overlap the allocator's heap).
+     * @param num_nodes  shard-local node count.
+     */
+    LinkedListGraph(sim::Dpu &dpu, alloc::Allocator &allocator,
+                    sim::MramAddr table_base, uint32_t num_nodes);
+
+    void build(sim::Tasklet &t, const std::vector<Edge> &edges) override;
+    bool insertEdge(sim::Tasklet &t, uint32_t u_local,
+                    uint32_t v_global) override;
+    uint64_t degree(uint32_t u_local) const override;
+    std::vector<uint32_t> neighbors(uint32_t u_local) const override;
+    uint64_t edgeCount() const override { return numEdges_; }
+    std::string name() const override { return "Dynamic (array of linked lists)"; }
+
+  private:
+    sim::MramAddr headAddr(uint32_t u) const { return tableBase_ + u * 4; }
+
+    sim::Dpu &dpu_;
+    alloc::Allocator &allocator_;
+    sim::MramAddr tableBase_;
+    uint32_t numNodes_;
+    uint64_t numEdges_ = 0;
+};
+
+} // namespace pim::workloads::graph
+
+#endif // PIM_WORKLOADS_GRAPH_LINKED_LIST_GRAPH_HH

@@ -1,0 +1,193 @@
+#include "workloads/graph/update_driver.hh"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "alloc/allocator.hh"
+#include "sim/dpu.hh"
+#include "util/logging.hh"
+#include "workloads/graph/csr_graph.hh"
+#include "workloads/graph/linked_list_graph.hh"
+#include "workloads/graph/var_array_graph.hh"
+
+namespace pim::workloads::graph {
+
+const char *
+structureKindName(StructureKind s)
+{
+    switch (s) {
+      case StructureKind::StaticCsr: return "Static (CSR)";
+      case StructureKind::LinkedList: return "Dynamic (array of linked lists)";
+      case StructureKind::VarArray: return "Dynamic (variable sized array)";
+    }
+    return "?";
+}
+
+unsigned
+shardOf(uint32_t node, unsigned num_dpus)
+{
+    return static_cast<unsigned>((node * 2654435761u) >> 8) % num_dpus;
+}
+
+namespace {
+
+/** MRAM offset of the node tables (clear of the 32 MB allocator heap). */
+constexpr sim::MramAddr kTableBase = 48u << 20;
+
+/** Shard-local view of the workload for one DPU. */
+struct Shard
+{
+    uint32_t numLocalNodes = 0;
+    std::vector<Edge> baseEdges;   ///< src remapped to local ids
+    std::vector<Edge> updateEdges; ///< src remapped to local ids
+};
+
+Shard
+buildShard(const UpdateWorkload &w, unsigned dpu, unsigned num_dpus)
+{
+    Shard s;
+    std::unordered_map<uint32_t, uint32_t> local;
+    auto localId = [&](uint32_t u) {
+        auto it = local.find(u);
+        if (it != local.end())
+            return it->second;
+        const uint32_t id = static_cast<uint32_t>(local.size());
+        local.emplace(u, id);
+        return id;
+    };
+    // Register every shard-owned node first so ids are stable and the
+    // table covers nodes that only appear in the update stream.
+    for (uint32_t u = 0; u < w.numNodes; ++u) {
+        if (shardOf(u, num_dpus) == dpu)
+            localId(u);
+    }
+    s.numLocalNodes = static_cast<uint32_t>(local.size());
+    for (const auto &e : w.baseEdges) {
+        if (shardOf(e.src, num_dpus) == dpu)
+            s.baseEdges.push_back({localId(e.src), e.dst});
+    }
+    for (const auto &e : w.updateEdges) {
+        if (shardOf(e.src, num_dpus) == dpu)
+            s.updateEdges.push_back({localId(e.src), e.dst});
+    }
+    return s;
+}
+
+} // namespace
+
+GraphUpdateResult
+runGraphUpdate(const GraphUpdateConfig &cfg)
+{
+    PIM_ASSERT(cfg.sampleDpus >= 1, "need at least one sampled DPU");
+    const GraphDataset dataset = generateGraph(cfg.gen);
+    UpdateWorkload w = splitForUpdate(dataset, cfg.newFraction, cfg.seed);
+    if (cfg.maxUpdateEdges > 0 && w.updateEdges.size() > cfg.maxUpdateEdges)
+        w.updateEdges.resize(cfg.maxUpdateEdges);
+
+    GraphUpdateResult out;
+    out.updateEdgesTotal = w.updateEdges.size();
+
+    const unsigned simulated = std::min(cfg.sampleDpus, cfg.numDpus);
+    uint64_t max_cycles = 0;
+
+    for (unsigned i = 0; i < simulated; ++i) {
+        const unsigned dpu_idx = simulated == cfg.numDpus
+            ? i : i * (cfg.numDpus / simulated);
+        const Shard shard = buildShard(w, dpu_idx, cfg.numDpus);
+        if (shard.numLocalNodes == 0)
+            continue;
+
+        sim::Dpu dpu(cfg.dpuCfg);
+        std::unique_ptr<alloc::Allocator> allocator;
+        std::unique_ptr<GraphStructure> graph;
+
+        if (cfg.structure == StructureKind::StaticCsr) {
+            const uint32_t max_edges = static_cast<uint32_t>(
+                shard.baseEdges.size() + shard.updateEdges.size());
+            graph = std::make_unique<CsrGraph>(
+                dpu, kTableBase, shard.numLocalNodes, max_edges);
+        } else {
+            core::AllocatorOverrides ov;
+            ov.numTasklets = cfg.tasklets;
+            allocator = core::makeAllocator(dpu, cfg.allocator, ov);
+            if (cfg.structure == StructureKind::LinkedList) {
+                graph = std::make_unique<LinkedListGraph>(
+                    dpu, *allocator, kTableBase, shard.numLocalNodes);
+            } else {
+                graph = std::make_unique<VarArrayGraph>(
+                    dpu, *allocator, kTableBase, shard.numLocalNodes);
+            }
+        }
+
+        // Untimed: allocator init, then pre-update graph construction.
+        if (allocator)
+            dpu.run(1, [&](sim::Tasklet &t) { allocator->init(t); });
+        dpu.run(cfg.tasklets, [&](sim::Tasklet &t) {
+            if (cfg.structure == StructureKind::StaticCsr) {
+                if (t.id() == 0)
+                    graph->build(t, shard.baseEdges);
+                return;
+            }
+            // Node-partitioned parallel build: tasklet k owns local
+            // nodes with id % tasklets == k, so no two tasklets ever
+            // touch the same adjacency list.
+            std::vector<Edge> mine;
+            for (const auto &e : shard.baseEdges) {
+                if (e.src % cfg.tasklets == t.id())
+                    mine.push_back(e);
+            }
+            graph->build(t, mine);
+        });
+
+        // Measured phase starts here.
+        dpu.resetStats();
+        if (allocator) {
+            allocator->stats().resetCounters();
+            allocator->stats().traceEvents = cfg.traceEvents;
+        }
+
+        dpu.run(cfg.tasklets, [&](sim::Tasklet &t) {
+            for (const auto &e : shard.updateEdges) {
+                if (e.src % cfg.tasklets != t.id())
+                    continue;
+                const bool ok = graph->insertEdge(t, e.src, e.dst);
+                PIM_ASSERT(ok, "update insertion failed (capacity)");
+            }
+        });
+
+        max_cycles = std::max(max_cycles, dpu.lastElapsedCycles());
+        out.breakdown.merge(dpu.lastBreakdown());
+        out.traffic.merge(dpu.traffic());
+        if (allocator) {
+            const auto &st = allocator->stats();
+            out.allocStats.mallocCalls += st.mallocCalls;
+            out.allocStats.freeCalls += st.freeCalls;
+            out.allocStats.failures += st.failures;
+            for (size_t l = 0; l < 3; ++l) {
+                out.allocStats.serviced[l] += st.serviced[l];
+                out.allocStats.cyclesByLevel[l] += st.cyclesByLevel[l];
+            }
+            for (double x : st.latency.samples())
+                out.allocStats.latency.add(x);
+            out.allocStats.events.insert(out.allocStats.events.end(),
+                                         st.events.begin(),
+                                         st.events.end());
+            out.fragmentation =
+                std::max(out.fragmentation, st.peakFragmentation);
+            out.metadataBytes = allocator->metadataBytes();
+        }
+    }
+
+    out.updateSeconds = cfg.dpuCfg.cyclesToSeconds(max_cycles);
+    if (out.updateSeconds > 0) {
+        out.millionEdgesPerSec =
+            static_cast<double>(out.updateEdgesTotal)
+            / out.updateSeconds / 1e6;
+    }
+    out.avgAllocLatencyUs = cfg.dpuCfg.cyclesToMicros(
+        static_cast<uint64_t>(out.allocStats.latency.mean()));
+    return out;
+}
+
+} // namespace pim::workloads::graph

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * End-to-end dynamic graph update experiment (Fig 3(c), Fig 17):
+ * shards the synthetic dataset across DPUs, bulk-loads the pre-update
+ * graph in an untimed launch, then measures the parallel insertion of
+ * the update stream with the selected data structure and allocator.
+ */
+
+#ifndef PIM_WORKLOADS_GRAPH_UPDATE_DRIVER_HH
+#define PIM_WORKLOADS_GRAPH_UPDATE_DRIVER_HH
+
+#include <cstdint>
+
+#include "alloc/alloc_stats.hh"
+#include "core/allocator_factory.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+#include "workloads/graph/graph_gen.hh"
+
+namespace pim::workloads::graph {
+
+/** The three representations of Fig 17(a). */
+enum class StructureKind {
+    StaticCsr,
+    LinkedList,
+    VarArray,
+};
+
+/** Display name of a structure kind. */
+const char *structureKindName(StructureKind s);
+
+/** Experiment parameters. */
+struct GraphUpdateConfig
+{
+    /** Adjacency representation under test. */
+    StructureKind structure = StructureKind::LinkedList;
+    /** Allocator for the dynamic representations (ignored for CSR). */
+    core::AllocatorKind allocator = core::AllocatorKind::PimMallocSw;
+    /** System size the dataset is sharded across. */
+    unsigned numDpus = 512;
+    /** Representative DPUs actually simulated. */
+    unsigned sampleDpus = 2;
+    /** Tasklets per DPU processing insertions. */
+    unsigned tasklets = 16;
+    /** Dataset generator parameters. */
+    GraphGenConfig gen{};
+    /** Fraction of edges forming the update stream (paper: 1/3). */
+    double newFraction = 1.0 / 3.0;
+    /** Truncate the update stream to this many edges (0 = all). Used by
+     *  the Fig 3(c) experiment, which fixes the update count while the
+     *  pre-update graph grows. */
+    uint64_t maxUpdateEdges = 0;
+    /** Record per-allocation events (Fig 17(b,c)). */
+    bool traceEvents = false;
+    /** DPU hardware parameters. */
+    sim::DpuConfig dpuCfg{};
+    /** Workload split seed. */
+    uint64_t seed = 7;
+};
+
+/** Aggregated outcome of the update phase. */
+struct GraphUpdateResult
+{
+    /** Makespan of the update phase (max over sampled DPUs). */
+    double updateSeconds = 0.0;
+    /** System-wide update throughput. */
+    double millionEdgesPerSec = 0.0;
+    /** Update edges across the whole system. */
+    uint64_t updateEdgesTotal = 0;
+    /** Launch-wide cycle breakdown, summed over sampled DPUs. */
+    sim::CycleBreakdown breakdown{};
+    /** DMA traffic of the update phase, summed over sampled DPUs. */
+    sim::TrafficStats traffic{};
+    /** Allocator statistics merged over sampled DPUs (update phase
+     *  counters; fragmentation covers the whole run). */
+    alloc::AllocStats allocStats;
+    /** Worst peak A/U over sampled DPUs (Table III). */
+    double fragmentation = 0.0;
+    /** Allocator metadata footprint per DPU (Section VI-E), bytes. */
+    uint64_t metadataBytes = 0;
+    /** Mean pimMalloc() latency during updates, microseconds. */
+    double avgAllocLatencyUs = 0.0;
+};
+
+/** Run the experiment. Deterministic in the config. */
+GraphUpdateResult runGraphUpdate(const GraphUpdateConfig &cfg);
+
+/** DPU shard owning @p node (multiplicative hash, uniform). */
+unsigned shardOf(uint32_t node, unsigned num_dpus);
+
+} // namespace pim::workloads::graph
+
+#endif // PIM_WORKLOADS_GRAPH_UPDATE_DRIVER_HH

@@ -1,0 +1,100 @@
+#include "workloads/graph/var_array_graph.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace pim::workloads::graph {
+
+VarArrayGraph::VarArrayGraph(sim::Dpu &dpu, alloc::Allocator &allocator,
+                             sim::MramAddr table_base, uint32_t num_nodes)
+    : dpu_(dpu), allocator_(allocator), tableBase_(table_base),
+      numNodes_(num_nodes)
+{
+    PIM_ASSERT(static_cast<uint64_t>(table_base)
+                   + static_cast<uint64_t>(num_nodes) * 12
+                   <= dpu.mram().size(),
+               "node table does not fit in MRAM");
+    dpu.mram().fill(tableBase_, num_nodes * 12, 0);
+}
+
+void
+VarArrayGraph::build(sim::Tasklet &t, const std::vector<Edge> &edges)
+{
+    for (const auto &e : edges) {
+        const bool ok = insertEdge(t, e.src, e.dst);
+        PIM_ASSERT(ok, "var-array build ran out of heap");
+    }
+}
+
+bool
+VarArrayGraph::insertEdge(sim::Tasklet &t, uint32_t u_local,
+                          uint32_t v_global)
+{
+    PIM_ASSERT(u_local < numNodes_, "local src out of range");
+    auto &mram = dpu_.mram();
+    const sim::MramAddr entry = entryAddr(u_local);
+
+    // One 12 B staged read of the node descriptor.
+    t.dmaRead(entry, 12);
+    sim::MramAddr addr = mram.read<uint32_t>(entry);
+    uint32_t cap = mram.read<uint32_t>(entry + 4);
+    uint32_t count = mram.read<uint32_t>(entry + 8);
+
+    if (addr == 0) {
+        addr = allocator_.malloc(t, kInitialBytes);
+        if (addr == sim::kNullAddr)
+            return false;
+        cap = kInitialBytes;
+    } else if (count * 4 >= cap) {
+        if (cap >= kMaxBytes)
+            return false; // degree cap reached
+        const uint32_t new_cap = cap * 2;
+        const sim::MramAddr bigger = allocator_.malloc(t, new_cap);
+        if (bigger == sim::kNullAddr)
+            return false;
+        // Copy the old array: staged read + write of `cap` bytes.
+        std::vector<uint8_t> tmp(cap);
+        mram.readBytes(addr, tmp.data(), cap);
+        mram.writeBytes(bigger, tmp.data(), cap);
+        t.dmaRead(addr, cap);
+        t.dmaWrite(bigger, cap);
+        const bool freed = allocator_.free(t, addr);
+        PIM_ASSERT(freed, "var-array grow freed an unknown block");
+        addr = bigger;
+        cap = new_cap;
+    }
+
+    mram.write<uint32_t>(addr + count * 4, v_global);
+    t.dmaWrite(addr + count * 4, 8);
+    ++count;
+    mram.write<uint32_t>(entry, addr);
+    mram.write<uint32_t>(entry + 4, cap);
+    mram.write<uint32_t>(entry + 8, count);
+    t.dmaWrite(entry, 12);
+    ++numEdges_;
+    return true;
+}
+
+uint64_t
+VarArrayGraph::degree(uint32_t u_local) const
+{
+    return dpu_.mram().read<uint32_t>(entryAddr(u_local) + 8);
+}
+
+std::vector<uint32_t>
+VarArrayGraph::neighbors(uint32_t u_local) const
+{
+    const sim::MramAddr addr =
+        dpu_.mram().read<uint32_t>(entryAddr(u_local));
+    const uint32_t count =
+        dpu_.mram().read<uint32_t>(entryAddr(u_local) + 8);
+    std::vector<uint32_t> out;
+    out.reserve(count);
+    for (uint32_t i = 0; i < count; ++i)
+        out.push_back(dpu_.mram().read<uint32_t>(addr + i * 4));
+    return out;
+}
+
+} // namespace pim::workloads::graph

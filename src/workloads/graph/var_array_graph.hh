@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The "variable-sized array" dynamic representation ([Busato et al.,
+ * Hornet HPEC'18] as cited by the paper): each node keeps all its edges
+ * in a single power-of-two array; on overflow the array is reallocated
+ * at twice the size and the contents copied. Allocation sizes therefore
+ * span 64 B .. 32 KB, exercising both the thread-cache and bypass paths
+ * of PIM-malloc.
+ *
+ * Node table entry (12 B): [addr:u32][capBytes:u32][count:u32].
+ */
+
+#ifndef PIM_WORKLOADS_GRAPH_VAR_ARRAY_GRAPH_HH
+#define PIM_WORKLOADS_GRAPH_VAR_ARRAY_GRAPH_HH
+
+#include "alloc/allocator.hh"
+#include "sim/dpu.hh"
+#include "workloads/graph/dynamic_graph.hh"
+
+namespace pim::workloads::graph {
+
+/** Growable per-node edge arrays for one DPU's shard. */
+class VarArrayGraph : public GraphStructure
+{
+  public:
+    /** Initial array allocation (paper: 64 B = 16 edges). */
+    static constexpr uint32_t kInitialBytes = 64;
+    /** Largest array (paper: 32 KB = 8192 edges). */
+    static constexpr uint32_t kMaxBytes = 32768;
+
+    VarArrayGraph(sim::Dpu &dpu, alloc::Allocator &allocator,
+                  sim::MramAddr table_base, uint32_t num_nodes);
+
+    void build(sim::Tasklet &t, const std::vector<Edge> &edges) override;
+    bool insertEdge(sim::Tasklet &t, uint32_t u_local,
+                    uint32_t v_global) override;
+    uint64_t degree(uint32_t u_local) const override;
+    std::vector<uint32_t> neighbors(uint32_t u_local) const override;
+    uint64_t edgeCount() const override { return numEdges_; }
+    std::string name() const override { return "Dynamic (variable sized array)"; }
+
+  private:
+    sim::MramAddr entryAddr(uint32_t u) const { return tableBase_ + u * 12; }
+
+    sim::Dpu &dpu_;
+    alloc::Allocator &allocator_;
+    sim::MramAddr tableBase_;
+    uint32_t numNodes_;
+    uint64_t numEdges_ = 0;
+};
+
+} // namespace pim::workloads::graph
+
+#endif // PIM_WORKLOADS_GRAPH_VAR_ARRAY_GRAPH_HH

@@ -1,0 +1,109 @@
+#include "workloads/llm/kv_cache.hh"
+
+#include "alloc/pim_malloc.hh"
+#include "core/allocator_factory.hh"
+#include "sim/dpu.hh"
+#include "util/logging.hh"
+#include "workloads/llm/llm_config.hh"
+
+namespace pim::workloads::llm {
+
+KvCacheManager::KvCacheManager(alloc::Allocator &allocator,
+                               uint32_t block_bytes)
+    : allocator_(allocator), blockBytes_(block_bytes)
+{
+    PIM_ASSERT(block_bytes > 0, "block size must be positive");
+}
+
+bool
+KvCacheManager::appendBytes(sim::Tasklet &t, unsigned req, uint64_t bytes)
+{
+    Request &r = requests_[req];
+    uint64_t need = bytes;
+    while (need > 0) {
+        const uint64_t capacity =
+            static_cast<uint64_t>(r.blocks.size()) * blockBytes_;
+        const uint64_t space = capacity - r.bytesUsed;
+        if (space == 0) {
+            const sim::MramAddr blk = allocator_.malloc(t, blockBytes_);
+            if (blk == sim::kNullAddr)
+                return false;
+            r.blocks.push_back(blk);
+            ++totalBlocks_;
+            continue;
+        }
+        const uint64_t take = std::min(space, need);
+        r.bytesUsed += take;
+        bytesStored_ += take;
+        need -= take;
+    }
+    return true;
+}
+
+void
+KvCacheManager::releaseRequest(sim::Tasklet &t, unsigned req)
+{
+    auto it = requests_.find(req);
+    if (it == requests_.end())
+        return;
+    for (const sim::MramAddr blk : it->second.blocks) {
+        const bool ok = allocator_.free(t, blk);
+        PIM_ASSERT(ok, "KV block double free");
+        --totalBlocks_;
+    }
+    bytesStored_ -= it->second.bytesUsed;
+    requests_.erase(it);
+}
+
+size_t
+KvCacheManager::blockCount(unsigned req) const
+{
+    auto it = requests_.find(req);
+    return it == requests_.end() ? 0 : it->second.blocks.size();
+}
+
+BatchCapacityResult
+measureBatchCapacity(const LlmModelConfig &model,
+                     const RequestLengthConfig &lengths,
+                     unsigned num_dpus, uint64_t seed)
+{
+    BatchCapacityResult res;
+    const uint64_t per_token = model.kvBytesPerTokenPerDpu(num_dpus);
+
+    // Static: PAISE-style, every request slot reserves the worst case.
+    alloc::PimMallocConfig heap_cfg;
+    res.heapBytes = heap_cfg.heapBytes;
+    res.staticReserveBytesPerRequest = per_token * lengths.maxSeqLen;
+    res.staticMaxBatch = static_cast<unsigned>(
+        res.heapBytes / res.staticReserveBytesPerRequest);
+
+    // Dynamic: admit sampled requests against the real allocator until
+    // the heap cannot hold another one.
+    util::Rng rng(seed);
+    sim::Dpu dpu;
+    auto allocator =
+        core::makeAllocator(dpu, core::AllocatorKind::PimMallocSw);
+    KvCacheManager kv(*allocator);
+
+    unsigned admitted = 0;
+    uint64_t actual_bytes_sum = 0;
+    dpu.run(1, [&](sim::Tasklet &t) { allocator->init(t); });
+    dpu.run(1, [&](sim::Tasklet &t) {
+        for (;;) {
+            const RequestLengths r = sampleRequest(lengths, rng);
+            const uint64_t bytes = per_token * r.totalTokens();
+            if (!kv.appendBytes(t, admitted, bytes)) {
+                kv.releaseRequest(t, admitted);
+                break;
+            }
+            actual_bytes_sum += bytes;
+            ++admitted;
+        }
+    });
+    res.dynamicMaxBatch = admitted;
+    res.meanActualBytesPerRequest = admitted
+        ? static_cast<double>(actual_bytes_sum) / admitted : 0.0;
+    return res;
+}
+
+} // namespace pim::workloads::llm

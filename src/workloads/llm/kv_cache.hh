@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Per-DPU KV-cache management for PIM-offloaded attention. Following the
+ * paper's kernel design (Section V), each request's per-DPU KV slice
+ * grows in fixed 512 B blocks allocated with pimMalloc() whenever the
+ * existing space is exhausted; releasing a request frees all its blocks.
+ * Also provides the static-reservation baseline used by PAISE-style
+ * serving (one worst-case slab per request slot).
+ */
+
+#ifndef PIM_WORKLOADS_LLM_KV_CACHE_HH
+#define PIM_WORKLOADS_LLM_KV_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/allocator.hh"
+#include "sim/tasklet.hh"
+
+namespace pim::workloads::llm {
+
+/** Dynamic (pimMalloc-backed) KV cache for one DPU. */
+class KvCacheManager
+{
+  public:
+    /**
+     * @param allocator  the allocator under evaluation.
+     * @param block_bytes growth granularity (paper: 512 B).
+     */
+    explicit KvCacheManager(alloc::Allocator &allocator,
+                            uint32_t block_bytes = 512);
+
+    /**
+     * Append @p bytes of KV state for request @p req (one or more
+     * tokens). Allocates new blocks as needed.
+     * @return false if the allocator ran out of heap (the request's
+     *         existing blocks stay intact).
+     */
+    bool appendBytes(sim::Tasklet &t, unsigned req, uint64_t bytes);
+
+    /** Free every block of request @p req. */
+    void releaseRequest(sim::Tasklet &t, unsigned req);
+
+    /** Blocks currently held by request @p req. */
+    size_t blockCount(unsigned req) const;
+
+    /** Total KV bytes stored (exact, before block rounding). */
+    uint64_t bytesStored() const { return bytesStored_; }
+
+    /** Total blocks across all requests. */
+    uint64_t totalBlocks() const { return totalBlocks_; }
+
+    /** Active request count. */
+    size_t activeRequests() const { return requests_.size(); }
+
+  private:
+    struct Request
+    {
+        std::vector<sim::MramAddr> blocks;
+        uint64_t bytesUsed = 0; ///< exact bytes, grows monotonically
+    };
+
+    alloc::Allocator &allocator_;
+    uint32_t blockBytes_;
+    std::unordered_map<unsigned, Request> requests_;
+    uint64_t bytesStored_ = 0;
+    uint64_t totalBlocks_ = 0;
+};
+
+/** Result of the Fig 4(b) maximum-batch-size experiment. */
+struct BatchCapacityResult
+{
+    unsigned staticMaxBatch = 0;  ///< PAISE-style worst-case reservation
+    unsigned dynamicMaxBatch = 0; ///< pimMalloc-backed growth
+    uint64_t heapBytes = 0;
+    uint64_t staticReserveBytesPerRequest = 0;
+    double meanActualBytesPerRequest = 0.0;
+};
+
+/**
+ * Measure the maximum concurrent batch under static vs dynamic KV
+ * allocation (Fig 4(b)): requests with ShareGPT-like lengths are
+ * admitted one at a time until the per-DPU heap is exhausted. The
+ * dynamic path runs the real allocator on a simulated DPU.
+ */
+BatchCapacityResult
+measureBatchCapacity(const struct LlmModelConfig &model,
+                     const struct RequestLengthConfig &lengths,
+                     unsigned num_dpus, uint64_t seed);
+
+} // namespace pim::workloads::llm
+
+#endif // PIM_WORKLOADS_LLM_KV_CACHE_HH

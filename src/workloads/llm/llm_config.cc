@@ -1,0 +1,28 @@
+#include "workloads/llm/llm_config.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pim::workloads::llm {
+
+RequestLengths
+sampleRequest(const RequestLengthConfig &cfg, util::Rng &rng)
+{
+    auto draw = [&](double mu, double sigma) {
+        const double x = rng.logNormal(mu, sigma);
+        return static_cast<unsigned>(std::max(1.0, std::round(x)));
+    };
+    RequestLengths r;
+    r.promptTokens = draw(cfg.promptMu, cfg.promptSigma);
+    r.outputTokens = draw(cfg.outputMu, cfg.outputSigma);
+    // Clamp to the serving window, preserving at least one output token.
+    if (r.promptTokens >= cfg.maxSeqLen)
+        r.promptTokens = cfg.maxSeqLen - 1;
+    r.outputTokens =
+        std::min<unsigned>(r.outputTokens, cfg.maxSeqLen - r.promptTokens);
+    if (r.outputTokens == 0)
+        r.outputTokens = 1;
+    return r;
+}
+
+} // namespace pim::workloads::llm

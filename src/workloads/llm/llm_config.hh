@@ -1,0 +1,79 @@
+/**
+ * @file
+ * LLM model and request-length configuration for the attention-offload
+ * case study (Section III-A case #2, Section V, Fig 4, Fig 18). The
+ * model geometry is Llama-2 7B; request lengths follow a ShareGPT-like
+ * lognormal fit (the actual ShareGPT dump is not available offline; the
+ * fit matches its published mean prompt/output lengths of ~161/~338
+ * tokens).
+ */
+
+#ifndef PIM_WORKLOADS_LLM_LLM_CONFIG_HH
+#define PIM_WORKLOADS_LLM_LLM_CONFIG_HH
+
+#include <cstdint>
+
+#include "util/rng.hh"
+
+namespace pim::workloads::llm {
+
+/** Transformer geometry (defaults: Llama-2 7B). */
+struct LlmModelConfig
+{
+    unsigned numLayers = 32;
+    unsigned hiddenDim = 4096;
+    unsigned numHeads = 32;
+    unsigned bytesPerValue = 2; ///< fp16
+
+    /**
+     * KV-cache bytes one token adds across the whole model:
+     * 2 (K and V) x layers x hidden x bytes = 512 KiB for Llama-2 7B.
+     */
+    uint64_t
+    kvBytesPerToken() const
+    {
+        return 2ull * numLayers * hiddenDim * bytesPerValue;
+    }
+
+    /** Per-DPU share when the KV cache is sharded across @p n DPUs. */
+    uint64_t
+    kvBytesPerTokenPerDpu(unsigned n) const
+    {
+        return (kvBytesPerToken() + n - 1) / n;
+    }
+};
+
+/** ShareGPT-like request length distribution. */
+struct RequestLengthConfig
+{
+    /** Lognormal parameters of the prompt length (mean ~161 tokens). */
+    double promptMu = 4.38;
+    double promptSigma = 1.18;
+    /** Lognormal parameters of the output length (mean ~338 tokens). */
+    double outputMu = 5.12;
+    double outputSigma = 1.18;
+    /** Serving-config cap on prompt+output (PAISE-style static
+     *  allocation reserves for this worst case). */
+    unsigned maxSeqLen = 2048;
+};
+
+/** One sampled request. */
+struct RequestLengths
+{
+    unsigned promptTokens;
+    unsigned outputTokens;
+
+    unsigned
+    totalTokens() const
+    {
+        return promptTokens + outputTokens;
+    }
+};
+
+/** Sample one request's lengths (clamped to the maxSeqLen cap). */
+RequestLengths sampleRequest(const RequestLengthConfig &cfg,
+                             util::Rng &rng);
+
+} // namespace pim::workloads::llm
+
+#endif // PIM_WORKLOADS_LLM_LLM_CONFIG_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the allocator factory: kind naming, parsing, paper-default
+ * construction, and override plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/pim_malloc.hh"
+#include "alloc/straw_man.hh"
+#include "core/allocator_factory.hh"
+#include "sim/dpu.hh"
+
+using namespace pim;
+using namespace pim::core;
+
+TEST(AllocatorFactory, NamesRoundTrip)
+{
+    for (auto kind : kAllKinds) {
+        const std::string name = allocatorKindName(kind);
+        EXPECT_EQ(allocatorKindFromName(name), kind) << name;
+    }
+}
+
+TEST(AllocatorFactory, ShortNames)
+{
+    EXPECT_EQ(allocatorKindFromName("straw-man"), AllocatorKind::StrawMan);
+    EXPECT_EQ(allocatorKindFromName("sw"), AllocatorKind::PimMallocSw);
+    EXPECT_EQ(allocatorKindFromName("hwsw"), AllocatorKind::PimMallocHwSw);
+    EXPECT_EQ(allocatorKindFromName("sw-lazy"),
+              AllocatorKind::PimMallocSwLazy);
+}
+
+TEST(AllocatorFactoryDeath, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(allocatorKindFromName("bogus"), "unknown allocator");
+}
+
+TEST(AllocatorFactory, BuildsEveryKind)
+{
+    for (auto kind : kAllKinds) {
+        sim::Dpu dpu;
+        auto a = makeAllocator(dpu, kind);
+        ASSERT_NE(a, nullptr);
+        EXPECT_EQ(a->name() == allocatorKindName(kind)
+                      || kind == AllocatorKind::StrawMan,
+                  true);
+        dpu.run(1, [&](sim::Tasklet &t) {
+            a->init(t);
+            const auto p = a->malloc(t, 64);
+            EXPECT_NE(p, sim::kNullAddr);
+            EXPECT_TRUE(a->free(t, p));
+        });
+    }
+}
+
+TEST(AllocatorFactory, StrawManPaperDefaults)
+{
+    sim::Dpu dpu;
+    auto a = makeAllocator(dpu, AllocatorKind::StrawMan);
+    auto *sm = dynamic_cast<alloc::StrawManAllocator *>(a.get());
+    ASSERT_NE(sm, nullptr);
+    EXPECT_EQ(sm->config().heapBytes, 32u << 20);
+    EXPECT_EQ(sm->config().minBlock, 32u);
+    EXPECT_EQ(sm->config().metadata, alloc::MetadataMode::SwBuffer);
+}
+
+TEST(AllocatorFactory, OverridesApplied)
+{
+    sim::Dpu dpu;
+    AllocatorOverrides ov;
+    ov.heapBytes = 1u << 20;
+    ov.numTasklets = 8;
+    auto a = makeAllocator(dpu, AllocatorKind::PimMallocSw, ov);
+    auto *pm = dynamic_cast<alloc::PimMallocAllocator *>(a.get());
+    ASSERT_NE(pm, nullptr);
+    EXPECT_EQ(pm->config().heapBytes, 1u << 20);
+    EXPECT_EQ(pm->config().numTasklets, 8u);
+}
+
+TEST(AllocatorFactory, LazyKindsDisablePrePopulation)
+{
+    sim::Dpu d1, d2;
+    auto lazy = makeAllocator(d1, AllocatorKind::PimMallocHwSwLazy);
+    auto *pm = dynamic_cast<alloc::PimMallocAllocator *>(lazy.get());
+    ASSERT_NE(pm, nullptr);
+    EXPECT_FALSE(pm->config().prePopulate);
+    EXPECT_EQ(pm->config().metadata, alloc::MetadataMode::HwCache);
+}

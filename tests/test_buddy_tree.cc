@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for the buddy tree: geometry, allocation/free semantics,
+ * alignment and non-overlap invariants, merge behaviour, fullness
+ * pruning, exhaustion, and differential randomized testing against a
+ * simple host-side reference allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "alloc/buddy_tree.hh"
+#include "sim/dpu.hh"
+#include "util/rng.hh"
+
+using namespace pim;
+using namespace pim::alloc;
+
+namespace {
+
+/** Fixture with a small direct-store tree for fast functional tests. */
+class BuddyTreeTest : public ::testing::Test
+{
+  protected:
+    static constexpr uint32_t kHeap = 64 * 1024;
+    static constexpr uint32_t kMin = 64;
+    static constexpr sim::MramAddr kHeapBase = 4096;
+
+    BuddyTreeTest()
+        : store(dpu, 0, BuddyTree::nodesFor(kHeap, kMin)),
+          tree(store, kHeapBase, kHeap, kMin)
+    {
+    }
+
+    void
+    run(const std::function<void(sim::Tasklet &)> &fn)
+    {
+        dpu.run(1, [&](sim::Tasklet &t) {
+            t.execute(1);
+            fn(t);
+        });
+    }
+
+    sim::Dpu dpu;
+    DirectStore store;
+    BuddyTree tree;
+};
+
+} // namespace
+
+TEST_F(BuddyTreeTest, Geometry)
+{
+    // 64 KB / 64 B = 1024 leaves -> 11 levels, 2047 nodes.
+    EXPECT_EQ(tree.levels(), 11u);
+    EXPECT_EQ(tree.numNodes(), 2047u);
+    EXPECT_EQ(tree.blockSize(0), kHeap);
+    EXPECT_EQ(tree.blockSize(10), kMin);
+    EXPECT_EQ(BuddyTree::nodesFor(kHeap, kMin), 2047u);
+}
+
+TEST_F(BuddyTreeTest, PaperTreeDepths)
+{
+    // Section III-B: 32 MB / 32 B needs a 20-split (21-level) tree with
+    // 512 KB of metadata; Section IV-A: 32 MB / 4 KB needs 13 splits
+    // (14 levels) and 4 KB of metadata.
+    EXPECT_EQ(BuddyTree::nodesFor(32u << 20, 32), (1u << 21) - 1);
+    EXPECT_EQ(((1u << 21) / 16) * 4, 512u << 10);
+    EXPECT_EQ(BuddyTree::nodesFor(32u << 20, 4096), (1u << 14) - 1);
+    EXPECT_EQ(((1u << 14) / 16) * 4, 4u << 10);
+}
+
+TEST_F(BuddyTreeTest, RoundSize)
+{
+    EXPECT_EQ(tree.roundSize(1), kMin);
+    EXPECT_EQ(tree.roundSize(64), 64u);
+    EXPECT_EQ(tree.roundSize(65), 128u);
+    EXPECT_EQ(tree.roundSize(1000), 1024u);
+    EXPECT_EQ(tree.roundSize(kHeap), kHeap);
+}
+
+TEST_F(BuddyTreeTest, FirstAllocationAtHeapBase)
+{
+    run([&](sim::Tasklet &t) {
+        EXPECT_EQ(tree.alloc(t, 64), kHeapBase);
+    });
+}
+
+TEST_F(BuddyTreeTest, WholeHeapAllocation)
+{
+    run([&](sim::Tasklet &t) {
+        EXPECT_EQ(tree.alloc(t, kHeap), kHeapBase);
+        EXPECT_EQ(tree.alloc(t, 64), sim::kNullAddr); // nothing left
+        EXPECT_EQ(tree.free(t, kHeapBase), kHeap);
+        EXPECT_NE(tree.alloc(t, 64), sim::kNullAddr);
+    });
+}
+
+TEST_F(BuddyTreeTest, OversizeRequestFails)
+{
+    run([&](sim::Tasklet &t) {
+        EXPECT_EQ(tree.alloc(t, kHeap + 1), sim::kNullAddr);
+        EXPECT_EQ(tree.stats().failures, 1u);
+    });
+}
+
+TEST_F(BuddyTreeTest, BlocksAreAlignedToTheirSize)
+{
+    run([&](sim::Tasklet &t) {
+        for (uint32_t size : {64u, 128u, 256u, 1024u, 4096u}) {
+            const sim::MramAddr a = tree.alloc(t, size);
+            ASSERT_NE(a, sim::kNullAddr);
+            EXPECT_EQ((a - kHeapBase) % size, 0u)
+                << "size " << size << " misaligned";
+        }
+    });
+}
+
+TEST_F(BuddyTreeTest, NoOverlapAmongLiveBlocks)
+{
+    run([&](sim::Tasklet &t) {
+        std::map<sim::MramAddr, uint32_t> live; // addr -> rounded size
+        util::Rng rng(99);
+        for (int i = 0; i < 300; ++i) {
+            const uint32_t size =
+                64u << rng.uniformInt(5); // 64..1024
+            const sim::MramAddr a = tree.alloc(t, size);
+            if (a == sim::kNullAddr) {
+                // Free something and move on.
+                if (!live.empty()) {
+                    auto it = live.begin();
+                    EXPECT_EQ(tree.free(t, it->first), it->second);
+                    live.erase(it);
+                }
+                continue;
+            }
+            const uint32_t rounded = tree.roundSize(size);
+            // Check non-overlap against all live blocks.
+            for (const auto &[base, len] : live) {
+                const bool disjoint =
+                    a + rounded <= base || base + len <= a;
+                ASSERT_TRUE(disjoint)
+                    << "overlap: [" << a << "," << a + rounded << ") vs ["
+                    << base << "," << base + len << ")";
+            }
+            live[a] = rounded;
+        }
+    });
+}
+
+TEST_F(BuddyTreeTest, FreeMergesBuddies)
+{
+    run([&](sim::Tasklet &t) {
+        const sim::MramAddr a = tree.alloc(t, 64);
+        const sim::MramAddr b = tree.alloc(t, 64);
+        ASSERT_NE(a, sim::kNullAddr);
+        ASSERT_NE(b, sim::kNullAddr);
+        tree.free(t, a);
+        tree.free(t, b);
+        // After merging all the way up, the whole heap is allocatable.
+        EXPECT_EQ(tree.alloc(t, kHeap), kHeapBase);
+    });
+}
+
+TEST_F(BuddyTreeTest, PartialMergeBlockedByLiveBuddy)
+{
+    run([&](sim::Tasklet &t) {
+        const sim::MramAddr a = tree.alloc(t, 64);
+        const sim::MramAddr b = tree.alloc(t, 64);
+        (void)b;
+        tree.free(t, a);
+        // b still live: the whole heap must not be allocatable.
+        EXPECT_EQ(tree.alloc(t, kHeap), sim::kNullAddr);
+    });
+}
+
+TEST_F(BuddyTreeTest, DoubleFreeRejected)
+{
+    run([&](sim::Tasklet &t) {
+        const sim::MramAddr a = tree.alloc(t, 128);
+        EXPECT_EQ(tree.free(t, a), 128u);
+        EXPECT_EQ(tree.free(t, a), 0u);
+    });
+}
+
+TEST_F(BuddyTreeTest, WildPointerRejected)
+{
+    run([&](sim::Tasklet &t) {
+        EXPECT_EQ(tree.free(t, kHeapBase + 64), 0u); // never allocated
+        EXPECT_EQ(tree.free(t, 0), 0u);              // outside the heap
+        EXPECT_EQ(tree.free(t, kHeapBase + kHeap + 64), 0u);
+        tree.alloc(t, 256);
+        EXPECT_EQ(tree.free(t, kHeapBase + 64), 0u); // interior pointer
+    });
+}
+
+TEST_F(BuddyTreeTest, MisalignedPointerRejected)
+{
+    run([&](sim::Tasklet &t) {
+        tree.alloc(t, 64);
+        EXPECT_EQ(tree.free(t, kHeapBase + 13), 0u);
+    });
+}
+
+TEST_F(BuddyTreeTest, AllocatedBytesTracksRoundedSizes)
+{
+    run([&](sim::Tasklet &t) {
+        EXPECT_EQ(tree.allocatedBytes(), 0u);
+        const sim::MramAddr a = tree.alloc(t, 100); // rounds to 128
+        EXPECT_EQ(tree.allocatedBytes(), 128u);
+        tree.alloc(t, 64);
+        EXPECT_EQ(tree.allocatedBytes(), 192u);
+        tree.free(t, a);
+        EXPECT_EQ(tree.allocatedBytes(), 64u);
+    });
+}
+
+TEST_F(BuddyTreeTest, ExhaustionAndFullRecovery)
+{
+    run([&](sim::Tasklet &t) {
+        std::vector<sim::MramAddr> blocks;
+        for (;;) {
+            const sim::MramAddr a = tree.alloc(t, kMin);
+            if (a == sim::kNullAddr)
+                break;
+            blocks.push_back(a);
+        }
+        EXPECT_EQ(blocks.size(), kHeap / kMin);
+        // Every address distinct.
+        std::set<sim::MramAddr> uniq(blocks.begin(), blocks.end());
+        EXPECT_EQ(uniq.size(), blocks.size());
+        for (const auto a : blocks)
+            EXPECT_EQ(tree.free(t, a), kMin);
+        EXPECT_EQ(tree.allocatedBytes(), 0u);
+        EXPECT_EQ(tree.alloc(t, kHeap), kHeapBase);
+    });
+}
+
+TEST_F(BuddyTreeTest, FullPruningBoundsTraversal)
+{
+    run([&](sim::Tasklet &t) {
+        // Fill the left half leaf by leaf, then allocate once more: the
+        // search must not revisit every allocated leaf thanks to Full
+        // pruning.
+        for (uint32_t i = 0; i < kHeap / kMin / 2; ++i)
+            ASSERT_NE(tree.alloc(t, kMin), sim::kNullAddr);
+        const uint64_t visits_before = tree.stats().nodesVisited;
+        ASSERT_NE(tree.alloc(t, kMin), sim::kNullAddr);
+        const uint64_t visits = tree.stats().nodesVisited - visits_before;
+        // A pruned search touches O(depth) nodes, far fewer than the
+        // 512 allocated leaves.
+        EXPECT_LT(visits, 4 * tree.levels());
+    });
+}
+
+TEST_F(BuddyTreeTest, VisitsPerAllocStatistic)
+{
+    run([&](sim::Tasklet &t) {
+        tree.alloc(t, kMin);
+        EXPECT_GT(tree.stats().visitsPerAlloc(), 0.0);
+        EXPECT_EQ(tree.stats().allocs, 1u);
+    });
+}
+
+/**
+ * Differential test: the buddy tree against a host-side reference that
+ * tracks live intervals; verifies no overlap, correct sizes, and that
+ * free/alloc agree over long random runs across store types.
+ */
+class BuddyTreeRandomized
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(BuddyTreeRandomized, LongRandomRunKeepsInvariants)
+{
+    const auto [seed, mode] = GetParam();
+    sim::Dpu dpu;
+    const uint32_t heap = 1u << 20;
+    const uint32_t min_block = 256;
+    const uint32_t nodes = BuddyTree::nodesFor(heap, min_block);
+    std::unique_ptr<MetadataStore> store;
+    switch (mode) {
+      case 0:
+        store = std::make_unique<DirectStore>(dpu, 0, nodes);
+        break;
+      case 1:
+        store = std::make_unique<SwBufferStore>(dpu, 0, nodes, 128);
+        break;
+      default:
+        store = std::make_unique<HwCacheStore>(dpu, 0, nodes);
+        break;
+    }
+    BuddyTree tree(*store, 1 << 16, heap, min_block);
+
+    dpu.run(1, [&](sim::Tasklet &t) {
+        t.execute(1);
+        util::Rng rng(static_cast<uint64_t>(seed));
+        std::map<sim::MramAddr, uint32_t> live;
+        uint64_t expected_allocated = 0;
+        for (int i = 0; i < 2000; ++i) {
+            if (live.empty() || rng.bernoulli(0.6)) {
+                const uint32_t size = static_cast<uint32_t>(
+                    rng.uniformRange(1, 8192));
+                const sim::MramAddr a = tree.alloc(t, size);
+                if (a == sim::kNullAddr)
+                    continue;
+                const uint32_t rounded = tree.roundSize(size);
+                // Alignment + containment.
+                ASSERT_EQ((a - (1u << 16)) % rounded, 0u);
+                ASSERT_LE(a + rounded, (1u << 16) + heap);
+                // Non-overlap with neighbors in the interval map.
+                auto next = live.lower_bound(a);
+                if (next != live.end())
+                    ASSERT_LE(a + rounded, next->first);
+                if (next != live.begin()) {
+                    auto prev = std::prev(next);
+                    ASSERT_LE(prev->first + prev->second, a);
+                }
+                live[a] = rounded;
+                expected_allocated += rounded;
+            } else {
+                auto it = live.begin();
+                std::advance(it, static_cast<long>(
+                                 rng.uniformInt(live.size())));
+                ASSERT_EQ(tree.free(t, it->first), it->second);
+                expected_allocated -= it->second;
+                live.erase(it);
+            }
+            ASSERT_EQ(tree.allocatedBytes(), expected_allocated);
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndStores, BuddyTreeRandomized,
+    ::testing::Combine(::testing::Values(11, 22, 33),
+                       ::testing::Values(0, 1, 2)));

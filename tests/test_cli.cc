@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the CLI flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/cli.hh"
+
+using pim::util::Cli;
+
+namespace {
+
+Cli
+parse(std::vector<const char *> args, const std::string &known = "")
+{
+    args.insert(args.begin(), "prog");
+    return Cli(static_cast<int>(args.size()),
+               const_cast<char **>(args.data()), known);
+}
+
+} // namespace
+
+TEST(Cli, EqualsForm)
+{
+    auto c = parse({"--name=value"});
+    EXPECT_TRUE(c.has("name"));
+    EXPECT_EQ(c.get("name", ""), "value");
+}
+
+TEST(Cli, SpaceForm)
+{
+    auto c = parse({"--n", "42"});
+    EXPECT_EQ(c.getInt("n", 0), 42);
+}
+
+TEST(Cli, BooleanFlag)
+{
+    auto c = parse({"--verbose"});
+    EXPECT_TRUE(c.getBool("verbose", false));
+    EXPECT_FALSE(c.getBool("quiet", false));
+}
+
+TEST(Cli, BooleanFalseValue)
+{
+    auto c = parse({"--verbose=false", "--x=0"});
+    EXPECT_FALSE(c.getBool("verbose", true));
+    EXPECT_FALSE(c.getBool("x", true));
+}
+
+TEST(Cli, Defaults)
+{
+    auto c = parse({});
+    EXPECT_EQ(c.get("missing", "def"), "def");
+    EXPECT_EQ(c.getInt("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(c.getDouble("missing", 2.5), 2.5);
+}
+
+TEST(Cli, DoubleParsing)
+{
+    auto c = parse({"--rate=0.25"});
+    EXPECT_DOUBLE_EQ(c.getDouble("rate", 0), 0.25);
+}
+
+TEST(Cli, KnownListAccepts)
+{
+    auto c = parse({"--a=1", "--b=2"}, "a,b,c");
+    EXPECT_EQ(c.getInt("a", 0), 1);
+}
+
+TEST(CliDeath, UnknownFlagIsFatal)
+{
+    EXPECT_DEATH(parse({"--oops=1"}, "a,b"), "unknown flag");
+}
+
+TEST(CliDeath, PositionalIsFatal)
+{
+    EXPECT_DEATH(parse({"positional"}), "positional");
+}

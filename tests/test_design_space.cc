@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the Table I / Fig 6 design-space model: strategy naming,
+ * metadata sizing, scaling shapes (who grows with DPU count, who stays
+ * flat), and the latency-breakdown characteristics of Fig 6(b).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design_space.hh"
+
+using namespace pim;
+using namespace pim::core;
+
+namespace {
+
+DesignSpaceParams
+fastParams(unsigned dpus)
+{
+    DesignSpaceParams p;
+    p.numDpus = dpus;
+    p.allocsPerDpu = 16; // fewer rounds keeps tests quick
+    p.allocCfg.heapBytes = 1u << 20;
+    return p;
+}
+
+} // namespace
+
+TEST(DesignSpace, StrategyNames)
+{
+    EXPECT_STREQ(designStrategyName(DesignStrategy::PimMetaPimExec),
+                 "PIM-Metadata/PIM-Executed");
+    EXPECT_STREQ(designStrategyName(DesignStrategy::HostMetaHostExec),
+                 "Host-Metadata/Host-Executed");
+}
+
+TEST(DesignSpace, PaperMetadataSize)
+{
+    alloc::StrawManConfig cfg; // 32 MB / 32 B
+    EXPECT_EQ(metadataBytesPerDpu(cfg), 512u << 10);
+}
+
+TEST(DesignSpace, PimPimIsFlatAcrossDpuCounts)
+{
+    const auto r1 =
+        evalStrategy(DesignStrategy::PimMetaPimExec, fastParams(1));
+    const auto r512 =
+        evalStrategy(DesignStrategy::PimMetaPimExec, fastParams(512));
+    // DPUs allocate locally and in parallel: latency independent of N.
+    EXPECT_NEAR(r1.totalSeconds(), r512.totalSeconds(),
+                r1.totalSeconds() * 0.01);
+}
+
+TEST(DesignSpace, TransferHeavyStrategiesGrowWithDpus)
+{
+    for (auto s : {DesignStrategy::HostMetaPimExec,
+                   DesignStrategy::PimMetaHostExec}) {
+        const auto r32 = evalStrategy(s, fastParams(32));
+        const auto r512 = evalStrategy(s, fastParams(512));
+        EXPECT_GT(r512.totalSeconds(), 3.0 * r32.totalSeconds())
+            << designStrategyName(s);
+    }
+}
+
+TEST(DesignSpace, HostHostGrowsWithDpus)
+{
+    const auto r32 =
+        evalStrategy(DesignStrategy::HostMetaHostExec, fastParams(32));
+    const auto r512 =
+        evalStrategy(DesignStrategy::HostMetaHostExec, fastParams(512));
+    EXPECT_GT(r512.totalSeconds(), 2.0 * r32.totalSeconds());
+}
+
+TEST(DesignSpace, PimPimWinsAtScale)
+{
+    // Fig 6(a): at 512 DPUs, PIM-Metadata/PIM-Executed is the fastest
+    // strategy by a wide margin.
+    const auto p = fastParams(512);
+    const double pim_pim =
+        evalStrategy(DesignStrategy::PimMetaPimExec, p).totalSeconds();
+    for (auto s : {DesignStrategy::HostMetaHostExec,
+                   DesignStrategy::HostMetaPimExec,
+                   DesignStrategy::PimMetaHostExec}) {
+        EXPECT_GT(evalStrategy(s, p).totalSeconds(), 2.0 * pim_pim)
+            << designStrategyName(s);
+    }
+}
+
+TEST(DesignSpace, BreakdownShapes)
+{
+    // Fig 6(b): metadata-moving strategies are transfer-dominated;
+    // PIM-PIM is compute-dominated.
+    const auto p = fastParams(512);
+    EXPECT_GT(evalStrategy(DesignStrategy::HostMetaPimExec, p)
+                  .transferFraction(),
+              0.5);
+    EXPECT_GT(evalStrategy(DesignStrategy::PimMetaHostExec, p)
+                  .transferFraction(),
+              0.5);
+    EXPECT_LT(evalStrategy(DesignStrategy::PimMetaPimExec, p)
+                  .transferFraction(),
+              0.5);
+}
+
+TEST(DesignSpace, TransferScalesWithMetadataSize)
+{
+    auto p_small = fastParams(128);
+    auto p_large = fastParams(128);
+    p_small.allocCfg.heapBytes = 1u << 20;
+    p_large.allocCfg.heapBytes = 32u << 20;
+    const auto small =
+        evalStrategy(DesignStrategy::HostMetaPimExec, p_small);
+    const auto large =
+        evalStrategy(DesignStrategy::HostMetaPimExec, p_large);
+    EXPECT_GT(large.transferSeconds, 4.0 * small.transferSeconds);
+}

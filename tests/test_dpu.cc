@@ -1,0 +1,93 @@
+/**
+ * @file
+ * DPU-level tests: configuration defaults, launch mechanics, repeated
+ * launches, and time conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dpu.hh"
+
+using namespace pim::sim;
+
+TEST(Dpu, UpmemDefaults)
+{
+    Dpu dpu;
+    EXPECT_EQ(dpu.config().mramBytes, 64u << 20);
+    EXPECT_EQ(dpu.config().wramBytes, 64u << 10);
+    EXPECT_EQ(dpu.config().maxTasklets, 24u);
+    EXPECT_DOUBLE_EQ(dpu.config().clockGhz, 0.35);
+    EXPECT_EQ(dpu.mram().size(), 64u << 20);
+    EXPECT_EQ(dpu.wram().size(), 64u << 10);
+}
+
+TEST(Dpu, CycleConversion)
+{
+    DpuConfig cfg;
+    cfg.clockGhz = 0.35;
+    // 350 cycles at 350 MHz = 1 us.
+    EXPECT_NEAR(cfg.cyclesToMicros(350), 1.0, 1e-9);
+    EXPECT_NEAR(cfg.cyclesToSeconds(350'000'000), 1.0, 1e-9);
+}
+
+TEST(Dpu, RunReturnsMakespan)
+{
+    Dpu dpu;
+    const uint64_t c = dpu.run(2, [](Tasklet &t) {
+        t.execute(t.id() == 0 ? 1 : 7);
+    });
+    EXPECT_EQ(c, dpu.lastElapsedCycles());
+    EXPECT_EQ(c, 7u * 11u);
+}
+
+TEST(Dpu, SequentialLaunchesIndependentClocks)
+{
+    Dpu dpu;
+    dpu.run(1, [](Tasklet &t) { t.execute(100); });
+    const uint64_t first = dpu.lastElapsedCycles();
+    dpu.run(1, [](Tasklet &t) { t.execute(1); });
+    EXPECT_LT(dpu.lastElapsedCycles(), first);
+}
+
+TEST(Dpu, StatePersistsAcrossLaunches)
+{
+    Dpu dpu;
+    dpu.run(1, [&](Tasklet &t) {
+        t.dpu().mram().write<uint32_t>(1000, 7);
+        t.execute(1);
+    });
+    uint32_t seen = 0;
+    dpu.run(1, [&](Tasklet &t) {
+        seen = t.dpu().mram().read<uint32_t>(1000);
+        t.execute(1);
+    });
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(Dpu, MaxTaskletsLaunchWorks)
+{
+    Dpu dpu;
+    unsigned count = 0;
+    dpu.run(24, [&](Tasklet &t) {
+        ++count;
+        t.execute(1);
+    });
+    EXPECT_EQ(count, 24u);
+}
+
+TEST(Dpu, CustomConfigPropagates)
+{
+    DpuConfig cfg;
+    cfg.mramBytes = 1u << 20;
+    cfg.pipelineIssueInterval = 5;
+    Dpu dpu(cfg);
+    EXPECT_EQ(dpu.mram().size(), 1u << 20);
+    dpu.run(1, [](Tasklet &t) { t.execute(10); });
+    EXPECT_EQ(dpu.lastElapsedCycles(), 50u);
+}
+
+TEST(DpuDeath, EmptyLaunchPanics)
+{
+    Dpu dpu;
+    EXPECT_DEATH(dpu.runBodies({}), "at least one tasklet");
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the ucontext fiber primitive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fiber.hh"
+
+using pim::sim::Fiber;
+
+TEST(Fiber, RunsToCompletionOnFirstResume)
+{
+    int ran = 0;
+    Fiber f([&] { ran = 1; });
+    EXPECT_FALSE(f.finished());
+    f.resume();
+    EXPECT_TRUE(f.finished());
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes)
+{
+    std::vector<int> order;
+    Fiber f([&] {
+        order.push_back(1);
+        Fiber::yield();
+        order.push_back(3);
+    });
+    f.resume();
+    order.push_back(2);
+    EXPECT_FALSE(f.finished());
+    f.resume();
+    EXPECT_TRUE(f.finished());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Fiber, ManyYields)
+{
+    int count = 0;
+    Fiber f([&] {
+        for (int i = 0; i < 100; ++i) {
+            ++count;
+            Fiber::yield();
+        }
+    });
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(f.finished());
+        f.resume();
+    }
+    f.resume(); // final resume lets the body return
+    EXPECT_TRUE(f.finished());
+    EXPECT_EQ(count, 100);
+}
+
+TEST(Fiber, NestedFibers)
+{
+    std::vector<int> order;
+    Fiber inner([&] {
+        order.push_back(2);
+        Fiber::yield();
+        order.push_back(4);
+    });
+    Fiber outer([&] {
+        order.push_back(1);
+        inner.resume(); // runs inner until its yield
+        order.push_back(3);
+        inner.resume();
+        order.push_back(5);
+    });
+    outer.resume();
+    EXPECT_TRUE(outer.finished());
+    EXPECT_TRUE(inner.finished());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, LocalStateSurvivesYield)
+{
+    int observed = 0;
+    Fiber f([&] {
+        int local = 7;
+        Fiber::yield();
+        local += 35;
+        observed = local;
+    });
+    f.resume();
+    f.resume();
+    EXPECT_EQ(observed, 42);
+}
+
+TEST(FiberDeath, ResumeFinishedPanics)
+{
+    Fiber f([] {});
+    f.resume();
+    EXPECT_DEATH(f.resume(), "finished");
+}

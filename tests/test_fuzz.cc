@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Fuzz-style stress and failure-injection tests across all allocator
+ * design points: long multi-tasklet alloc/free churn with host-side
+ * interval checking, OOM storms with recovery, mixed-size adversarial
+ * patterns, and the Section VII general-purpose data-cache comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "alloc/metadata_store.hh"
+#include "alloc/pim_malloc.hh"
+#include "alloc/straw_man.hh"
+#include "core/allocator_factory.hh"
+#include "sim/dpu.hh"
+#include "util/rng.hh"
+
+using namespace pim;
+
+namespace {
+
+/** Host-side overlap checker shared by the fuzz runs. */
+class IntervalChecker
+{
+  public:
+    void
+    insert(sim::MramAddr a, uint32_t len)
+    {
+        auto next = live_.lower_bound(a);
+        if (next != live_.end())
+            ASSERT_LE(a + len, next->first) << "overlap with next block";
+        if (next != live_.begin()) {
+            auto prev = std::prev(next);
+            ASSERT_LE(prev->first + prev->second, a)
+                << "overlap with previous block";
+        }
+        live_[a] = len;
+    }
+
+    sim::MramAddr
+    any(util::Rng &rng) const
+    {
+        auto it = live_.begin();
+        std::advance(it, static_cast<long>(rng.uniformInt(live_.size())));
+        return it->first;
+    }
+
+    void erase(sim::MramAddr a) { live_.erase(a); }
+    bool empty() const { return live_.empty(); }
+    size_t size() const { return live_.size(); }
+
+  private:
+    std::map<sim::MramAddr, uint32_t> live_;
+};
+
+} // namespace
+
+/** Parameterized fuzz across every allocator kind and several seeds. */
+class AllocatorFuzz
+    : public ::testing::TestWithParam<std::tuple<core::AllocatorKind, int>>
+{
+};
+
+TEST_P(AllocatorFuzz, ChurnKeepsHeapConsistent)
+{
+    const auto [kind, seed] = GetParam();
+    sim::Dpu dpu;
+    core::AllocatorOverrides ov;
+    ov.numTasklets = 8;
+    ov.heapBytes = 4u << 20;
+    auto a = core::makeAllocator(dpu, kind, ov);
+    dpu.run(1, [&](sim::Tasklet &t) { a->init(t); });
+
+    IntervalChecker live;
+    dpu.run(8, [&](sim::Tasklet &t) {
+        util::Rng rng(static_cast<uint64_t>(seed) * 100 + t.id());
+        std::vector<sim::MramAddr> mine;
+        for (int i = 0; i < 250; ++i) {
+            if (mine.empty() || rng.bernoulli(0.55)) {
+                // Adversarial mix: tiny, class-boundary, and bypass
+                // sizes.
+                static constexpr uint32_t sizes[] = {1,    15,   16,  17,
+                                                     255,  256,  257, 2047,
+                                                     2048, 2049, 4096, 5000};
+                const uint32_t size = sizes[rng.uniformInt(12)];
+                const sim::MramAddr p = a->malloc(t, size);
+                if (p == sim::kNullAddr)
+                    continue;
+                live.insert(p, size);
+                mine.push_back(p);
+            } else {
+                const size_t idx = rng.uniformInt(mine.size());
+                ASSERT_TRUE(a->free(t, mine[idx]));
+                live.erase(mine[idx]);
+                mine.erase(mine.begin() + static_cast<long>(idx));
+            }
+        }
+        for (auto p : mine) {
+            ASSERT_TRUE(a->free(t, p));
+            live.erase(p);
+        }
+    });
+    EXPECT_TRUE(live.empty());
+    EXPECT_EQ(a->stats().requestedBytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndSeeds, AllocatorFuzz,
+    ::testing::Combine(::testing::ValuesIn(core::kAllKinds),
+                       ::testing::Values(1, 2)));
+
+/** OOM storm: exhaust, verify failure accounting, fully recover. */
+class OomRecovery : public ::testing::TestWithParam<core::AllocatorKind>
+{
+};
+
+TEST_P(OomRecovery, ExhaustAndRecover)
+{
+    sim::Dpu dpu;
+    core::AllocatorOverrides ov;
+    ov.numTasklets = 4;
+    ov.heapBytes = 256 * 1024;
+    auto a = core::makeAllocator(dpu, GetParam(), ov);
+    dpu.run(1, [&](sim::Tasklet &t) { a->init(t); });
+
+    std::vector<sim::MramAddr> blocks;
+    dpu.run(1, [&](sim::Tasklet &t) {
+        // Storm until exhaustion.
+        for (;;) {
+            const sim::MramAddr p = a->malloc(t, 4096);
+            if (p == sim::kNullAddr)
+                break;
+            blocks.push_back(p);
+        }
+        EXPECT_GT(a->stats().failures, 0u);
+        // Heap must be fully recoverable.
+        for (auto p : blocks)
+            ASSERT_TRUE(a->free(t, p));
+        const sim::MramAddr again = a->malloc(t, 4096);
+        EXPECT_NE(again, sim::kNullAddr);
+        a->free(t, again);
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, OomRecovery,
+                         ::testing::ValuesIn(core::kAllKinds));
+
+TEST(DataCacheStore, BasicCaching)
+{
+    sim::Dpu dpu;
+    alloc::DataCacheStore s(dpu, 0, 4096, 64, 4);
+    dpu.run(1, [&](sim::Tasklet &t) {
+        s.get(t, 0); // miss: fetches a 64 B line
+        EXPECT_EQ(dpu.traffic().metadataReadBytes, 64u);
+        // The whole line (64 B x 4 nodes/byte = 256 nodes) now hits.
+        for (uint32_t n = 1; n < 256; n += 16)
+            s.get(t, n);
+        EXPECT_EQ(dpu.traffic().metadataReadBytes, 64u);
+        EXPECT_GT(s.hits(), 0u);
+    });
+}
+
+TEST(DataCacheStore, DirtyLineWritesBackWholeLine)
+{
+    sim::Dpu dpu;
+    alloc::DataCacheStore s(dpu, 0, 65536, 64, 1);
+    dpu.run(1, [&](sim::Tasklet &t) {
+        s.set(t, 0, alloc::NodeState::Split);
+        s.get(t, 4096); // different line: evicts dirty line 0
+        EXPECT_EQ(dpu.traffic().metadataWriteBytes, 64u);
+    });
+}
+
+TEST(DataCacheStore, SectionViiGranularityMismatch)
+{
+    // Section VII: with equal capacity, a general-purpose 64 B-line
+    // cache moves far more metadata than the word-granular buddy cache
+    // on the buddy allocator's scattered access pattern.
+    auto traffic_with = [](bool use_data_cache) {
+        sim::Dpu dpu;
+        const uint32_t heap = 32u << 20;
+        const uint32_t min_block = 4096;
+        const uint32_t nodes =
+            alloc::BuddyTree::nodesFor(heap, min_block);
+        std::unique_ptr<alloc::MetadataStore> store;
+        if (use_data_cache) {
+            // 64 B capacity = one 64 B line.
+            store = std::make_unique<alloc::DataCacheStore>(dpu, 0, nodes,
+                                                            64, 1);
+        } else {
+            store = std::make_unique<alloc::HwCacheStore>(dpu, 0, nodes);
+        }
+        alloc::BuddyTree tree(*store, 1u << 20, heap, min_block);
+        dpu.run(1, [&](sim::Tasklet &t) {
+            tree.reset(t);
+            for (int i = 0; i < 256; ++i) {
+                const auto p = tree.alloc(t, 4096);
+                ASSERT_NE(p, sim::kNullAddr);
+                tree.free(t, p);
+            }
+        });
+        return dpu.traffic().metadataBytes();
+    };
+    const uint64_t general = traffic_with(true);
+    const uint64_t buddy = traffic_with(false);
+    EXPECT_GT(general, 4 * buddy);
+}
+
+TEST(FailureInjection, FreeingForeignAddressesNeverCorrupts)
+{
+    sim::Dpu dpu;
+    core::AllocatorOverrides ov;
+    ov.numTasklets = 2;
+    ov.heapBytes = 1u << 20;
+    auto a = core::makeAllocator(dpu, core::AllocatorKind::PimMallocSw, ov);
+    dpu.run(1, [&](sim::Tasklet &t) { a->init(t); });
+    dpu.run(1, [&](sim::Tasklet &t) {
+        const sim::MramAddr p = a->malloc(t, 100);
+        util::Rng rng(9);
+        for (int i = 0; i < 200; ++i)
+            EXPECT_FALSE(a->free(t, static_cast<sim::MramAddr>(
+                                        rng.next() % (64u << 20))))
+                << "random address accepted";
+        // The legitimate block is still intact and freeable.
+        EXPECT_TRUE(a->free(t, p));
+    });
+}
+
+TEST(FailureInjection, ReInitAfterOomRestoresService)
+{
+    sim::Dpu dpu;
+    alloc::PimMallocConfig cfg;
+    cfg.heapBytes = 128 * 1024;
+    cfg.numTasklets = 2;
+    alloc::PimMallocAllocator a(dpu, cfg);
+    dpu.run(1, [&](sim::Tasklet &t) {
+        a.init(t);
+        while (a.malloc(t, 4096) != sim::kNullAddr) {}
+        a.init(t); // abandon everything, start over
+        EXPECT_NE(a.malloc(t, 4096), sim::kNullAddr);
+    });
+}

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the three adjacency structures: semantic equivalence (same
+ * final graph regardless of representation), cost-shape properties
+ * (CSR inserts scale with graph size; dynamic inserts do not), and
+ * capacity handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "alloc/pim_malloc.hh"
+#include "sim/dpu.hh"
+#include "workloads/graph/csr_graph.hh"
+#include "workloads/graph/linked_list_graph.hh"
+#include "workloads/graph/var_array_graph.hh"
+
+using namespace pim;
+using namespace pim::workloads::graph;
+
+namespace {
+
+constexpr sim::MramAddr kTable = 40u << 20;
+
+std::unique_ptr<alloc::PimMallocAllocator>
+makeAlloc(sim::Dpu &dpu)
+{
+    alloc::PimMallocConfig cfg;
+    cfg.heapBytes = 4u << 20;
+    cfg.numTasklets = 1;
+    auto a = std::make_unique<alloc::PimMallocAllocator>(dpu, cfg);
+    dpu.run(1, [&](sim::Tasklet &t) { a->init(t); });
+    return a;
+}
+
+std::vector<Edge>
+sampleEdges()
+{
+    // Node 0 gets many edges (chunk/array growth), others few.
+    std::vector<Edge> edges;
+    for (uint32_t i = 0; i < 100; ++i)
+        edges.push_back({0, 1000 + i});
+    edges.push_back({1, 7});
+    edges.push_back({2, 8});
+    edges.push_back({2, 9});
+    return edges;
+}
+
+void
+verifyGraph(GraphStructure &g)
+{
+    EXPECT_EQ(g.degree(0), 100u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.degree(2), 2u);
+    EXPECT_EQ(g.degree(3), 0u);
+    auto n0 = g.neighbors(0);
+    std::sort(n0.begin(), n0.end());
+    ASSERT_EQ(n0.size(), 100u);
+    EXPECT_EQ(n0.front(), 1000u);
+    EXPECT_EQ(n0.back(), 1099u);
+    auto n2 = g.neighbors(2);
+    std::sort(n2.begin(), n2.end());
+    EXPECT_EQ(n2, (std::vector<uint32_t>{8, 9}));
+    EXPECT_EQ(g.edgeCount(), 103u);
+}
+
+} // namespace
+
+TEST(CsrGraph, BuildAndInsert)
+{
+    sim::Dpu dpu;
+    CsrGraph g(dpu, kTable, 4, 200);
+    dpu.run(1, [&](sim::Tasklet &t) {
+        g.build(t, sampleEdges());
+        verifyGraph(g);
+        EXPECT_TRUE(g.insertEdge(t, 3, 42));
+        EXPECT_EQ(g.degree(3), 1u);
+        EXPECT_EQ(g.neighbors(3), (std::vector<uint32_t>{42}));
+        // Other adjacency survives the shift.
+        EXPECT_EQ(g.degree(0), 100u);
+    });
+}
+
+TEST(CsrGraph, InsertInMiddlePreservesOrdering)
+{
+    sim::Dpu dpu;
+    CsrGraph g(dpu, kTable, 3, 10);
+    dpu.run(1, [&](sim::Tasklet &t) {
+        g.build(t, {{0, 5}, {2, 6}});
+        EXPECT_TRUE(g.insertEdge(t, 1, 7));
+        EXPECT_EQ(g.neighbors(0), (std::vector<uint32_t>{5}));
+        EXPECT_EQ(g.neighbors(1), (std::vector<uint32_t>{7}));
+        EXPECT_EQ(g.neighbors(2), (std::vector<uint32_t>{6}));
+    });
+}
+
+TEST(CsrGraph, CapacityExhausted)
+{
+    sim::Dpu dpu;
+    CsrGraph g(dpu, kTable, 2, 2);
+    dpu.run(1, [&](sim::Tasklet &t) {
+        EXPECT_TRUE(g.insertEdge(t, 0, 1));
+        EXPECT_TRUE(g.insertEdge(t, 0, 2));
+        EXPECT_FALSE(g.insertEdge(t, 0, 3));
+    });
+}
+
+TEST(CsrGraph, InsertCostGrowsWithGraphSize)
+{
+    // Fig 3(c): CSR insertion cost scales with the pre-update graph.
+    auto insert_cost = [](uint32_t base_edges) {
+        sim::Dpu dpu;
+        CsrGraph g(dpu, kTable, 100, base_edges + 10);
+        std::vector<Edge> base;
+        for (uint32_t i = 0; i < base_edges; ++i)
+            base.push_back({99, i});
+        dpu.run(1, [&](sim::Tasklet &t) { g.build(t, base); });
+        // Insert at node 0: shifts the whole edge array.
+        dpu.run(1,
+                [&](sim::Tasklet &t) { g.insertEdge(t, 0, 12345); });
+        return dpu.lastElapsedCycles();
+    };
+    EXPECT_GT(insert_cost(8000), 4 * insert_cost(1000));
+}
+
+TEST(LinkedListGraph, BuildAndVerify)
+{
+    sim::Dpu dpu;
+    auto a = makeAlloc(dpu);
+    LinkedListGraph g(dpu, *a, kTable, 4);
+    dpu.run(1, [&](sim::Tasklet &t) {
+        g.build(t, sampleEdges());
+        verifyGraph(g);
+    });
+}
+
+TEST(LinkedListGraph, OneFixed256ByteAllocationPerEdge)
+{
+    sim::Dpu dpu;
+    auto a = makeAlloc(dpu);
+    LinkedListGraph g(dpu, *a, kTable, 1);
+    dpu.run(1, [&](sim::Tasklet &t) {
+        // The paper's evaluation allocates one fixed-size 256 B element
+        // per inserted edge (Fig 3(b) bottom).
+        for (uint32_t i = 0; i < 63; ++i)
+            g.insertEdge(t, 0, i);
+        EXPECT_EQ(a->stats().mallocCalls, 63u);
+        EXPECT_EQ(g.degree(0), 63u);
+        // All requests are 256 B: single size class in use.
+        EXPECT_EQ(a->stats().requestedBytes,
+                  63u * LinkedListGraph::kChunkBytes);
+    });
+}
+
+TEST(LinkedListGraph, InsertCostIndependentOfGraphSize)
+{
+    auto insert_cost = [](uint32_t base_edges) {
+        sim::Dpu dpu;
+        auto a = makeAlloc(dpu);
+        LinkedListGraph g(dpu, *a, kTable, 100);
+        std::vector<Edge> base;
+        for (uint32_t i = 0; i < base_edges; ++i)
+            base.push_back({i % 100, i});
+        dpu.run(1, [&](sim::Tasklet &t) { g.build(t, base); });
+        dpu.run(1, [&](sim::Tasklet &t) { g.insertEdge(t, 0, 9999); });
+        return dpu.lastElapsedCycles();
+    };
+    const uint64_t small = insert_cost(500);
+    const uint64_t large = insert_cost(5000);
+    // O(1) insertion: cost stays within 2x across a 10x graph.
+    EXPECT_LT(large, 2 * small);
+}
+
+TEST(VarArrayGraph, BuildAndVerify)
+{
+    sim::Dpu dpu;
+    auto a = makeAlloc(dpu);
+    VarArrayGraph g(dpu, *a, kTable, 4);
+    dpu.run(1, [&](sim::Tasklet &t) {
+        g.build(t, sampleEdges());
+        verifyGraph(g);
+    });
+}
+
+TEST(VarArrayGraph, DoublesCapacityAndFreesOldArray)
+{
+    sim::Dpu dpu;
+    auto a = makeAlloc(dpu);
+    VarArrayGraph g(dpu, *a, kTable, 1);
+    dpu.run(1, [&](sim::Tasklet &t) {
+        // 16 edges fit in the initial 64 B array; the 17th triggers a
+        // grow-to-128 B (one alloc + one free).
+        for (uint32_t i = 0; i < 16; ++i)
+            g.insertEdge(t, 0, i);
+        const uint64_t allocs = a->stats().mallocCalls;
+        const uint64_t frees = a->stats().freeCalls;
+        g.insertEdge(t, 0, 16);
+        EXPECT_EQ(a->stats().mallocCalls, allocs + 1);
+        EXPECT_EQ(a->stats().freeCalls, frees + 1);
+        EXPECT_EQ(g.degree(0), 17u);
+        // All edges preserved across the copy.
+        auto n = g.neighbors(0);
+        std::sort(n.begin(), n.end());
+        for (uint32_t i = 0; i <= 16; ++i)
+            EXPECT_EQ(n[i], i);
+    });
+}
+
+TEST(VarArrayGraph, DegreeCapAtMaxBytes)
+{
+    sim::Dpu dpu;
+    alloc::PimMallocConfig cfg;
+    cfg.heapBytes = 8u << 20;
+    cfg.numTasklets = 1;
+    alloc::PimMallocAllocator a(dpu, cfg);
+    dpu.run(1, [&](sim::Tasklet &t) { a.init(t); });
+    VarArrayGraph g(dpu, a, kTable, 1);
+    dpu.run(1, [&](sim::Tasklet &t) {
+        for (uint32_t i = 0; i < VarArrayGraph::kMaxBytes / 4; ++i)
+            ASSERT_TRUE(g.insertEdge(t, 0, i));
+        EXPECT_FALSE(g.insertEdge(t, 0, 999999)); // 8192-degree cap
+    });
+}
+
+TEST(GraphStructures, AllThreeAgreeOnRandomGraph)
+{
+    const GraphGenConfig gen{.numNodes = 50, .numEdges = 400,
+                             .skew = 0.7, .maxDegree = 100, .seed = 12};
+    const auto dataset = generateGraph(gen);
+
+    sim::Dpu d1, d2, d3;
+    auto a2 = makeAlloc(d2);
+    auto a3 = makeAlloc(d3);
+    CsrGraph csr(d1, kTable, gen.numNodes,
+                 static_cast<uint32_t>(dataset.edges.size()));
+    LinkedListGraph ll(d2, *a2, kTable, gen.numNodes);
+    VarArrayGraph va(d3, *a3, kTable, gen.numNodes);
+
+    d1.run(1, [&](sim::Tasklet &t) { csr.build(t, dataset.edges); });
+    d2.run(1, [&](sim::Tasklet &t) { ll.build(t, dataset.edges); });
+    d3.run(1, [&](sim::Tasklet &t) { va.build(t, dataset.edges); });
+
+    for (uint32_t u = 0; u < gen.numNodes; ++u) {
+        auto a = csr.neighbors(u);
+        auto b = ll.neighbors(u);
+        auto c = va.neighbors(u);
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        std::sort(c.begin(), c.end());
+        EXPECT_EQ(a, b) << "node " << u;
+        EXPECT_EQ(a, c) << "node " << u;
+    }
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the LLM workload: model geometry, request sampling, KV
+ * cache management, batch-capacity experiment (Fig 4(b)), and the
+ * serving simulator (Fig 18).
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/pim_malloc.hh"
+#include "sim/dpu.hh"
+#include "workloads/llm/kv_cache.hh"
+#include "workloads/llm/llm_config.hh"
+#include "workloads/llm/serving_sim.hh"
+
+using namespace pim;
+using namespace pim::workloads::llm;
+
+TEST(LlmConfig, Llama2SevenBGeometry)
+{
+    LlmModelConfig m;
+    // 2 x 32 layers x 4096 hidden x 2 B = 512 KiB per token.
+    EXPECT_EQ(m.kvBytesPerToken(), 512u << 10);
+    // Sharded across 512 DPUs: 1 KiB per token per DPU.
+    EXPECT_EQ(m.kvBytesPerTokenPerDpu(512), 1024u);
+}
+
+TEST(LlmConfig, SampledLengthsRespectCap)
+{
+    RequestLengthConfig cfg;
+    util::Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const auto r = sampleRequest(cfg, rng);
+        EXPECT_GE(r.promptTokens, 1u);
+        EXPECT_GE(r.outputTokens, 1u);
+        EXPECT_LE(r.totalTokens(), cfg.maxSeqLen);
+    }
+}
+
+TEST(LlmConfig, MeanLengthsNearShareGpt)
+{
+    RequestLengthConfig cfg;
+    util::Rng rng(2);
+    double prompt_sum = 0, out_sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto r = sampleRequest(cfg, rng);
+        prompt_sum += r.promptTokens;
+        out_sum += r.outputTokens;
+    }
+    // ShareGPT-like: mean prompt ~161, mean output ~338 (cap-truncated,
+    // so allow generous bands).
+    EXPECT_NEAR(prompt_sum / n, 161.0, 60.0);
+    EXPECT_NEAR(out_sum / n, 320.0, 110.0);
+}
+
+namespace {
+
+struct KvFixture
+{
+    KvFixture()
+    {
+        alloc::PimMallocConfig cfg;
+        cfg.heapBytes = 4u << 20;
+        cfg.numTasklets = 1;
+        allocator = std::make_unique<alloc::PimMallocAllocator>(dpu, cfg);
+        dpu.run(1, [&](sim::Tasklet &t) { allocator->init(t); });
+    }
+
+    sim::Dpu dpu;
+    std::unique_ptr<alloc::PimMallocAllocator> allocator;
+};
+
+} // namespace
+
+TEST(KvCache, GrowsInBlocks)
+{
+    KvFixture f;
+    KvCacheManager kv(*f.allocator, 512);
+    f.dpu.run(1, [&](sim::Tasklet &t) {
+        EXPECT_TRUE(kv.appendBytes(t, 0, 100)); // 1 block
+        EXPECT_EQ(kv.blockCount(0), 1u);
+        EXPECT_TRUE(kv.appendBytes(t, 0, 412)); // fills block exactly
+        EXPECT_EQ(kv.blockCount(0), 1u);
+        EXPECT_TRUE(kv.appendBytes(t, 0, 1)); // spills to block 2
+        EXPECT_EQ(kv.blockCount(0), 2u);
+        EXPECT_EQ(kv.bytesStored(), 513u);
+    });
+}
+
+TEST(KvCache, MultiTokenAppend)
+{
+    KvFixture f;
+    KvCacheManager kv(*f.allocator, 512);
+    f.dpu.run(1, [&](sim::Tasklet &t) {
+        // A 1 KiB/token slice: each token adds exactly two 512 B blocks.
+        EXPECT_TRUE(kv.appendBytes(t, 3, 10 * 1024));
+        EXPECT_EQ(kv.blockCount(3), 20u);
+    });
+}
+
+TEST(KvCache, ReleaseFreesEverything)
+{
+    KvFixture f;
+    KvCacheManager kv(*f.allocator, 512);
+    f.dpu.run(1, [&](sim::Tasklet &t) {
+        kv.appendBytes(t, 0, 4096);
+        kv.appendBytes(t, 1, 2048);
+        EXPECT_EQ(kv.activeRequests(), 2u);
+        kv.releaseRequest(t, 0);
+        EXPECT_EQ(kv.activeRequests(), 1u);
+        EXPECT_EQ(kv.bytesStored(), 2048u);
+        kv.releaseRequest(t, 1);
+        EXPECT_EQ(kv.totalBlocks(), 0u);
+        EXPECT_EQ(f.allocator->stats().requestedBytes, 0u);
+    });
+}
+
+TEST(KvCache, OomLeavesExistingBlocksIntact)
+{
+    sim::Dpu dpu;
+    alloc::PimMallocConfig cfg;
+    cfg.heapBytes = 64 * 1024;
+    cfg.numTasklets = 1;
+    cfg.prePopulate = false;
+    alloc::PimMallocAllocator a(dpu, cfg);
+    dpu.run(1, [&](sim::Tasklet &t) { a.init(t); });
+    KvCacheManager kv(a, 512);
+    dpu.run(1, [&](sim::Tasklet &t) {
+        EXPECT_TRUE(kv.appendBytes(t, 0, 32 * 1024));
+        const auto blocks = kv.blockCount(0);
+        EXPECT_FALSE(kv.appendBytes(t, 0, 1u << 20)); // cannot fit
+        EXPECT_EQ(kv.blockCount(0), blocks + 64); // partial growth kept
+        kv.releaseRequest(t, 0);
+    });
+}
+
+TEST(BatchCapacity, DynamicBeatsStatic)
+{
+    // Fig 4(b): dynamic allocation admits a much larger batch than
+    // worst-case static reservation.
+    const auto r = measureBatchCapacity(LlmModelConfig{},
+                                        RequestLengthConfig{}, 512, 3);
+    EXPECT_GT(r.staticMaxBatch, 0u);
+    EXPECT_GT(r.dynamicMaxBatch, 2 * r.staticMaxBatch);
+    EXPECT_LT(r.meanActualBytesPerRequest,
+              static_cast<double>(r.staticReserveBytesPerRequest));
+}
+
+TEST(ServingSim, SchemeNames)
+{
+    ServingScheme stat{std::nullopt};
+    ServingScheme sw{core::AllocatorKind::PimMallocSw};
+    EXPECT_STREQ(stat.name(), "Static");
+    EXPECT_STREQ(sw.name(), "PIM-malloc-SW");
+}
+
+namespace {
+
+ServingConfig
+quickServing()
+{
+    ServingConfig cfg;
+    cfg.numRequests = 20;
+    cfg.outputTokens = 32;
+    cfg.promptTokens = 16;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ServingSim, CompletesAllRequests)
+{
+    const auto r = runServing(ServingScheme{std::nullopt}, quickServing());
+    EXPECT_GT(r.throughputTokensPerSec, 0.0);
+    EXPECT_GT(r.makespanSec, 0.0);
+    EXPECT_GT(r.tpotP50Ms, 0.0);
+    EXPECT_LE(r.tpotP50Ms, r.tpotP99Ms);
+    EXPECT_GT(r.peakBatchObserved, 0u);
+    EXPECT_LE(r.peakBatchObserved, r.maxBatchLimit);
+}
+
+TEST(ServingSim, StaticBatchSmallerThanDynamic)
+{
+    const auto stat =
+        runServing(ServingScheme{std::nullopt}, quickServing());
+    const auto dyn = runServing(
+        ServingScheme{core::AllocatorKind::PimMallocHwSw}, quickServing());
+    EXPECT_LT(stat.maxBatchLimit, dyn.maxBatchLimit);
+}
+
+TEST(ServingSim, DynamicSchemesPayAllocationLatency)
+{
+    const auto stat =
+        runServing(ServingScheme{std::nullopt}, quickServing());
+    const auto dyn = runServing(
+        ServingScheme{core::AllocatorKind::PimMallocSw}, quickServing());
+    EXPECT_EQ(stat.allocSecPerBlock, 0.0);
+    EXPECT_GT(dyn.allocSecPerBlock, 0.0);
+}
+
+TEST(ServingSim, StrawManHasHighestTpot)
+{
+    // Fig 18: the straw-man's allocation latency inflates TPOT beyond
+    // every other scheme.
+    const auto cfg = quickServing();
+    const auto straw = runServing(
+        ServingScheme{core::AllocatorKind::StrawMan}, cfg);
+    const auto sw =
+        runServing(ServingScheme{core::AllocatorKind::PimMallocSw}, cfg);
+    const auto stat = runServing(ServingScheme{std::nullopt}, cfg);
+    EXPECT_GT(straw.tpotP50Ms, sw.tpotP50Ms);
+    EXPECT_GT(sw.tpotP50Ms, stat.tpotP50Ms);
+}

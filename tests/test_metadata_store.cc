@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the three metadata access paths: functional equivalence
+ * (identical state transitions regardless of store), SW buffer
+ * hit/miss/flush behaviour, and HW cache traffic characteristics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "alloc/metadata_store.hh"
+#include "sim/dpu.hh"
+#include "util/rng.hh"
+
+using namespace pim;
+using namespace pim::alloc;
+
+namespace {
+
+constexpr uint32_t kNodes = 1024;
+
+void
+withTasklet(sim::Dpu &dpu, const std::function<void(sim::Tasklet &)> &fn)
+{
+    dpu.run(1, fn);
+}
+
+} // namespace
+
+TEST(DirectStore, GetSetRoundTrip)
+{
+    sim::Dpu dpu;
+    DirectStore s(dpu, 0, kNodes);
+    withTasklet(dpu, [&](sim::Tasklet &t) {
+        s.reset(t);
+        EXPECT_EQ(s.get(t, 0), NodeState::Free);
+        s.set(t, 0, NodeState::Allocated);
+        s.set(t, 17, NodeState::Split);
+        s.set(t, 1023, NodeState::Full);
+        EXPECT_EQ(s.get(t, 0), NodeState::Allocated);
+        EXPECT_EQ(s.get(t, 17), NodeState::Split);
+        EXPECT_EQ(s.get(t, 1023), NodeState::Full);
+        EXPECT_EQ(s.get(t, 16), NodeState::Free); // neighbors untouched
+    });
+}
+
+TEST(DirectStore, PackingIsTwoBitsPerNode)
+{
+    sim::Dpu dpu;
+    DirectStore s(dpu, 0, kNodes);
+    EXPECT_EQ(s.bytes(), kNodes / 4);
+}
+
+TEST(DirectStore, NoDpuCost)
+{
+    sim::Dpu dpu;
+    DirectStore s(dpu, 0, kNodes);
+    withTasklet(dpu, [&](sim::Tasklet &t) {
+        for (uint32_t i = 0; i < 100; ++i)
+            s.set(t, i, NodeState::Split);
+        t.execute(1); // scheduler wants at least one charge
+    });
+    EXPECT_EQ(dpu.lastElapsedCycles(), 11u);
+}
+
+TEST(SwBufferStore, HitsWithinWindow)
+{
+    sim::Dpu dpu;
+    SwBufferStore s(dpu, 0, kNodes, 256);
+    withTasklet(dpu, [&](sim::Tasklet &t) {
+        s.get(t, 0); // first access: miss
+        for (uint32_t i = 1; i < 100; ++i)
+            s.get(t, i); // same window: hits
+    });
+    EXPECT_EQ(s.misses(), 1u);
+    EXPECT_EQ(s.hits(), 99u);
+}
+
+TEST(SwBufferStore, AlternatingWindowsThrash)
+{
+    sim::Dpu dpu;
+    // 256 B buffer = 1024 nodes per window; alternate across windows.
+    SwBufferStore s(dpu, 0, 4096, 256);
+    withTasklet(dpu, [&](sim::Tasklet &t) {
+        for (int i = 0; i < 10; ++i) {
+            s.get(t, 0);
+            s.get(t, 2048);
+        }
+    });
+    EXPECT_EQ(s.misses(), 20u);
+    EXPECT_NEAR(s.hitRate(), 0.0, 1e-9);
+}
+
+TEST(SwBufferStore, DirtyFlushOnMissChargesWriteback)
+{
+    sim::Dpu dpu;
+    SwBufferStore s(dpu, 0, 4096, 256);
+    withTasklet(dpu, [&](sim::Tasklet &t) {
+        s.set(t, 0, NodeState::Split); // miss + dirty
+        const uint64_t w0 = dpu.traffic().metadataWriteBytes;
+        s.get(t, 2048); // miss: must flush the dirty window first
+        EXPECT_EQ(dpu.traffic().metadataWriteBytes, w0 + 256);
+    });
+}
+
+TEST(SwBufferStore, CleanMissDoesNotWriteBack)
+{
+    sim::Dpu dpu;
+    SwBufferStore s(dpu, 0, 4096, 256);
+    withTasklet(dpu, [&](sim::Tasklet &t) {
+        s.get(t, 0);
+        const uint64_t w0 = dpu.traffic().metadataWriteBytes;
+        s.get(t, 2048);
+        EXPECT_EQ(dpu.traffic().metadataWriteBytes, w0);
+    });
+}
+
+TEST(SwBufferStore, ExplicitFlush)
+{
+    sim::Dpu dpu;
+    SwBufferStore s(dpu, 0, kNodes, 256);
+    withTasklet(dpu, [&](sim::Tasklet &t) {
+        s.set(t, 3, NodeState::Allocated);
+        const uint64_t w0 = dpu.traffic().metadataWriteBytes;
+        s.flush(t);
+        EXPECT_EQ(dpu.traffic().metadataWriteBytes, w0 + 256);
+        s.flush(t); // now clean: no-op
+        EXPECT_EQ(dpu.traffic().metadataWriteBytes, w0 + 256);
+    });
+}
+
+TEST(SwBufferStore, ReservesWram)
+{
+    sim::Dpu dpu;
+    const uint32_t before = dpu.wramUsed();
+    SwBufferStore s(dpu, 0, kNodes, 2048);
+    EXPECT_EQ(dpu.wramUsed(), before + 2048);
+}
+
+TEST(HwCacheStore, FineGrainedMissTraffic)
+{
+    sim::Dpu dpu;
+    HwCacheStore s(dpu, 0, kNodes);
+    withTasklet(dpu, [&](sim::Tasklet &t) {
+        s.get(t, 0); // miss: fetches exactly one 4 B word
+        EXPECT_EQ(dpu.traffic().metadataReadBytes, 4u);
+        s.get(t, 1); // same word: hit, no traffic
+        EXPECT_EQ(dpu.traffic().metadataReadBytes, 4u);
+        s.get(t, 16); // next word
+        EXPECT_EQ(dpu.traffic().metadataReadBytes, 8u);
+    });
+    EXPECT_EQ(dpu.buddyCache().stats().hits, 1u);
+    EXPECT_EQ(dpu.buddyCache().stats().misses, 2u);
+}
+
+TEST(HwCacheStore, DirtyEvictionWritesBackOneWord)
+{
+    sim::Dpu dpu; // 16-entry cache
+    HwCacheStore s(dpu, 0, 16 * 17 * 16); // more words than entries
+    withTasklet(dpu, [&](sim::Tasklet &t) {
+        s.set(t, 0, NodeState::Split); // word 0 dirty
+        // Touch 16 more distinct words to force eviction of word 0.
+        for (uint32_t w = 1; w <= 16; ++w)
+            s.get(t, w * 16);
+        EXPECT_EQ(dpu.traffic().metadataWriteBytes, 4u);
+    });
+}
+
+TEST(HwCacheStore, FlushWritesDirtyWords)
+{
+    sim::Dpu dpu;
+    HwCacheStore s(dpu, 0, kNodes);
+    withTasklet(dpu, [&](sim::Tasklet &t) {
+        s.set(t, 0, NodeState::Split);
+        s.set(t, 16, NodeState::Split);
+        const uint64_t w0 = dpu.traffic().metadataWriteBytes;
+        s.flush(t);
+        EXPECT_EQ(dpu.traffic().metadataWriteBytes, w0 + 8);
+    });
+}
+
+/** Property: all three stores produce identical visible state. */
+class StoreEquivalence
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(StoreEquivalence, RandomOpsMatchDirect)
+{
+    const auto [seed, ops] = GetParam();
+    sim::Dpu d_direct, d_sw, d_hw;
+    DirectStore direct(d_direct, 0, kNodes);
+    SwBufferStore sw(d_sw, 0, kNodes, 64);
+    HwCacheStore hw(d_hw, 0, kNodes);
+
+    util::Rng rng(static_cast<uint64_t>(seed));
+    std::vector<std::pair<uint32_t, NodeState>> script;
+    for (int i = 0; i < ops; ++i) {
+        script.emplace_back(
+            static_cast<uint32_t>(rng.uniformInt(kNodes)),
+            static_cast<NodeState>(rng.uniformInt(4)));
+    }
+
+    auto apply = [&](sim::Dpu &dpu, MetadataStore &s) {
+        dpu.run(1, [&](sim::Tasklet &t) {
+            s.reset(t);
+            for (const auto &[node, state] : script)
+                s.set(t, node, state);
+        });
+    };
+    apply(d_direct, direct);
+    apply(d_sw, sw);
+    apply(d_hw, hw);
+
+    d_direct.run(1, [&](sim::Tasklet &t) {
+        t.execute(1);
+        for (uint32_t n = 0; n < kNodes; ++n) {
+            const NodeState want = direct.get(t, n);
+            sim::Tasklet *tp = &t;
+            (void)tp;
+            EXPECT_EQ(want, sw.get(t, n)) << "node " << n;
+            EXPECT_EQ(want, hw.get(t, n)) << "node " << n;
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomScripts, StoreEquivalence,
+    ::testing::Values(std::make_pair(1, 50), std::make_pair(2, 500),
+                      std::make_pair(3, 2000), std::make_pair(4, 5000)));

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the microbenchmark driver: result plumbing, determinism,
+ * trace recording, and free-each-alloc mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/microbench.hh"
+
+using namespace pim;
+using namespace pim::workloads;
+
+namespace {
+
+MicrobenchConfig
+quick(core::AllocatorKind kind, unsigned tasklets = 4, uint32_t size = 64)
+{
+    MicrobenchConfig cfg;
+    cfg.allocator = kind;
+    cfg.tasklets = tasklets;
+    cfg.allocsPerTasklet = 32;
+    cfg.allocSize = size;
+    cfg.overrides.heapBytes = 4u << 20;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Microbench, CountsAndLatency)
+{
+    const auto r = runMicrobench(quick(core::AllocatorKind::PimMallocSw));
+    EXPECT_EQ(r.allocStats.mallocCalls, 4u * 32u);
+    EXPECT_GT(r.avgLatencyUs, 0.0);
+    EXPECT_GT(r.elapsedCycles, 0u);
+    EXPECT_EQ(r.allocStats.failures, 0u);
+    EXPECT_GT(r.metadataBytes, 0u);
+}
+
+TEST(Microbench, Deterministic)
+{
+    const auto cfg = quick(core::AllocatorKind::StrawMan, 8, 32);
+    const auto a = runMicrobench(cfg);
+    const auto b = runMicrobench(cfg);
+    EXPECT_EQ(a.elapsedCycles, b.elapsedCycles);
+    EXPECT_DOUBLE_EQ(a.avgLatencyUs, b.avgLatencyUs);
+    EXPECT_EQ(a.traffic.totalBytes(), b.traffic.totalBytes());
+}
+
+TEST(Microbench, FreeEachAllocKeepsHeapEmpty)
+{
+    auto cfg = quick(core::AllocatorKind::PimMallocSwLazy);
+    cfg.freeEachAlloc = true;
+    const auto r = runMicrobench(cfg);
+    EXPECT_EQ(r.allocStats.freeCalls, r.allocStats.mallocCalls);
+    EXPECT_EQ(r.allocStats.requestedBytes, 0u);
+}
+
+TEST(Microbench, TraceEventsHaveMonotoneStartsPerTasklet)
+{
+    auto cfg = quick(core::AllocatorKind::PimMallocSw, 2);
+    cfg.traceEvents = true;
+    const auto r = runMicrobench(cfg);
+    ASSERT_EQ(r.allocStats.events.size(), 64u);
+    uint64_t last[2] = {0, 0};
+    for (const auto &e : r.allocStats.events) {
+        ASSERT_LT(e.taskletId, 2u);
+        EXPECT_GE(e.startCycle, last[e.taskletId]);
+        last[e.taskletId] = e.startCycle;
+    }
+}
+
+TEST(Microbench, HwVariantReportsCacheStats)
+{
+    const auto r = runMicrobench(
+        quick(core::AllocatorKind::PimMallocHwSw, 4, 4096));
+    EXPECT_GT(r.cacheStats.lookups, 0u);
+    EXPECT_GT(r.cacheStats.hitRate(), 0.0);
+}
+
+TEST(Microbench, BuddyCacheSizeConfigurable)
+{
+    auto cfg = quick(core::AllocatorKind::PimMallocHwSw, 4, 4096);
+    cfg.dpuCfg.buddyCache.entries = 4;
+    const auto small = runMicrobench(cfg);
+    cfg.dpuCfg.buddyCache.entries = 64;
+    const auto large = runMicrobench(cfg);
+    // Fig 16: a larger buddy cache raises the hit rate.
+    EXPECT_GE(large.cacheStats.hitRate(), small.cacheStats.hitRate());
+}
+
+TEST(Microbench, MoreTaskletsMoreContention)
+{
+    const auto t1 = runMicrobench(quick(core::AllocatorKind::StrawMan, 1));
+    const auto t16 =
+        runMicrobench(quick(core::AllocatorKind::StrawMan, 16));
+    EXPECT_GT(t16.avgLatencyUs, t1.avgLatencyUs);
+    EXPECT_GT(t16.breakdown.of(sim::CycleKind::BusyWait),
+              t1.breakdown.of(sim::CycleKind::BusyWait));
+}

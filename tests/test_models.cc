@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the analytic host, transfer, and area models used by the
+ * design-space exploration and the Section VI-F overhead numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/area_model.hh"
+#include "sim/host_model.hh"
+#include "sim/transfer_model.hh"
+
+using namespace pim::sim;
+
+TEST(HostModel, SerialTime)
+{
+    HostConfig cfg;
+    cfg.clockGhz = 2.0;
+    cfg.ipc = 2.0;
+    HostModel h(cfg);
+    // 4e9 instructions at 4e9 instr/s = 1 s.
+    EXPECT_NEAR(h.serialSeconds(4'000'000'000ull), 1.0, 1e-9);
+}
+
+TEST(HostModel, ParallelWaves)
+{
+    HostConfig cfg;
+    cfg.threads = 4;
+    HostModel h(cfg);
+    // 8 tasks on 4 threads = 2 waves.
+    EXPECT_NEAR(h.seconds(8, 1000), 2 * h.serialSeconds(1000), 1e-12);
+    // 9 tasks = 3 waves (ceil).
+    EXPECT_NEAR(h.seconds(9, 1000), 3 * h.serialSeconds(1000), 1e-12);
+    EXPECT_EQ(h.seconds(0, 1000), 0.0);
+}
+
+TEST(HostModel, MoreThreadsNeverSlower)
+{
+    HostConfig a, b;
+    a.threads = 2;
+    b.threads = 16;
+    EXPECT_GE(HostModel(a).seconds(64, 500), HostModel(b).seconds(64, 500));
+}
+
+TEST(TransferModel, BandwidthSaturates)
+{
+    TransferModel x;
+    const double bw1 = x.bandwidth(1);
+    const double bw512 = x.bandwidth(512);
+    EXPECT_DOUBLE_EQ(bw1, x.config().perDpuBytesPerSec);
+    EXPECT_DOUBLE_EQ(bw512, x.config().peakBytesPerSec);
+    EXPECT_LE(x.bandwidth(4), 4 * bw1 + 1);
+}
+
+TEST(TransferModel, TimeScalesWithPayload)
+{
+    TransferModel x;
+    const double small = x.seconds(1024, 64);
+    const double big = x.seconds(1024 * 1024, 64);
+    EXPECT_GT(big, small);
+    EXPECT_EQ(x.seconds(0, 64), 0.0);
+    EXPECT_EQ(x.seconds(1024, 0), 0.0);
+}
+
+TEST(TransferModel, LatencyFloorsSmallTransfers)
+{
+    TransferModel x;
+    // An 8-byte transfer is dominated by the launch latency.
+    EXPECT_NEAR(x.seconds(8, 1), x.config().launchLatencySec, 1e-6);
+}
+
+TEST(TransferModel, PerDpuGrowthBeyondSaturation)
+{
+    TransferModel x;
+    // Past saturation, doubling DPUs doubles total bytes but not
+    // bandwidth: time roughly doubles.
+    const double t256 = x.seconds(1 << 20, 256);
+    const double t512 = x.seconds(1 << 20, 512);
+    EXPECT_NEAR(t512 / t256, 2.0, 0.1);
+}
+
+TEST(AreaModel, ReproducesPaperOverheads)
+{
+    // Section VI-F: 0.019 mm^2, 5 mW, < 1 PIM core cycle for the
+    // default 16-entry / 64 B buddy cache.
+    AreaModel model;
+    const auto o = model.estimate(BuddyCacheConfig{});
+    EXPECT_NEAR(o.areaMm2, 0.019, 0.004);
+    EXPECT_NEAR(o.powerMw, 5.0, 1.5);
+    EXPECT_LT(o.cyclesAt350Mhz, 1.0);
+}
+
+TEST(AreaModel, ScalesWithEntries)
+{
+    AreaModel model;
+    BuddyCacheConfig small, big;
+    small.entries = 4;
+    big.entries = 64;
+    EXPECT_LT(model.estimate(small).areaMm2, model.estimate(big).areaMm2);
+    EXPECT_LT(model.estimate(small).accessNs, model.estimate(big).accessNs);
+}
+
+TEST(AreaModel, DramProcessScaling)
+{
+    AreaModel::Scaling s;
+    s.areaFactor = 10.0;
+    AreaModel model(s);
+    const auto o = model.estimate(BuddyCacheConfig{});
+    EXPECT_NEAR(o.areaMm2 / o.logicAreaMm2, 10.0, 1e-9);
+}

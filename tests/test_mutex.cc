@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the simulated spin lock: exclusion, busy-wait accounting,
+ * contention statistics, and tryLock semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dpu.hh"
+#include "sim/mutex.hh"
+
+using namespace pim::sim;
+
+TEST(Mutex, UncontendedLockUnlock)
+{
+    Dpu dpu;
+    SimMutex m;
+    dpu.run(1, [&](Tasklet &t) {
+        m.lock(t);
+        EXPECT_TRUE(m.held());
+        m.unlock(t);
+        EXPECT_FALSE(m.held());
+    });
+    EXPECT_EQ(m.acquisitions(), 1u);
+    EXPECT_EQ(m.contendedAcquisitions(), 0u);
+}
+
+TEST(Mutex, MutualExclusion)
+{
+    Dpu dpu;
+    SimMutex m;
+    int inside = 0;
+    int max_inside = 0;
+    dpu.run(8, [&](Tasklet &t) {
+        for (int i = 0; i < 5; ++i) {
+            m.lock(t);
+            ++inside;
+            max_inside = std::max(max_inside, inside);
+            t.execute(20); // critical section
+            --inside;
+            m.unlock(t);
+            t.execute(5);
+        }
+    });
+    EXPECT_EQ(max_inside, 1);
+    EXPECT_EQ(m.acquisitions(), 40u);
+}
+
+TEST(Mutex, ContentionProducesBusyWait)
+{
+    Dpu dpu;
+    SimMutex m;
+    dpu.run(8, [&](Tasklet &t) {
+        m.lock(t);
+        t.execute(200); // long critical section forces spinning
+        m.unlock(t);
+    });
+    EXPECT_GT(m.contendedAcquisitions(), 0u);
+    EXPECT_GT(dpu.lastBreakdown().of(CycleKind::BusyWait), 0u);
+}
+
+TEST(Mutex, NoContentionNoBusyWait)
+{
+    Dpu dpu;
+    SimMutex m;
+    dpu.run(1, [&](Tasklet &t) {
+        for (int i = 0; i < 10; ++i) {
+            m.lock(t);
+            t.execute(10);
+            m.unlock(t);
+        }
+    });
+    EXPECT_EQ(dpu.lastBreakdown().of(CycleKind::BusyWait), 0u);
+}
+
+TEST(Mutex, TryLock)
+{
+    Dpu dpu;
+    SimMutex m;
+    dpu.run(1, [&](Tasklet &t) {
+        EXPECT_TRUE(m.tryLock(t));
+        EXPECT_FALSE(m.tryLock(t)); // already held
+        m.unlock(t);
+        EXPECT_TRUE(m.tryLock(t));
+        m.unlock(t);
+    });
+}
+
+TEST(Mutex, BusyWaitGrowsWithThreads)
+{
+    auto busy_wait = [](unsigned tasklets) {
+        Dpu dpu;
+        SimMutex m;
+        dpu.run(tasklets, [&](Tasklet &t) {
+            for (int i = 0; i < 4; ++i) {
+                m.lock(t);
+                t.execute(100);
+                m.unlock(t);
+            }
+        });
+        return dpu.lastBreakdown().of(CycleKind::BusyWait);
+    };
+    EXPECT_GT(busy_wait(16), busy_wait(4));
+    EXPECT_GT(busy_wait(4), busy_wait(1));
+}
+
+TEST(MutexDeath, UnlockFreePanics)
+{
+    Dpu dpu;
+    SimMutex m;
+    EXPECT_DEATH(dpu.run(1, [&](Tasklet &t) { m.unlock(t); }),
+                 "unlock of a free mutex");
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the multi-DPU reduction helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+
+using namespace pim;
+using namespace pim::core;
+
+TEST(System, MaxReduction)
+{
+    const auto r = simulateDpus(4, sim::DpuConfig{},
+                                [](sim::Dpu &dpu, unsigned idx) {
+                                    dpu.run(1, [idx](sim::Tasklet &t) {
+                                        t.execute(10 * (idx + 1));
+                                    });
+                                });
+    EXPECT_EQ(r.numDpus, 4u);
+    EXPECT_EQ(r.simulatedDpus, 4u);
+    EXPECT_EQ(r.maxCycles, 40u * 11u); // slowest DPU
+}
+
+TEST(System, SamplingSpreadsIndices)
+{
+    std::vector<unsigned> indices;
+    simulateDpus(512, sim::DpuConfig{},
+                 [&](sim::Dpu &dpu, unsigned idx) {
+                     indices.push_back(idx);
+                     dpu.run(1, [](sim::Tasklet &t) { t.execute(1); });
+                 },
+                 4);
+    ASSERT_EQ(indices.size(), 4u);
+    EXPECT_EQ(indices[0], 0u);
+    EXPECT_EQ(indices[1], 128u);
+    EXPECT_EQ(indices[3], 384u);
+}
+
+TEST(System, TrafficScalesFromSample)
+{
+    const auto r = simulateDpus(
+        100, sim::DpuConfig{},
+        [](sim::Dpu &dpu, unsigned) {
+            dpu.run(1, [](sim::Tasklet &t) { t.dmaRead(0, 1000); });
+        },
+        2);
+    // 2 simulated DPUs read 1000 B each; scaled to 100 DPUs.
+    EXPECT_EQ(r.traffic.dataReadBytes, 100u * 1000u);
+}
+
+TEST(System, BreakdownAggregates)
+{
+    const auto r = simulateDpus(
+        2, sim::DpuConfig{},
+        [](sim::Dpu &dpu, unsigned) {
+            dpu.run(1, [](sim::Tasklet &t) {
+                t.execute(10, sim::CycleKind::Run);
+            });
+        });
+    EXPECT_EQ(r.breakdown.of(sim::CycleKind::Run), 2u * 110u);
+}
+
+TEST(System, SecondsConversion)
+{
+    const auto r = simulateDpus(1, sim::DpuConfig{},
+                                [](sim::Dpu &dpu, unsigned) {
+                                    dpu.run(1, [](sim::Tasklet &t) {
+                                        t.execute(350'000);
+                                    });
+                                });
+    EXPECT_NEAR(r.maxSeconds, 350'000 * 11 / 0.35e9, 1e-9);
+    EXPECT_NEAR(r.meanSeconds, r.maxSeconds, 1e-12);
+}

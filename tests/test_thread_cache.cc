@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the per-tasklet thread cache: size-class mapping, bitmap
+ * allocation, span install/release, free-path validation, and the WRAM
+ * record budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "alloc/thread_cache.hh"
+#include "sim/dpu.hh"
+
+using namespace pim;
+using namespace pim::alloc;
+
+namespace {
+
+class ThreadCacheTest : public ::testing::Test
+{
+  protected:
+    ThreadCacheTest() : cache(0, ThreadCacheConfig{}) {}
+
+    void
+    run(const std::function<void(sim::Tasklet &)> &fn)
+    {
+        dpu.run(1, [&](sim::Tasklet &t) {
+            t.execute(1);
+            fn(t);
+        });
+    }
+
+    sim::Dpu dpu;
+    ThreadCache cache;
+};
+
+} // namespace
+
+TEST_F(ThreadCacheTest, PaperSizeClasses)
+{
+    // 8 classes, 16 B .. 2 KB (Section IV-A).
+    EXPECT_EQ(cache.numClasses(), 8u);
+    EXPECT_EQ(cache.classSize(0), 16u);
+    EXPECT_EQ(cache.classSize(7), 2048u);
+}
+
+TEST_F(ThreadCacheTest, ClassForMapsToSmallestFit)
+{
+    EXPECT_EQ(cache.classFor(1), 0);
+    EXPECT_EQ(cache.classFor(16), 0);
+    EXPECT_EQ(cache.classFor(17), 1);
+    EXPECT_EQ(cache.classFor(2048), 7);
+    EXPECT_EQ(cache.classFor(2049), -1); // bypass
+    EXPECT_EQ(cache.classFor(8192), -1);
+}
+
+TEST_F(ThreadCacheTest, EmptyCacheMisses)
+{
+    run([&](sim::Tasklet &t) {
+        EXPECT_EQ(cache.tryAlloc(t, 0), sim::kNullAddr);
+    });
+}
+
+TEST_F(ThreadCacheTest, SpanSubdivision)
+{
+    run([&](sim::Tasklet &t) {
+        ASSERT_TRUE(cache.installSpan(t, 7, 0x10000)); // 2 KB class
+        EXPECT_EQ(cache.freeBlocks(7), 2u); // 4 KB span -> 2 sub-blocks
+        const auto a = cache.tryAlloc(t, 7);
+        const auto b = cache.tryAlloc(t, 7);
+        EXPECT_EQ(a, 0x10000u);
+        EXPECT_EQ(b, 0x10000u + 2048u);
+        EXPECT_EQ(cache.tryAlloc(t, 7), sim::kNullAddr); // exhausted
+    });
+}
+
+TEST_F(ThreadCacheTest, SmallestClassHas256Blocks)
+{
+    run([&](sim::Tasklet &t) {
+        ASSERT_TRUE(cache.installSpan(t, 0, 0x20000)); // 16 B class
+        EXPECT_EQ(cache.freeBlocks(0), 256u);
+        std::set<sim::MramAddr> seen;
+        for (int i = 0; i < 256; ++i) {
+            const auto a = cache.tryAlloc(t, 0);
+            ASSERT_NE(a, sim::kNullAddr);
+            ASSERT_TRUE(seen.insert(a).second);
+            ASSERT_GE(a, 0x20000u);
+            ASSERT_LT(a, 0x20000u + 4096u);
+        }
+        EXPECT_EQ(cache.tryAlloc(t, 0), sim::kNullAddr);
+    });
+}
+
+TEST_F(ThreadCacheTest, FreeThenReallocateSameBlock)
+{
+    run([&](sim::Tasklet &t) {
+        cache.installSpan(t, 3, 0x30000); // 128 B class
+        const auto a = cache.tryAlloc(t, 3);
+        const auto res = cache.free(t, 3, 0x30000, a);
+        EXPECT_TRUE(res.ok);
+        EXPECT_FALSE(res.spanReleased); // last span stays cached
+        EXPECT_EQ(cache.tryAlloc(t, 3), a); // lowest free bit again
+    });
+}
+
+TEST_F(ThreadCacheTest, DoubleFreeRejected)
+{
+    run([&](sim::Tasklet &t) {
+        cache.installSpan(t, 2, 0x40000);
+        const auto a = cache.tryAlloc(t, 2);
+        EXPECT_TRUE(cache.free(t, 2, 0x40000, a).ok);
+        EXPECT_FALSE(cache.free(t, 2, 0x40000, a).ok);
+    });
+}
+
+TEST_F(ThreadCacheTest, ForeignAndMisalignedFreesRejected)
+{
+    run([&](sim::Tasklet &t) {
+        cache.installSpan(t, 2, 0x40000); // 64 B class
+        cache.tryAlloc(t, 2);
+        // Unknown span base.
+        EXPECT_FALSE(cache.free(t, 2, 0x50000, 0x50000).ok);
+        // Misaligned address inside the span.
+        EXPECT_FALSE(cache.free(t, 2, 0x40000, 0x40000 + 13).ok);
+        // Beyond the span's sub-blocks.
+        EXPECT_FALSE(cache.free(t, 2, 0x40000, 0x40000 + 8192).ok);
+    });
+}
+
+TEST_F(ThreadCacheTest, EmptyNonLastSpanIsReleased)
+{
+    run([&](sim::Tasklet &t) {
+        cache.installSpan(t, 7, 0x10000);
+        cache.installSpan(t, 7, 0x20000);
+        EXPECT_EQ(cache.spanCount(7), 2u);
+        const auto a = cache.tryAlloc(t, 7);
+        const sim::MramAddr span = a & ~uint32_t{4095};
+        const auto res = cache.free(t, 7, span, a);
+        EXPECT_TRUE(res.ok);
+        EXPECT_TRUE(res.spanReleased);
+        EXPECT_EQ(res.spanBase, span);
+        EXPECT_EQ(cache.spanCount(7), 1u);
+    });
+}
+
+TEST_F(ThreadCacheTest, SecondSpanServicesOverflow)
+{
+    run([&](sim::Tasklet &t) {
+        cache.installSpan(t, 7, 0x10000);
+        cache.tryAlloc(t, 7);
+        cache.tryAlloc(t, 7); // first span now full
+        cache.installSpan(t, 7, 0x20000);
+        EXPECT_EQ(cache.tryAlloc(t, 7), 0x20000u);
+    });
+}
+
+TEST_F(ThreadCacheTest, MaxSpansBudgetEnforced)
+{
+    ThreadCacheConfig cfg;
+    cfg.maxSpans = 3;
+    ThreadCache tc(0, cfg);
+    run([&](sim::Tasklet &t) {
+        EXPECT_TRUE(tc.installSpan(t, 0, 0x1000));
+        EXPECT_TRUE(tc.installSpan(t, 1, 0x2000));
+        EXPECT_TRUE(tc.installSpan(t, 2, 0x3000));
+        EXPECT_FALSE(tc.installSpan(t, 3, 0x4000)); // over budget
+        EXPECT_EQ(tc.peakSpans(), 3u);
+    });
+}
+
+TEST_F(ThreadCacheTest, FreeBlocksCountsAcrossSpans)
+{
+    run([&](sim::Tasklet &t) {
+        cache.installSpan(t, 6, 0x10000); // 1 KB: 4 per span
+        cache.installSpan(t, 6, 0x20000);
+        EXPECT_EQ(cache.freeBlocks(6), 8u);
+        cache.tryAlloc(t, 6);
+        EXPECT_EQ(cache.freeBlocks(6), 7u);
+    });
+}
+
+TEST(ThreadCacheConfigDeath, RejectsBadClasses)
+{
+    ThreadCacheConfig bad;
+    bad.sizeClasses = {16, 48}; // 48 not a power of two
+    EXPECT_DEATH(ThreadCache(0, bad), "powers of two");
+    ThreadCacheConfig bad2;
+    bad2.sizeClasses = {16, 16};
+    EXPECT_DEATH(ThreadCache(0, bad2), "ascending");
+    ThreadCacheConfig bad3;
+    bad3.sizeClasses = {8}; // 4096/8 = 512 > 256-bit bitmap
+    EXPECT_DEATH(ThreadCache(0, bad3), "bitmap");
+}
