@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "util/cli.hh"
 #include "util/table.hh"
 #include "workloads/graph/update_driver.hh"
 
@@ -18,7 +19,7 @@ using namespace pim::workloads::graph;
 namespace {
 
 double
-updateSeconds(StructureKind structure, unsigned scale)
+updateSeconds(StructureKind structure, unsigned scale, unsigned threads)
 {
     GraphUpdateConfig cfg;
     cfg.structure = structure;
@@ -30,26 +31,32 @@ updateSeconds(StructureKind structure, unsigned scale)
     cfg.gen.numEdges = 60000ull * scale;
     cfg.gen.seed = 42;
     cfg.maxUpdateEdges = 2000; // fixed #new edges across sizes
+    cfg.simThreads = threads;
     return runGraphUpdate(cfg).updateSeconds;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::Cli cli(argc, argv, "threads");
+    const unsigned threads =
+        static_cast<unsigned>(cli.getInt("threads", 0));
     const std::pair<const char *, unsigned> sizes[] = {
         {"Small", 1}, {"Medium", 2}, {"Large", 4}};
 
-    const double base = updateSeconds(StructureKind::StaticCsr, 1);
+    const double base = updateSeconds(StructureKind::StaticCsr, 1, threads);
 
     util::Table table("Fig 3(c): update slowdown vs pre-update graph size "
                       "(normalized to Static/Small)");
     table.setHeader({"Pre-update size", "Static (CSR)",
                      "Dynamic (linked list)"});
     for (const auto &[name, scale] : sizes) {
-        const double stat = updateSeconds(StructureKind::StaticCsr, scale);
-        const double dyn = updateSeconds(StructureKind::LinkedList, scale);
+        const double stat =
+            updateSeconds(StructureKind::StaticCsr, scale, threads);
+        const double dyn =
+            updateSeconds(StructureKind::LinkedList, scale, threads);
         table.addRow({name, util::Table::num(stat / base, 2),
                       util::Table::num(dyn / base, 2)});
     }

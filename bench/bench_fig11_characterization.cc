@@ -9,7 +9,9 @@
 #include <iostream>
 
 #include "alloc/pim_malloc.hh"
+
 #include "sim/dpu.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 #include "workloads/graph/update_driver.hh"
 #include "workloads/llm/kv_cache.hh"
@@ -43,7 +45,8 @@ fromStats(std::string name, const alloc::AllocStats &st)
 }
 
 Row
-graphRow(graph::StructureKind structure, const char *name)
+graphRow(graph::StructureKind structure, const char *name,
+         unsigned threads)
 {
     graph::GraphUpdateConfig cfg;
     cfg.structure = structure;
@@ -52,6 +55,7 @@ graphRow(graph::StructureKind structure, const char *name)
     cfg.sampleDpus = 2;
     cfg.gen.numNodes = 24000;
     cfg.gen.numEdges = 120000;
+    cfg.simThreads = threads;
     const auto res = graph::runGraphUpdate(cfg);
     return fromStats(name, res.allocStats);
 }
@@ -82,11 +86,16 @@ attentionRow()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::Cli cli(argc, argv, "threads");
+    const unsigned threads =
+        static_cast<unsigned>(cli.getInt("threads", 0));
     const Row rows[] = {
-        graphRow(graph::StructureKind::LinkedList, "Array of linked list"),
-        graphRow(graph::StructureKind::VarArray, "Variable sized array"),
+        graphRow(graph::StructureKind::LinkedList, "Array of linked list",
+                 threads),
+        graphRow(graph::StructureKind::VarArray, "Variable sized array",
+                 threads),
         attentionRow(),
     };
 

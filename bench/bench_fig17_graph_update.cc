@@ -14,6 +14,7 @@
 #include <map>
 #include <vector>
 
+#include "util/cli.hh"
 #include "util/table.hh"
 #include "workloads/graph/update_driver.hh"
 
@@ -22,14 +23,23 @@ using namespace pim::workloads::graph;
 
 namespace {
 
+/** --threads / --sample / --dpus from the command line (0 = default). */
+struct BenchKnobs
+{
+    unsigned threads = 0;
+    unsigned sample = 2;
+    unsigned dpus = 512;
+};
+
 GraphUpdateConfig
-baseConfig(StructureKind s, core::AllocatorKind a)
+baseConfig(StructureKind s, core::AllocatorKind a, const BenchKnobs &knobs)
 {
     GraphUpdateConfig cfg;
     cfg.structure = s;
     cfg.allocator = a;
-    cfg.numDpus = 512;
-    cfg.sampleDpus = 2;
+    cfg.numDpus = knobs.dpus;
+    cfg.sampleDpus = knobs.sample;
+    cfg.simThreads = knobs.threads;
     cfg.tasklets = 16;
     // loc-gowalla scale: 196,591 nodes / 950,327 edges.
     cfg.gen.numNodes = 196591;
@@ -47,13 +57,19 @@ struct NamedRun
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::Cli cli(argc, argv, "threads,sample,dpus");
+    BenchKnobs knobs;
+    knobs.threads = static_cast<unsigned>(cli.getInt("threads", 0));
+    knobs.sample = static_cast<unsigned>(cli.getInt("sample", 2));
+    knobs.dpus = static_cast<unsigned>(cli.getInt("dpus", 512));
+
     std::vector<NamedRun> runs;
     runs.push_back({"Static (CSR)",
                     runGraphUpdate(baseConfig(
                         StructureKind::StaticCsr,
-                        core::AllocatorKind::PimMallocSw))});
+                        core::AllocatorKind::PimMallocSw, knobs))});
     const std::pair<const char *, StructureKind> structures[] = {
         {"LinkedList", StructureKind::LinkedList},
         {"VarArray", StructureKind::VarArray}};
@@ -62,7 +78,7 @@ main()
             runs.push_back(
                 {std::string(sname) + " + "
                      + core::allocatorKindName(kind),
-                 runGraphUpdate(baseConfig(s, kind))});
+                 runGraphUpdate(baseConfig(s, kind, knobs))});
         }
     }
 

@@ -11,6 +11,7 @@
 #include "alloc/pim_malloc.hh"
 #include "alloc/straw_man.hh"
 #include "sim/dpu.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 #include "workloads/graph/update_driver.hh"
 
@@ -18,8 +19,12 @@ using namespace pim;
 using namespace pim::workloads;
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::Cli cli(argc, argv, "threads");
+    const unsigned threads =
+        static_cast<unsigned>(cli.getInt("threads", 0));
+
     util::Table fixed("Section VI-E: fixed allocator metadata per DRAM "
                       "bank");
     fixed.setHeader({"Design", "Buddy tree levels", "Buddy metadata"});
@@ -56,6 +61,7 @@ main()
         cfg.sampleDpus = 1;
         cfg.gen.numNodes = 196591;
         cfg.gen.numEdges = 950327;
+        cfg.simThreads = threads;
         const auto r = graph::runGraphUpdate(cfg);
         const double total_kb =
             static_cast<double>(r.metadataBytes) / 1024.0;

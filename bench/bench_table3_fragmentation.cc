@@ -11,6 +11,7 @@
 
 #include "alloc/pim_malloc.hh"
 #include "sim/dpu.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 #include "workloads/graph/update_driver.hh"
 #include "workloads/llm/kv_cache.hh"
@@ -22,7 +23,8 @@ using namespace pim::workloads;
 namespace {
 
 double
-graphFragmentation(graph::StructureKind structure, core::AllocatorKind kind)
+graphFragmentation(graph::StructureKind structure, core::AllocatorKind kind,
+                   unsigned threads)
 {
     graph::GraphUpdateConfig cfg;
     cfg.structure = structure;
@@ -31,6 +33,7 @@ graphFragmentation(graph::StructureKind structure, core::AllocatorKind kind)
     cfg.sampleDpus = 1;
     cfg.gen.numNodes = 196591;
     cfg.gen.numEdges = 950327;
+    cfg.simThreads = threads;
     return graph::runGraphUpdate(cfg).fragmentation;
 }
 
@@ -58,8 +61,12 @@ attentionFragmentation(bool lazy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::Cli cli(argc, argv, "threads");
+    const unsigned threads =
+        static_cast<unsigned>(cli.getInt("threads", 0));
+
     util::Table table("Table III: memory fragmentation (A/U), PIM-malloc "
                       "as-is vs PIM-malloc-lazy");
     table.setHeader({"Workload", "PIM-malloc (as-is)", "PIM-malloc-lazy"});
@@ -67,22 +74,24 @@ main()
     table.addRow({"Dynamic graph update (array of linked list)",
                   util::Table::num(
                       graphFragmentation(graph::StructureKind::LinkedList,
-                                         core::AllocatorKind::PimMallocSw),
+                                         core::AllocatorKind::PimMallocSw,
+                                         threads),
                       2),
                   util::Table::num(
                       graphFragmentation(
                           graph::StructureKind::LinkedList,
-                          core::AllocatorKind::PimMallocSwLazy),
+                          core::AllocatorKind::PimMallocSwLazy, threads),
                       2)});
     table.addRow({"Dynamic graph update (variable sized array)",
                   util::Table::num(
                       graphFragmentation(graph::StructureKind::VarArray,
-                                         core::AllocatorKind::PimMallocSw),
+                                         core::AllocatorKind::PimMallocSw,
+                                         threads),
                       2),
                   util::Table::num(
                       graphFragmentation(
                           graph::StructureKind::VarArray,
-                          core::AllocatorKind::PimMallocSwLazy),
+                          core::AllocatorKind::PimMallocSwLazy, threads),
                       2)});
     table.addRow({"LLM attention",
                   util::Table::num(attentionFragmentation(false), 2),

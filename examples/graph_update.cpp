@@ -9,6 +9,9 @@
  * Run:  ./graph_update [--structure=csr|linkedlist|vararray]
  *                      [--allocator=sw|hwsw|straw-man]
  *                      [--dpus=64] [--nodes=24000] [--edges=120000]
+ *                      [--sample=2] [--threads=0]
+ *
+ * --threads=0 resolves PIM_SIM_THREADS, then hardware concurrency.
  */
 
 #include <iostream>
@@ -23,7 +26,8 @@ using namespace pim::workloads::graph;
 int
 main(int argc, char **argv)
 {
-    util::Cli cli(argc, argv, "structure,allocator,dpus,nodes,edges");
+    util::Cli cli(argc, argv,
+                  "structure,allocator,dpus,nodes,edges,sample,threads");
 
     GraphUpdateConfig cfg;
     const std::string structure = cli.get("structure", "linkedlist");
@@ -36,7 +40,8 @@ main(int argc, char **argv)
     cfg.allocator =
         core::allocatorKindFromName(cli.get("allocator", "sw"));
     cfg.numDpus = static_cast<unsigned>(cli.getInt("dpus", 64));
-    cfg.sampleDpus = 2;
+    cfg.sampleDpus = static_cast<unsigned>(cli.getInt("sample", 2));
+    cfg.simThreads = static_cast<unsigned>(cli.getInt("threads", 0));
     cfg.gen.numNodes = static_cast<uint32_t>(cli.getInt("nodes", 24000));
     cfg.gen.numEdges =
         static_cast<uint64_t>(cli.getInt("edges", 120000));

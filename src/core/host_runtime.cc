@@ -7,7 +7,8 @@
 namespace pim::core {
 
 HostRuntime::HostRuntime(const HostRuntimeConfig &cfg)
-    : cfg_(cfg), host_(cfg.hostCfg), xfer_(cfg.xferCfg)
+    : cfg_(cfg), host_(cfg.hostCfg), xfer_(cfg.xferCfg),
+      engine_(cfg.simThreads)
 {
     PIM_ASSERT(cfg.numDpus > 0, "need at least one DPU");
     const unsigned sample = cfg.sampleDpus == 0
@@ -45,12 +46,19 @@ HostRuntime::pimLaunch(unsigned tasklets,
                        const std::function<void(sim::Tasklet &, unsigned)>
                            &body)
 {
-    uint64_t max_cycles = 0;
-    for (unsigned i = 0; i < dpus_.size(); ++i) {
-        const unsigned global = globalIndex(i);
+    // DPUs share no state, so the launch shards across the host pool;
+    // per-DPU makespans land in index-addressed slots and reduce
+    // sequentially afterwards, keeping the result thread-count
+    // independent.
+    std::vector<uint64_t> cycles(dpus_.size(), 0);
+    engine_.forEach(dpus_.size(), [&](size_t i) {
+        const unsigned global = globalIndex(static_cast<unsigned>(i));
         dpus_[i]->run(tasklets, [&](sim::Tasklet &t) { body(t, global); });
-        max_cycles = std::max(max_cycles, dpus_[i]->lastElapsedCycles());
-    }
+        cycles[i] = dpus_[i]->lastElapsedCycles();
+    });
+    uint64_t max_cycles = 0;
+    for (const uint64_t c : cycles)
+        max_cycles = std::max(max_cycles, c);
     const double sec = cfg_.xferCfg.launchLatencySec
         + cfg_.dpuCfg.cyclesToSeconds(max_cycles);
     elapsed_ += sec;

@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/parallel_engine.hh"
 #include "sim/config.hh"
 #include "sim/dpu.hh"
 #include "sim/host_model.hh"
@@ -53,6 +54,9 @@ struct HostRuntimeConfig
     sim::HostConfig hostCfg{};
     /** Host<->PIM transfer model. */
     sim::TransferConfig xferCfg{};
+    /** Host worker threads for pimLaunch (0 = PIM_SIM_THREADS env,
+     *  else hardware concurrency). */
+    unsigned simThreads = 0;
 };
 
 /** The co-processor runtime. */
@@ -70,8 +74,10 @@ class HostRuntime
     /**
      * Launch @p tasklets tasklets running @p body on every DPU; the
      * body receives the tasklet context and the DPU's global index.
-     * Advances the timeline by launch overhead + slowest DPU makespan.
-     * @return seconds the launch took.
+     * DPU executions are sharded across the runtime's host thread pool
+     * (cfg.simThreads); @p body must not touch state shared between
+     * DPUs. Advances the timeline by launch overhead + slowest DPU
+     * makespan. @return seconds the launch took.
      */
     double pimLaunch(unsigned tasklets,
                      const std::function<void(sim::Tasklet &, unsigned)>
@@ -105,6 +111,9 @@ class HostRuntime
     /** Logical system size. */
     unsigned numDpus() const { return cfg_.numDpus; }
 
+    /** Host worker threads used per pimLaunch. */
+    unsigned simThreads() const { return engine_.threadCount(); }
+
     /** Reset the timeline (keeps DPU state). */
     void resetTimeline();
 
@@ -112,6 +121,7 @@ class HostRuntime
     HostRuntimeConfig cfg_;
     sim::HostModel host_;
     sim::TransferModel xfer_;
+    ParallelDpuEngine engine_;
     std::vector<std::unique_ptr<sim::Dpu>> dpus_;
     double elapsed_ = 0.0;
     uint64_t transferredBytes_ = 0;

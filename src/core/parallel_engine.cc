@@ -1,0 +1,171 @@
+#include "core/parallel_engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace pim::core {
+
+unsigned
+resolveSimThreads(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("PIM_SIM_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ParallelDpuEngine::ParallelDpuEngine(unsigned num_threads)
+    : threads_(resolveSimThreads(num_threads))
+{
+}
+
+void
+ParallelDpuEngine::forEach(size_t n,
+                           const std::function<void(size_t)> &fn) const
+{
+    if (n == 0)
+        return;
+
+    if (threads_ <= 1 || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Grab granularity: coarse enough to amortize the atomic fetch when
+    // indices are cheap (thousands of small DPU launches), fine enough
+    // that a handful of expensive indices (heavy workload shards) still
+    // spread across all workers.
+    const size_t chunk = std::clamp<size_t>(
+        n / (static_cast<size_t>(threads_) * 8), 1, kMaxGrabChunk);
+    const size_t num_chunks = (n + chunk - 1) / chunk;
+    const size_t workers = std::min<size_t>(threads_, num_chunks);
+
+    std::atomic<size_t> next_chunk{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            const size_t c =
+                next_chunk.fetch_add(1, std::memory_order_relaxed);
+            if (c >= num_chunks)
+                return;
+            const size_t begin = c * chunk;
+            const size_t end = std::min(begin + chunk, n);
+            try {
+                for (size_t i = begin; i < end; ++i)
+                    fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                // Drain remaining chunks without running them so the
+                // other workers exit promptly.
+                next_chunk.store(num_chunks, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+namespace {
+
+/** Per-DPU reduction inputs, filled into an index-addressed slot. */
+struct DpuOutcome
+{
+    uint64_t cycles = 0;
+    double seconds = 0.0;
+    sim::CycleBreakdown breakdown{};
+    sim::TrafficStats traffic{};
+};
+
+} // namespace
+
+MultiDpuResult
+ParallelDpuEngine::simulate(
+    unsigned num_dpus, const sim::DpuConfig &cfg,
+    const std::function<void(sim::Dpu &, unsigned)> &program,
+    unsigned sample) const
+{
+    PIM_ASSERT(num_dpus > 0, "need at least one DPU");
+    const unsigned simulated =
+        sample == 0 ? num_dpus : std::min(sample, num_dpus);
+
+    MultiDpuResult out;
+    out.numDpus = num_dpus;
+    out.simulatedDpus = simulated;
+
+    // Workers write only their own DPU's slot; the reduction below is a
+    // sequential left fold over the slots, so the result — including
+    // the floating-point sums — is bit-identical for any thread count
+    // (and identical to a plain serial loop).
+    std::vector<DpuOutcome> outcomes(simulated);
+    forEach(simulated, [&](size_t i) {
+        // Spread a sample across the global index space so
+        // index-dependent sharding stays representative.
+        const unsigned global = simulated == num_dpus
+            ? static_cast<unsigned>(i)
+            : static_cast<unsigned>(i) * (num_dpus / simulated);
+        sim::Dpu dpu(cfg);
+        program(dpu, global);
+        DpuOutcome &oc = outcomes[i];
+        oc.cycles = dpu.lastElapsedCycles();
+        oc.seconds = dpu.lastElapsedSeconds();
+        oc.breakdown = dpu.lastBreakdown();
+        oc.traffic = dpu.traffic();
+    });
+
+    double sum_seconds = 0.0;
+    for (const DpuOutcome &oc : outcomes) {
+        out.maxCycles = std::max(out.maxCycles, oc.cycles);
+        sum_seconds += oc.seconds;
+        out.breakdown.merge(oc.breakdown);
+        out.traffic.merge(oc.traffic);
+    }
+    out.maxSeconds = cfg.cyclesToSeconds(out.maxCycles);
+    out.meanSeconds = sum_seconds / static_cast<double>(simulated);
+
+    // Scale traffic from the sample to the full system.
+    if (simulated < num_dpus) {
+        const double scale = static_cast<double>(num_dpus)
+            / static_cast<double>(simulated);
+        auto scaleUp = [scale](uint64_t v) {
+            return static_cast<uint64_t>(static_cast<double>(v) * scale);
+        };
+        out.traffic.dataReadBytes = scaleUp(out.traffic.dataReadBytes);
+        out.traffic.dataWriteBytes = scaleUp(out.traffic.dataWriteBytes);
+        out.traffic.metadataReadBytes =
+            scaleUp(out.traffic.metadataReadBytes);
+        out.traffic.metadataWriteBytes =
+            scaleUp(out.traffic.metadataWriteBytes);
+        out.traffic.dmaTransfers = scaleUp(out.traffic.dmaTransfers);
+    }
+    return out;
+}
+
+} // namespace pim::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Parallel multi-DPU execution engine. Bank-level DPUs share no state,
+ * so a launch of N DPUs is embarrassingly parallel across host threads.
+ * The engine hands index ranges to a pool of std::thread workers; each
+ * worker writes results only into index-addressed slots, and reductions
+ * happen as a sequential left fold over the slots after the join.
+ *
+ * Determinism guarantee: because every reduction input lands in its own
+ * slot and the fold always walks slots in index order, the result is
+ * bit-identical regardless of how many worker threads ran — including
+ * the floating-point sums, whose association matches a plain serial
+ * loop, not thread scheduling.
+ *
+ * Thread-count resolution: an explicit request wins; otherwise the
+ * PIM_SIM_THREADS environment variable; otherwise the hardware
+ * concurrency of the host.
+ */
+
+#ifndef PIM_CORE_PARALLEL_ENGINE_HH
+#define PIM_CORE_PARALLEL_ENGINE_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "core/system.hh"
+#include "sim/config.hh"
+#include "sim/dpu.hh"
+
+namespace pim::core {
+
+/**
+ * Resolve the worker-thread count for DPU simulation.
+ * @param requested explicit count; 0 defers to the environment.
+ * @return requested if > 0; else PIM_SIM_THREADS if set to a positive
+ *         integer; else std::thread::hardware_concurrency(); at least 1.
+ */
+unsigned resolveSimThreads(unsigned requested = 0);
+
+/** Host thread pool that shards independent DPU launches. */
+class ParallelDpuEngine
+{
+  public:
+    /** Upper bound on indices grabbed per scheduling step; the actual
+     *  grab size adapts down so few-index workloads still spread across
+     *  all workers. Scheduling granularity only — determinism never
+     *  depends on it. */
+    static constexpr size_t kMaxGrabChunk = 16;
+
+    /** @param num_threads 0 = resolveSimThreads() default. */
+    explicit ParallelDpuEngine(unsigned num_threads = 0);
+
+    /** Worker threads this engine launches per call. */
+    unsigned threadCount() const { return threads_; }
+
+    /**
+     * Run @p fn(i) for every i in [0, n), sharded across the pool in
+     * contiguous index ranges. Exceptions thrown by @p fn are captured
+     * and the first one rethrown on the calling thread after all
+     * workers join. @p fn must only touch state disjoint per index (or
+     * index-addressed slots of a shared container).
+     */
+    void forEach(size_t n, const std::function<void(size_t)> &fn) const;
+
+    /**
+     * Parallel equivalent of core::simulateDpus: simulate @p num_dpus
+     * DPUs running @p program, @p sample limiting how many distinct
+     * DPUs are materialized (0 = all). The reduction (max makespan,
+     * summed breakdown/traffic, mean seconds) is bit-identical for any
+     * thread count.
+     */
+    MultiDpuResult
+    simulate(unsigned num_dpus, const sim::DpuConfig &cfg,
+             const std::function<void(sim::Dpu &, unsigned)> &program,
+             unsigned sample = 0) const;
+
+  private:
+    unsigned threads_;
+};
+
+} // namespace pim::core
+
+#endif // PIM_CORE_PARALLEL_ENGINE_HH

@@ -1,56 +1,16 @@
 #include "core/system.hh"
 
-#include <algorithm>
-
-#include "util/logging.hh"
+#include "core/parallel_engine.hh"
 
 namespace pim::core {
 
 MultiDpuResult
 simulateDpus(unsigned num_dpus, const sim::DpuConfig &cfg,
              const std::function<void(sim::Dpu &, unsigned)> &program,
-             unsigned sample)
+             unsigned sample, unsigned threads)
 {
-    PIM_ASSERT(num_dpus > 0, "need at least one DPU");
-    const unsigned simulated =
-        sample == 0 ? num_dpus : std::min(sample, num_dpus);
-
-    MultiDpuResult out;
-    out.numDpus = num_dpus;
-    out.simulatedDpus = simulated;
-
-    double sum_seconds = 0.0;
-    for (unsigned i = 0; i < simulated; ++i) {
-        // Spread the simulated sample across the global index space so
-        // index-dependent sharding is representative.
-        const unsigned global = simulated == num_dpus
-            ? i : i * (num_dpus / simulated);
-        sim::Dpu dpu(cfg);
-        program(dpu, global);
-        out.maxCycles = std::max(out.maxCycles, dpu.lastElapsedCycles());
-        sum_seconds += dpu.lastElapsedSeconds();
-        out.breakdown.merge(dpu.lastBreakdown());
-        out.traffic.merge(dpu.traffic());
-    }
-    out.maxSeconds = cfg.cyclesToSeconds(out.maxCycles);
-    out.meanSeconds = sum_seconds / static_cast<double>(simulated);
-
-    // Scale traffic from the sample to the full system.
-    if (simulated < num_dpus) {
-        const double scale = static_cast<double>(num_dpus)
-            / static_cast<double>(simulated);
-        auto scaleUp = [scale](uint64_t v) {
-            return static_cast<uint64_t>(static_cast<double>(v) * scale);
-        };
-        out.traffic.dataReadBytes = scaleUp(out.traffic.dataReadBytes);
-        out.traffic.dataWriteBytes = scaleUp(out.traffic.dataWriteBytes);
-        out.traffic.metadataReadBytes =
-            scaleUp(out.traffic.metadataReadBytes);
-        out.traffic.metadataWriteBytes =
-            scaleUp(out.traffic.metadataWriteBytes);
-        out.traffic.dmaTransfers = scaleUp(out.traffic.dmaTransfers);
-    }
-    return out;
+    return ParallelDpuEngine(threads).simulate(num_dpus, cfg, program,
+                                               sample);
 }
 
 } // namespace pim::core

@@ -1,11 +1,14 @@
 /**
  * @file
  * Multi-DPU orchestration. Bank-level PIM cores never share state, so a
- * system of N DPUs is simulated by running per-DPU programs one at a
- * time and reducing: makespan = max over DPUs, throughput/traffic = sum.
- * To keep large sweeps tractable, a sample of representative DPUs can be
- * simulated and results extrapolated — valid because the paper's
- * workloads statically shard work uniformly across DPUs.
+ * system of N DPUs is simulated by running per-DPU programs in parallel
+ * across host threads (see core::ParallelDpuEngine) and reducing:
+ * makespan = max over DPUs, throughput/traffic = sum. The reduction is
+ * deterministic — bit-identical results for any thread count. A sample
+ * of representative DPUs can still be simulated and results
+ * extrapolated — valid because the paper's workloads statically shard
+ * work uniformly across DPUs — but with the parallel engine, full-system
+ * (sample = 0) sweeps are the norm.
  */
 
 #ifndef PIM_CORE_SYSTEM_HH
@@ -41,12 +44,15 @@ struct MultiDpuResult
  * Simulate @p num_dpus DPUs running @p program; @p sample limits how
  * many distinct DPUs are actually simulated (0 = all). The program
  * receives a fresh Dpu and its global DPU index, and must run it to
- * completion (Dpu::run / Dpu::runBodies).
+ * completion (Dpu::run / Dpu::runBodies). Launches are sharded across
+ * @p threads host workers (0 = PIM_SIM_THREADS env, else hardware
+ * concurrency); the program must therefore not touch shared mutable
+ * state. Results are bit-identical for any thread count.
  */
 MultiDpuResult
 simulateDpus(unsigned num_dpus, const sim::DpuConfig &cfg,
              const std::function<void(sim::Dpu &, unsigned)> &program,
-             unsigned sample = 0);
+             unsigned sample = 0, unsigned threads = 0);
 
 } // namespace pim::core
 

@@ -3,30 +3,34 @@
 namespace pim::sim {
 
 FlatMemory::FlatMemory(size_t bytes, const char *name)
-    : data_(bytes, 0), name_(name)
+    : data_(static_cast<uint8_t *>(std::calloc(bytes ? bytes : 1, 1)),
+            &std::free),
+      size_(bytes), name_(name)
 {
+    PIM_ASSERT(data_ != nullptr, name, " allocation of ", bytes,
+               " bytes failed");
 }
 
 void
 FlatMemory::checkRange(MramAddr addr, size_t n) const
 {
-    PIM_ASSERT(static_cast<size_t>(addr) + n <= data_.size(),
+    PIM_ASSERT(static_cast<size_t>(addr) + n <= size_,
                name_, " access out of range: addr=", addr, " len=", n,
-               " size=", data_.size());
+               " size=", size_);
 }
 
 void
 FlatMemory::readBytes(MramAddr addr, void *dst, size_t n) const
 {
     checkRange(addr, n);
-    std::memcpy(dst, data_.data() + addr, n);
+    std::memcpy(dst, data_.get() + addr, n);
 }
 
 void
 FlatMemory::writeBytes(MramAddr addr, const void *src, size_t n)
 {
     checkRange(addr, n);
-    std::memcpy(data_.data() + addr, src, n);
+    std::memcpy(data_.get() + addr, src, n);
 }
 
 void
@@ -34,14 +38,14 @@ FlatMemory::moveBytes(MramAddr dst, MramAddr src, size_t n)
 {
     checkRange(dst, n);
     checkRange(src, n);
-    std::memmove(data_.data() + dst, data_.data() + src, n);
+    std::memmove(data_.get() + dst, data_.get() + src, n);
 }
 
 void
 FlatMemory::fill(MramAddr addr, size_t n, uint8_t value)
 {
     checkRange(addr, n);
-    std::memset(data_.data() + addr, value, n);
+    std::memset(data_.get() + addr, value, n);
 }
 
 } // namespace pim::sim

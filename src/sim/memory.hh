@@ -10,8 +10,9 @@
 #define PIM_SIM_MEMORY_HH
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
-#include <vector>
+#include <memory>
 
 #include "sim/types.hh"
 #include "util/logging.hh"
@@ -30,7 +31,7 @@ class FlatMemory
     FlatMemory(size_t bytes, const char *name);
 
     /** Capacity in bytes. */
-    size_t size() const { return data_.size(); }
+    size_t size() const { return size_; }
 
     /** Read a trivially-copyable value at @p addr. */
     template <typename T>
@@ -40,7 +41,7 @@ class FlatMemory
         static_assert(std::is_trivially_copyable_v<T>);
         checkRange(addr, sizeof(T));
         T value;
-        std::memcpy(&value, data_.data() + addr, sizeof(T));
+        std::memcpy(&value, data_.get() + addr, sizeof(T));
         return value;
     }
 
@@ -51,7 +52,7 @@ class FlatMemory
     {
         static_assert(std::is_trivially_copyable_v<T>);
         checkRange(addr, sizeof(T));
-        std::memcpy(data_.data() + addr, &value, sizeof(T));
+        std::memcpy(data_.get() + addr, &value, sizeof(T));
     }
 
     /** Bulk copy out of the memory. */
@@ -67,12 +68,17 @@ class FlatMemory
     void fill(MramAddr addr, size_t n, uint8_t value);
 
     /** Raw pointer for read-only inspection in tests. */
-    const uint8_t *raw() const { return data_.data(); }
+    const uint8_t *raw() const { return data_.get(); }
 
   private:
     void checkRange(MramAddr addr, size_t n) const;
 
-    std::vector<uint8_t> data_;
+    /* calloc-backed so large banks are lazily zeroed by the kernel:
+     * materializing thousands of 64 MB DPUs costs address space, not
+     * page faults, which is what makes full-system (sample = 0)
+     * parallel sweeps tractable. */
+    std::unique_ptr<uint8_t[], void (*)(void *)> data_;
+    size_t size_;
     const char *name_;
 };
 

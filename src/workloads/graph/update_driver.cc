@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "alloc/allocator.hh"
+#include "core/parallel_engine.hh"
 #include "sim/dpu.hh"
 #include "util/logging.hh"
 #include "workloads/graph/csr_graph.hh"
@@ -79,7 +80,7 @@ buildShard(const UpdateWorkload &w, unsigned dpu, unsigned num_dpus)
 GraphUpdateResult
 runGraphUpdate(const GraphUpdateConfig &cfg)
 {
-    PIM_ASSERT(cfg.sampleDpus >= 1, "need at least one sampled DPU");
+    PIM_ASSERT(cfg.numDpus >= 1, "need at least one DPU");
     const GraphDataset dataset = generateGraph(cfg.gen);
     UpdateWorkload w = splitForUpdate(dataset, cfg.newFraction, cfg.seed);
     if (cfg.maxUpdateEdges > 0 && w.updateEdges.size() > cfg.maxUpdateEdges)
@@ -88,15 +89,33 @@ runGraphUpdate(const GraphUpdateConfig &cfg)
     GraphUpdateResult out;
     out.updateEdgesTotal = w.updateEdges.size();
 
-    const unsigned simulated = std::min(cfg.sampleDpus, cfg.numDpus);
-    uint64_t max_cycles = 0;
+    const unsigned simulated = cfg.sampleDpus == 0
+        ? cfg.numDpus : std::min(cfg.sampleDpus, cfg.numDpus);
 
-    for (unsigned i = 0; i < simulated; ++i) {
+    /* Per-shard outcome, filled by its worker and merged in shard order
+     * afterwards so the result is thread-count invariant. */
+    struct ShardOutcome
+    {
+        bool simulated = false;
+        uint64_t cycles = 0;
+        sim::CycleBreakdown breakdown{};
+        sim::TrafficStats traffic{};
+        bool hasAllocator = false;
+        alloc::AllocStats stats;
+        uint64_t metadataBytes = 0;
+    };
+    std::vector<ShardOutcome> outcomes(simulated);
+
+    // Shards never share state (each builds its own Dpu), so the loop
+    // shards across the host thread pool.
+    core::ParallelDpuEngine engine(cfg.simThreads);
+    engine.forEach(simulated, [&](size_t slot) {
+        const unsigned i = static_cast<unsigned>(slot);
         const unsigned dpu_idx = simulated == cfg.numDpus
             ? i : i * (cfg.numDpus / simulated);
         const Shard shard = buildShard(w, dpu_idx, cfg.numDpus);
         if (shard.numLocalNodes == 0)
-            continue;
+            return;
 
         sim::Dpu dpu(cfg.dpuCfg);
         std::unique_ptr<alloc::Allocator> allocator;
@@ -156,11 +175,29 @@ runGraphUpdate(const GraphUpdateConfig &cfg)
             }
         });
 
-        max_cycles = std::max(max_cycles, dpu.lastElapsedCycles());
-        out.breakdown.merge(dpu.lastBreakdown());
-        out.traffic.merge(dpu.traffic());
+        ShardOutcome &oc = outcomes[slot];
+        oc.simulated = true;
+        oc.cycles = dpu.lastElapsedCycles();
+        oc.breakdown = dpu.lastBreakdown();
+        oc.traffic = dpu.traffic();
         if (allocator) {
-            const auto &st = allocator->stats();
+            oc.hasAllocator = true;
+            oc.stats = allocator->stats();
+            oc.metadataBytes = allocator->metadataBytes();
+        }
+    });
+
+    // Sequential merge in shard order — identical to the former
+    // single-threaded loop, for any worker count.
+    uint64_t max_cycles = 0;
+    for (const ShardOutcome &oc : outcomes) {
+        if (!oc.simulated)
+            continue;
+        max_cycles = std::max(max_cycles, oc.cycles);
+        out.breakdown.merge(oc.breakdown);
+        out.traffic.merge(oc.traffic);
+        if (oc.hasAllocator) {
+            const auto &st = oc.stats;
             out.allocStats.mallocCalls += st.mallocCalls;
             out.allocStats.freeCalls += st.freeCalls;
             out.allocStats.failures += st.failures;
@@ -175,7 +212,7 @@ runGraphUpdate(const GraphUpdateConfig &cfg)
                                          st.events.end());
             out.fragmentation =
                 std::max(out.fragmentation, st.peakFragmentation);
-            out.metadataBytes = allocator->metadataBytes();
+            out.metadataBytes = oc.metadataBytes;
         }
     }
 

@@ -38,7 +38,7 @@ struct GraphUpdateConfig
     core::AllocatorKind allocator = core::AllocatorKind::PimMallocSw;
     /** System size the dataset is sharded across. */
     unsigned numDpus = 512;
-    /** Representative DPUs actually simulated. */
+    /** Representative DPUs actually simulated (0 = all of numDpus). */
     unsigned sampleDpus = 2;
     /** Tasklets per DPU processing insertions. */
     unsigned tasklets = 16;
@@ -56,6 +56,9 @@ struct GraphUpdateConfig
     sim::DpuConfig dpuCfg{};
     /** Workload split seed. */
     uint64_t seed = 7;
+    /** Host worker threads simulating shards (0 = PIM_SIM_THREADS env,
+     *  else hardware concurrency). Results are thread-count invariant. */
+    unsigned simThreads = 0;
 };
 
 /** Aggregated outcome of the update phase. */

@@ -312,8 +312,9 @@ TEST_P(BuddyTreeRandomized, LongRandomRunKeepsInvariants)
                 ASSERT_LE(a + rounded, (1u << 16) + heap);
                 // Non-overlap with neighbors in the interval map.
                 auto next = live.lower_bound(a);
-                if (next != live.end())
+                if (next != live.end()) {
                     ASSERT_LE(a + rounded, next->first);
+                }
                 if (next != live.begin()) {
                     auto prev = std::prev(next);
                     ASSERT_LE(prev->first + prev->second, a);

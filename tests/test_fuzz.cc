@@ -30,8 +30,9 @@ class IntervalChecker
     insert(sim::MramAddr a, uint32_t len)
     {
         auto next = live_.lower_bound(a);
-        if (next != live_.end())
+        if (next != live_.end()) {
             ASSERT_LE(a + len, next->first) << "overlap with next block";
+        }
         if (next != live_.begin()) {
             auto prev = std::prev(next);
             ASSERT_LE(prev->first + prev->second, a)

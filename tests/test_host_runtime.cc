@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+
 #include "core/allocator_factory.hh"
 #include "core/host_runtime.hh"
 
@@ -58,14 +61,19 @@ TEST(HostRuntime, MemcpyScalesWithSystemSizeBeyondSaturation)
 TEST(HostRuntime, LaunchRunsEverySampledDpu)
 {
     HostRuntime rt(smallCfg());
-    std::vector<unsigned> seen;
+    // DPU bodies run concurrently across host workers, so record each
+    // DPU's global index into its own slot instead of sharing state.
+    std::array<std::atomic<unsigned>, 2> seen{{{UINT32_MAX}, {UINT32_MAX}}};
+    std::atomic<size_t> next{0};
     const double sec = rt.pimLaunch(2, [&](sim::Tasklet &t, unsigned idx) {
         if (t.id() == 0)
-            seen.push_back(idx);
+            seen[next.fetch_add(1) % seen.size()] = idx;
         t.execute(10);
     });
     EXPECT_GT(sec, 0.0);
-    EXPECT_EQ(seen, (std::vector<unsigned>{0, 32}));
+    const unsigned a = seen[0].load(), b = seen[1].load();
+    EXPECT_EQ(std::min(a, b), 0u);
+    EXPECT_EQ(std::max(a, b), 32u);
 }
 
 TEST(HostRuntime, LaunchTimeIsSlowestDpuPlusOverhead)

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the parallel multi-DPU execution engine: thread-count
+ * invariance of MultiDpuResult (the deterministic-reduction guarantee),
+ * correct merge of per-worker partials against a sequential reference,
+ * PIM_SIM_THREADS resolution, and forEach coverage/exception semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "core/host_runtime.hh"
+#include "core/parallel_engine.hh"
+#include "core/system.hh"
+#include "workloads/graph/update_driver.hh"
+
+using namespace pim;
+using namespace pim::core;
+
+namespace {
+
+/** Small-MRAM DPU so tests don't pay 64 MB of backing store per DPU. */
+sim::DpuConfig
+smallDpuCfg()
+{
+    sim::DpuConfig cfg;
+    cfg.mramBytes = 1u << 20;
+    return cfg;
+}
+
+/** A contention-free per-DPU program with index-dependent compute,
+ *  DMA traffic, and idle time, so every MultiDpuResult field is
+ *  exercised (incl. the floating-point reductions). */
+void
+referenceProgram(sim::Dpu &dpu, unsigned idx)
+{
+    dpu.run(4, [idx](sim::Tasklet &t) {
+        t.execute(50 + 13 * (idx % 7) + t.id());
+        t.dmaRead(0, 64 + 8 * (idx % 5));
+        t.dmaWrite(4096, 32 + 8 * (t.id() % 3));
+        t.stall(5 + idx % 3, sim::CycleKind::BusyWait);
+    });
+}
+
+MultiDpuResult
+runWithThreads(unsigned num_dpus, unsigned threads, unsigned sample = 0)
+{
+    return ParallelDpuEngine(threads).simulate(num_dpus, smallDpuCfg(),
+                                               referenceProgram, sample);
+}
+
+void
+expectIdentical(const MultiDpuResult &a, const MultiDpuResult &b)
+{
+    EXPECT_EQ(a.numDpus, b.numDpus);
+    EXPECT_EQ(a.simulatedDpus, b.simulatedDpus);
+    EXPECT_EQ(a.maxCycles, b.maxCycles);
+    // Bit-identical doubles, not just approximately equal: the chunked
+    // reduction fixes the floating-point association.
+    EXPECT_EQ(a.maxSeconds, b.maxSeconds);
+    EXPECT_EQ(a.meanSeconds, b.meanSeconds);
+    for (size_t k = 0; k < sim::kNumCycleKinds; ++k)
+        EXPECT_EQ(a.breakdown.cycles[k], b.breakdown.cycles[k]);
+    EXPECT_EQ(a.traffic.dataReadBytes, b.traffic.dataReadBytes);
+    EXPECT_EQ(a.traffic.dataWriteBytes, b.traffic.dataWriteBytes);
+    EXPECT_EQ(a.traffic.metadataReadBytes, b.traffic.metadataReadBytes);
+    EXPECT_EQ(a.traffic.metadataWriteBytes, b.traffic.metadataWriteBytes);
+    EXPECT_EQ(a.traffic.dmaTransfers, b.traffic.dmaTransfers);
+}
+
+} // namespace
+
+TEST(ParallelEngine, ThreadCountInvariance)
+{
+    // 130 DPUs: a non-multiple of the chunk size, so the last chunk is
+    // ragged — the hardest case for the deterministic reduction.
+    const auto r1 = runWithThreads(130, 1);
+    const auto r2 = runWithThreads(130, 2);
+    const auto r8 = runWithThreads(130, 8);
+    expectIdentical(r1, r2);
+    expectIdentical(r1, r8);
+    EXPECT_GT(r1.maxCycles, 0u);
+    EXPECT_GT(r1.traffic.totalBytes(), 0u);
+}
+
+TEST(ParallelEngine, ThreadCountInvarianceUnderSampling)
+{
+    const auto r1 = runWithThreads(512, 1, 48);
+    const auto r8 = runWithThreads(512, 8, 48);
+    expectIdentical(r1, r8);
+    EXPECT_EQ(r1.numDpus, 512u);
+    EXPECT_EQ(r1.simulatedDpus, 48u);
+}
+
+TEST(ParallelEngine, MergesPartialsLikeSequentialReference)
+{
+    const unsigned n = 40;
+    // Hand-rolled sequential reduction over the same programs.
+    uint64_t ref_max = 0;
+    sim::CycleBreakdown ref_breakdown{};
+    sim::TrafficStats ref_traffic{};
+    for (unsigned i = 0; i < n; ++i) {
+        sim::Dpu dpu{smallDpuCfg()};
+        referenceProgram(dpu, i);
+        ref_max = std::max(ref_max, dpu.lastElapsedCycles());
+        ref_breakdown.merge(dpu.lastBreakdown());
+        ref_traffic.merge(dpu.traffic());
+    }
+
+    const auto r = runWithThreads(n, 4);
+    EXPECT_EQ(r.maxCycles, ref_max);
+    for (size_t k = 0; k < sim::kNumCycleKinds; ++k)
+        EXPECT_EQ(r.breakdown.cycles[k], ref_breakdown.cycles[k]);
+    EXPECT_EQ(r.traffic.dataReadBytes, ref_traffic.dataReadBytes);
+    EXPECT_EQ(r.traffic.dataWriteBytes, ref_traffic.dataWriteBytes);
+    EXPECT_EQ(r.traffic.dmaTransfers, ref_traffic.dmaTransfers);
+}
+
+TEST(ParallelEngine, SimulateDpusWrapperStaysEquivalent)
+{
+    const auto engine = runWithThreads(96, 3);
+    const auto wrapper =
+        simulateDpus(96, smallDpuCfg(), referenceProgram, 0, 3);
+    expectIdentical(engine, wrapper);
+}
+
+TEST(ParallelEngine, ResolveThreadsPrecedence)
+{
+    // Explicit request wins over everything.
+    EXPECT_EQ(resolveSimThreads(5), 5u);
+
+    // PIM_SIM_THREADS is honored when no explicit request is made.
+    ::setenv("PIM_SIM_THREADS", "3", 1);
+    EXPECT_EQ(resolveSimThreads(0), 3u);
+    EXPECT_EQ(resolveSimThreads(7), 7u);
+    EXPECT_EQ(ParallelDpuEngine(0).threadCount(), 3u);
+
+    // Garbage or non-positive values fall through to the hardware.
+    ::setenv("PIM_SIM_THREADS", "zero", 1);
+    EXPECT_GE(resolveSimThreads(0), 1u);
+    ::setenv("PIM_SIM_THREADS", "-2", 1);
+    EXPECT_GE(resolveSimThreads(0), 1u);
+
+    ::unsetenv("PIM_SIM_THREADS");
+    EXPECT_GE(resolveSimThreads(0), 1u);
+}
+
+TEST(ParallelEngine, ForEachCoversEveryIndexExactlyOnce)
+{
+    const size_t n = 1000; // spans many chunks
+    std::vector<std::atomic<unsigned>> hits(n);
+    ParallelDpuEngine engine(8);
+    engine.forEach(n, [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST(ParallelEngine, ForEachHandlesEmptyAndTiny)
+{
+    ParallelDpuEngine engine(8);
+    engine.forEach(0, [](size_t) { FAIL() << "must not be called"; });
+
+    std::atomic<unsigned> calls{0};
+    engine.forEach(1, [&](size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 1u);
+}
+
+TEST(ParallelEngine, ForEachPropagatesExceptions)
+{
+    ParallelDpuEngine engine(4);
+    EXPECT_THROW(engine.forEach(256,
+                                [](size_t i) {
+                                    if (i == 200)
+                                        throw std::runtime_error("boom");
+                                }),
+                 std::runtime_error);
+}
+
+TEST(ParallelEngine, HostRuntimeLaunchIsThreadCountInvariant)
+{
+    auto launch = [](unsigned threads) {
+        HostRuntimeConfig cfg;
+        cfg.numDpus = 64;
+        cfg.sampleDpus = 32;
+        cfg.dpuCfg = smallDpuCfg();
+        cfg.simThreads = threads;
+        HostRuntime rt(cfg);
+        rt.pimLaunch(8, [](sim::Tasklet &t, unsigned idx) {
+            t.execute(100 + idx + t.id());
+            t.dmaRead(0, 64);
+        });
+        return rt.elapsedSeconds();
+    };
+    const double s1 = launch(1);
+    const double s8 = launch(8);
+    EXPECT_EQ(s1, s8); // bit-identical timeline
+    EXPECT_GT(s1, 0.0);
+
+    HostRuntimeConfig cfg;
+    cfg.simThreads = 6;
+    EXPECT_EQ(HostRuntime(cfg).simThreads(), 6u);
+}
+
+TEST(ParallelEngine, GraphUpdateDriverIsThreadCountInvariant)
+{
+    auto run = [](unsigned threads) {
+        workloads::graph::GraphUpdateConfig cfg;
+        cfg.numDpus = 32;
+        cfg.sampleDpus = 8;
+        cfg.tasklets = 4;
+        cfg.gen.numNodes = 512;
+        cfg.gen.numEdges = 2048;
+        cfg.simThreads = threads;
+        return workloads::graph::runGraphUpdate(cfg);
+    };
+    const auto a = run(1);
+    const auto b = run(8);
+    EXPECT_EQ(a.updateSeconds, b.updateSeconds);
+    EXPECT_EQ(a.updateEdgesTotal, b.updateEdgesTotal);
+    EXPECT_EQ(a.allocStats.mallocCalls, b.allocStats.mallocCalls);
+    EXPECT_EQ(a.allocStats.freeCalls, b.allocStats.freeCalls);
+    EXPECT_EQ(a.fragmentation, b.fragmentation);
+    EXPECT_EQ(a.traffic.totalBytes(), b.traffic.totalBytes());
+    for (size_t k = 0; k < sim::kNumCycleKinds; ++k)
+        EXPECT_EQ(a.breakdown.cycles[k], b.breakdown.cycles[k]);
+    EXPECT_GT(a.allocStats.mallocCalls, 0u);
+}

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
 #include "core/system.hh"
 
 using namespace pim;
@@ -25,13 +29,20 @@ TEST(System, MaxReduction)
 
 TEST(System, SamplingSpreadsIndices)
 {
+    // Programs run concurrently across host workers, so collect the
+    // global indices under a mutex and sort before asserting.
+    std::mutex mu;
     std::vector<unsigned> indices;
     simulateDpus(512, sim::DpuConfig{},
                  [&](sim::Dpu &dpu, unsigned idx) {
-                     indices.push_back(idx);
+                     {
+                         std::lock_guard<std::mutex> lock(mu);
+                         indices.push_back(idx);
+                     }
                      dpu.run(1, [](sim::Tasklet &t) { t.execute(1); });
                  },
                  4);
+    std::sort(indices.begin(), indices.end());
     ASSERT_EQ(indices.size(), 4u);
     EXPECT_EQ(indices[0], 0u);
     EXPECT_EQ(indices[1], 128u);
