@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: how many simulation events (cycle
+ * charges) per second of host wall time the per-DPU engine sustains.
+ * This is the metric the horizon scheduler + fiber rework optimizes, and
+ * it feeds the repo's perf trajectory (BENCH_*.json) via --json.
+ *
+ * Cases: 1-tasklet (uncontended) and 16-tasklet (mutex-contended)
+ * alloc/free loops on PIM-malloc-SW, the paper's default design point.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/allocator_factory.hh"
+#include "sim/dpu.hh"
+#include "sim/fiber.hh"
+#include "util/cli.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace pim;
+
+namespace {
+
+struct CaseResult
+{
+    std::string name;
+    unsigned tasklets = 0;
+    uint64_t simEvents = 0;
+    uint64_t simCycles = 0;
+    double wallSeconds = 0.0;
+    double eventsPerSec = 0.0;
+};
+
+CaseResult
+runCase(unsigned tasklets, unsigned allocs, unsigned reps)
+{
+    CaseResult res;
+    res.name = std::to_string(tasklets) + "-tasklet alloc/free";
+    res.tasklets = tasklets;
+
+    // Best-of-N wall time so a noisy host doesn't hide a regression.
+    double best = -1.0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        sim::Dpu dpu;
+        core::AllocatorOverrides ov;
+        ov.numTasklets = tasklets;
+        auto allocator =
+            core::makeAllocator(dpu, core::AllocatorKind::PimMallocSw, ov);
+        dpu.run(1, [&](sim::Tasklet &t) { allocator->init(t); });
+
+        const auto start = std::chrono::steady_clock::now();
+        dpu.run(tasklets, [&](sim::Tasklet &t) {
+            for (unsigned i = 0; i < allocs; ++i) {
+                const sim::MramAddr addr = allocator->malloc(t, 32);
+                PIM_ASSERT(addr != sim::kNullAddr, "heap exhausted");
+                const bool ok = allocator->free(t, addr);
+                PIM_ASSERT(ok, "double free");
+            }
+        });
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+
+        if (best < 0.0 || wall.count() < best) {
+            best = wall.count();
+            res.simEvents = dpu.lastSimEvents();
+            res.simCycles = dpu.lastElapsedCycles();
+        }
+    }
+    res.wallSeconds = best;
+    res.eventsPerSec =
+        best > 0.0 ? static_cast<double>(res.simEvents) / best : 0.0;
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::Cli cli(argc, argv, "allocs,reps,json");
+    const unsigned allocs =
+        static_cast<unsigned>(cli.getInt("allocs", 2048));
+    const unsigned reps = static_cast<unsigned>(cli.getInt("reps", 3));
+    const std::string json_path = cli.get("json", "");
+
+    std::vector<CaseResult> results;
+    for (unsigned tasklets : {1u, 16u})
+        results.push_back(runCase(tasklets, allocs, reps));
+
+    util::Table table(std::string("Simulator throughput (fiber backend: ")
+                      + sim::Fiber::backendName() + ", best of "
+                      + std::to_string(reps) + ")");
+    table.setHeader({"Case", "Sim events", "Sim cycles", "Wall (ms)",
+                     "Events/sec"});
+    for (const auto &r : results) {
+        table.addRow({r.name, std::to_string(r.simEvents),
+                      std::to_string(r.simCycles),
+                      util::Table::num(r.wallSeconds * 1e3, 2),
+                      util::Table::num(r.eventsPerSec / 1e6, 2) + "M"});
+    }
+    table.print(std::cout);
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out) {
+            std::cerr << "cannot open " << json_path << "\n";
+            return 1;
+        }
+        util::JsonWriter j(out);
+        j.beginObject();
+        j.key("bench").value("sim_throughput");
+        j.key("fiber_backend").value(sim::Fiber::backendName());
+        j.key("allocs_per_tasklet").value(allocs);
+        j.key("reps").value(reps);
+        j.key("cases").beginArray();
+        for (const auto &r : results) {
+            j.beginObject();
+            j.key("name").value(r.name);
+            j.key("tasklets").value(r.tasklets);
+            j.key("sim_events").value(r.simEvents);
+            j.key("sim_cycles").value(r.simCycles);
+            j.key("wall_seconds").value(r.wallSeconds);
+            j.key("events_per_sec").value(r.eventsPerSec);
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+        std::cout << "\nJSON written to " << json_path << "\n";
+    }
+    return 0;
+}

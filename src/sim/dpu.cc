@@ -1,9 +1,29 @@
 #include "sim/dpu.hh"
 
+#include <cstdlib>
+
 #include "sim/scheduler.hh"
 #include "util/logging.hh"
 
 namespace pim::sim {
+
+namespace {
+
+/**
+ * Scheduling policy for all DPU launches. PIM_SIM_SCHED=naive selects
+ * the reference event loop, so any experiment can be re-run against it
+ * to check bit-identical output (the determinism suite automates this
+ * for a contended workload).
+ */
+TaskletScheduler::Policy
+schedulerPolicy()
+{
+    static const TaskletScheduler::Policy policy =
+        TaskletScheduler::policyFromEnv(std::getenv("PIM_SIM_SCHED"));
+    return policy;
+}
+
+} // namespace
 
 Dpu::Dpu(const DpuConfig &cfg)
     : cfg_(cfg),
@@ -24,16 +44,18 @@ uint64_t
 Dpu::runBodies(std::vector<std::function<void(Tasklet &)>> bodies)
 {
     PIM_ASSERT(!bodies.empty(), "DPU launch needs at least one tasklet");
-    TaskletScheduler sched(*this);
+    TaskletScheduler sched(*this, schedulerPolicy());
     for (auto &b : bodies)
         sched.spawn(std::move(b));
     sched.runToCompletion();
 
     lastElapsed_ = sched.elapsedCycles();
     lastBreakdown_ = CycleBreakdown{};
+    lastSimEvents_ = 0;
     for (size_t i = 0; i < sched.numTasklets(); ++i) {
         const auto &bd = sched.tasklet(i).breakdown();
         lastBreakdown_.merge(bd);
+        lastSimEvents_ += sched.tasklet(i).simEvents();
         // Pad tasklets that finished before the makespan with Idle(Etc)
         // so occupancy fractions are meaningful across the whole launch.
         lastBreakdown_.add(CycleKind::IdleEtc,

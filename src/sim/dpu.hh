@@ -61,6 +61,9 @@ class Dpu
     /** Makespan of the most recent run, in cycles. */
     uint64_t lastElapsedCycles() const { return lastElapsed_; }
 
+    /** Simulation events (cycle charges) of the most recent run. */
+    uint64_t lastSimEvents() const { return lastSimEvents_; }
+
     /** Makespan of the most recent run, in seconds. */
     double
     lastElapsedSeconds() const
@@ -99,6 +102,7 @@ class Dpu
     BuddyCache buddyCache_;
     TrafficStats traffic_;
     uint64_t lastElapsed_ = 0;
+    uint64_t lastSimEvents_ = 0;
     CycleBreakdown lastBreakdown_{};
     uint32_t wramUsed_ = 0;
 };

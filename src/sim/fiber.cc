@@ -1,72 +1,23 @@
+/**
+ * @file
+ * Backend-independent Fiber pieces; the context-switch machinery itself
+ * lives in fiber_asm.cc / fiber_asm_*.S or fiber_ucontext.cc (one of
+ * which is compiled in, selected by CMake).
+ */
+
 #include "sim/fiber.hh"
 
 #include "util/logging.hh"
 
 namespace pim::sim {
 
-namespace {
-
-/** The fiber currently executing on this thread, if any. */
-thread_local Fiber *tl_current = nullptr;
-
-} // namespace
-
 Fiber::Fiber(std::function<void()> body, size_t stack_bytes)
-    : body_(std::move(body)), stack_(stack_bytes)
+    : body_(std::move(body)),
+      stack_(new uint8_t[stack_bytes]),
+      stackBytes_(stack_bytes)
 {
     PIM_ASSERT(body_ != nullptr, "fiber requires a body");
     PIM_ASSERT(stack_bytes >= 16 * 1024, "fiber stack too small");
-}
-
-void
-Fiber::trampoline(unsigned hi, unsigned lo)
-{
-    auto *self = reinterpret_cast<Fiber *>(
-        (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo));
-    self->run();
-}
-
-void
-Fiber::run()
-{
-    body_();
-    finished_ = true;
-    // Return to the resumer; the fiber must never fall off the end of
-    // its context, so swap explicitly.
-    Fiber *self = this;
-    tl_current = nullptr;
-    swapcontext(&self->context_, &self->caller_);
-    PIM_PANIC("resumed a finished fiber");
-}
-
-void
-Fiber::resume()
-{
-    PIM_ASSERT(!finished_, "cannot resume a finished fiber");
-    if (!started_) {
-        started_ = true;
-        if (getcontext(&context_) != 0)
-            PIM_PANIC("getcontext failed");
-        context_.uc_stack.ss_sp = stack_.data();
-        context_.uc_stack.ss_size = stack_.size();
-        context_.uc_link = nullptr;
-        const auto ptr = reinterpret_cast<uintptr_t>(this);
-        makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 2,
-                    static_cast<unsigned>(ptr >> 32),
-                    static_cast<unsigned>(ptr & 0xffffffffu));
-    }
-    Fiber *previous = tl_current;
-    tl_current = this;
-    swapcontext(&caller_, &context_);
-    tl_current = previous;
-}
-
-void
-Fiber::yield()
-{
-    Fiber *self = tl_current;
-    PIM_ASSERT(self != nullptr, "Fiber::yield outside a fiber");
-    swapcontext(&self->context_, &self->caller_);
 }
 
 } // namespace pim::sim

@@ -24,6 +24,14 @@ SimMutex::lock(Tasklet &t)
         // Spin with bounded exponential backoff. Batching attempts keeps
         // the simulation event count manageable under heavy contention
         // without changing where the busy-wait cycles are attributed.
+        //
+        // Under horizon scheduling this loop is also what makes lock
+        // hand-off cheap to simulate: `locked_` can only change while
+        // this tasklet is switched out, i.e. when a charge below
+        // crosses its horizon, so every re-check that runs ahead inside
+        // the horizon is charged but switch-free. (ROADMAP: an
+        // event-driven wait queue could elide the spin events
+        // entirely, at the cost of changing this attribution.)
         t.execute(spin_instrs, CycleKind::BusyWait);
         spin_instrs = std::min<uint64_t>(spin_instrs * 2, 256);
     }

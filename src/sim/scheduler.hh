@@ -2,16 +2,37 @@
  * @file
  * Deterministic cooperative scheduler for the tasklets of one DPU.
  *
- * Tasklets run on fibers; every cycle charge suspends the running tasklet
- * and control returns here. The scheduler always resumes the unfinished
- * tasklet with the smallest virtual clock (ties broken by id), which
- * makes the interleaving — and therefore every experiment — fully
- * deterministic while still exhibiting realistic contention dynamics.
+ * Tasklets run on fibers; control returns here whenever the running
+ * tasklet can no longer be the next one to run. The scheduler always
+ * runs the unfinished tasklet with the smallest virtual clock (ties
+ * broken by id), which makes the interleaving — and therefore every
+ * experiment — fully deterministic while still exhibiting realistic
+ * contention dynamics.
+ *
+ * Two scheduling policies produce bit-identical simulations:
+ *
+ *  - Horizon (default): when a tasklet is resumed the scheduler also
+ *    hands it a *horizon* — the largest virtual clock at which it still
+ *    wins the "(smallest clock, lowest id)" election against the best
+ *    waiting tasklet. Cycle charges below the horizon just advance the
+ *    tasklet's clock inline (a branch and two adds); only a charge that
+ *    crosses the horizon context-switches. This is semantics-preserving
+ *    because a yield that would immediately resume the same tasklet is
+ *    a no-op in a cooperative model: nothing else runs in between, so
+ *    no observable state can change. The waiting set is a small binary
+ *    min-heap keyed by (clock, id); only the resumed tasklet's key ever
+ *    changes (monotonically forward), so plain push/pop suffices.
+ *
+ *  - NaiveReference: the original event loop — yield back to the
+ *    scheduler after *every* cycle charge and rescan all tasklets with
+ *    an O(T) loop. Kept as the executable specification; the
+ *    determinism test suite asserts Horizon matches it exactly.
  */
 
 #ifndef PIM_SIM_SCHEDULER_HH
 #define PIM_SIM_SCHEDULER_HH
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -27,7 +48,13 @@ class Dpu;
 class TaskletScheduler
 {
   public:
-    explicit TaskletScheduler(Dpu &dpu);
+    /** Event-loop implementation; both produce identical simulations. */
+    enum class Policy : uint8_t {
+        Horizon,        ///< run-ahead horizon scheduling (default)
+        NaiveReference, ///< yield-per-charge + O(T) scan (reference)
+    };
+
+    explicit TaskletScheduler(Dpu &dpu, Policy policy = Policy::Horizon);
 
     /** Add one tasklet running @p body. Must precede runToCompletion(). */
     void spawn(std::function<void(Tasklet &)> body);
@@ -35,8 +62,12 @@ class TaskletScheduler
     /** Run all spawned tasklets to completion (single host thread). */
     void runToCompletion();
 
-    /** Number of tasklets that have not yet finished. */
-    unsigned activeCount() const { return active_; }
+    /**
+     * Parse a PIM_SIM_SCHED value: "naive" -> NaiveReference,
+     * "horizon" or unset -> Horizon; anything else is a fatal config
+     * error (a typo must not silently select the default).
+     */
+    static Policy policyFromEnv(const char *value);
 
     /** Number of tasklets spawned. */
     size_t numTasklets() const { return tasklets_.size(); }
@@ -48,15 +79,50 @@ class TaskletScheduler
     /** Max virtual clock across tasklets (the program's makespan). */
     uint64_t elapsedCycles() const;
 
+    /** The active scheduling policy. */
+    Policy policy() const { return policy_; }
+
   private:
     friend class Tasklet;
 
-    /** Record @p cycles against @p t and yield if inside the run loop. */
-    void chargeAndYield(Tasklet &t, uint64_t cycles, CycleKind kind);
+    void runHorizon();
+    void runNaive();
+
+    /**
+     * Called from the fiber of @p t when a charge crossed its horizon:
+     * under Horizon, elect the best waiting tasklet and transfer
+     * control to its fiber directly (one context switch, no scheduler
+     * round trip); under NaiveReference, plain-yield to the event loop.
+     */
+    void switchOut(Tasklet &t);
+
+    /** Tasklet id packed into the low bits of an election key. */
+    static unsigned
+    keyId(uint64_t key)
+    {
+        return static_cast<unsigned>(key)
+            & ((1u << Tasklet::kIdBits) - 1u);
+    }
+
+    void heapPush(uint64_t key);
+    uint64_t heapPop();
+    /** Pop the min and insert @p key in one sift (the hot-path shape). */
+    uint64_t heapReplaceTop(uint64_t key);
 
     Dpu &dpu_;
+    Policy policy_;
     std::vector<std::unique_ptr<Tasklet>> tasklets_;
     std::vector<std::unique_ptr<Fiber>> fibers_;
+    /** Raw-pointer mirrors of the above (hot path, no deref chains). */
+    std::vector<Tasklet *> taskletRaw_;
+    std::vector<Fiber *> fiberRaw_;
+    /**
+     * Binary min-heap of the *suspended* unfinished tasklets' election
+     * keys (the running tasklet is not in it). Only the switched-out
+     * tasklet's key ever changes, so replace-top is the only hot
+     * operation; no decrease-key / index tracking is needed.
+     */
+    std::vector<uint64_t> heap_;
     unsigned active_ = 0;
     bool running_ = false;
 };

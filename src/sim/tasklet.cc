@@ -21,26 +21,16 @@ cycleKindName(CycleKind kind)
 }
 
 Tasklet::Tasklet(Dpu &dpu, TaskletScheduler &sched, unsigned id)
-    : dpu_(dpu), sched_(sched), id_(id)
+    : dpu_(dpu), sched_(sched), activeTasklets_(&sched.active_),
+      issueInterval_(dpu.config().pipelineIssueInterval), id_(id),
+      clockKey_(id) // clock 0, id in the low bits
 {
 }
 
 void
-Tasklet::execute(uint64_t instrs, CycleKind kind)
+Tasklet::yieldNow()
 {
-    if (instrs == 0)
-        return;
-    const unsigned interval = std::max<unsigned>(
-        dpu_.config().pipelineIssueInterval, sched_.activeCount());
-    sched_.chargeAndYield(*this, instrs * interval, kind);
-}
-
-void
-Tasklet::stall(uint64_t cycles, CycleKind kind)
-{
-    if (cycles == 0)
-        return;
-    sched_.chargeAndYield(*this, cycles, kind);
+    sched_.switchOut(*this);
 }
 
 void
@@ -56,7 +46,7 @@ Tasklet::dmaRead(MramAddr addr, uint32_t bytes, TrafficClass tc)
         traffic.metadataReadBytes += bytes;
     else
         traffic.dataReadBytes += bytes;
-    sched_.chargeAndYield(*this, cycles, CycleKind::IdleMemory);
+    charge(cycles, CycleKind::IdleMemory);
 }
 
 void
@@ -72,7 +62,7 @@ Tasklet::dmaWrite(MramAddr addr, uint32_t bytes, TrafficClass tc)
         traffic.metadataWriteBytes += bytes;
     else
         traffic.dataWriteBytes += bytes;
-    sched_.chargeAndYield(*this, cycles, CycleKind::IdleMemory);
+    charge(cycles, CycleKind::IdleMemory);
 }
 
 template <typename T>
@@ -87,8 +77,11 @@ template <typename T>
 void
 Tasklet::mramWrite(MramAddr addr, const T &value, TrafficClass tc)
 {
-    dpu_.mram().write<T>(addr, value);
+    // Charge the DMA before committing the store (mirroring mramRead):
+    // the write must not become visible to tasklets scheduled during
+    // the transfer's virtual time window.
     dmaWrite(addr, std::max<uint32_t>(8, sizeof(T)), tc);
+    dpu_.mram().write<T>(addr, value);
 }
 
 // Explicit instantiations for the types workloads use.

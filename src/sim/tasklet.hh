@@ -3,8 +3,12 @@
  * The execution context handed to code running "on" a DPU hardware
  * thread. All simulated work flows through this interface: instruction
  * blocks (execute), MRAM DMA (dmaRead/dmaWrite and the typed helpers),
- * and raw stalls. Each charge advances the tasklet's virtual clock and
- * yields to the scheduler, which interleaves tasklets deterministically.
+ * and raw stalls. Each charge advances the tasklet's virtual clock; the
+ * tasklet yields to the scheduler only when the charge crosses the
+ * scheduler-assigned horizon (the point where another tasklet would win
+ * the election), so the common uncontended charge is a branch and two
+ * adds with no function call — see scheduler.hh for why this is
+ * semantics-preserving.
  */
 
 #ifndef PIM_SIM_TASKLET_HH
@@ -26,6 +30,9 @@ class TaskletScheduler;
 class Tasklet
 {
   public:
+    /** Low bits of the election key reserved for the tasklet id. */
+    static constexpr unsigned kIdBits = 5;
+
     Tasklet(Dpu &dpu, TaskletScheduler &sched, unsigned id);
 
     Tasklet(const Tasklet &) = delete;
@@ -41,10 +48,25 @@ class Tasklet
      * @param kind  accounting category (Run for useful work, BusyWait
      *              for lock spinning).
      */
-    void execute(uint64_t instrs, CycleKind kind = CycleKind::Run);
+    void
+    execute(uint64_t instrs, CycleKind kind = CycleKind::Run)
+    {
+        if (instrs == 0)
+            return;
+        const uint64_t width =
+            *activeTasklets_ > issueInterval_ ? *activeTasklets_
+                                              : issueInterval_;
+        charge(instrs * width, kind);
+    }
 
     /** Charge raw cycles without pipeline scaling (e.g. fixed latencies). */
-    void stall(uint64_t cycles, CycleKind kind);
+    void
+    stall(uint64_t cycles, CycleKind kind)
+    {
+        if (cycles == 0)
+            return;
+        charge(cycles, kind);
+    }
 
     /**
      * Charge the cost of one MRAM->WRAM DMA transfer of @p bytes and
@@ -70,7 +92,10 @@ class Tasklet
                    TrafficClass tc = TrafficClass::Data);
 
     /** Virtual clock of this tasklet, in DPU cycles. */
-    uint64_t clock() const { return clock_; }
+    uint64_t clock() const { return clockKey_ >> kIdBits; }
+
+    /** Number of simulation events (cycle charges) this tasklet issued. */
+    uint64_t simEvents() const { return simEvents_; }
 
     /** Hardware thread id (0-based). */
     unsigned id() const { return id_; }
@@ -84,10 +109,48 @@ class Tasklet
   private:
     friend class TaskletScheduler;
 
+    /**
+     * The hot path of the whole simulator: account @p cycles and yield
+     * only when the new clock crosses the scheduler-assigned horizon
+     * (i.e. another tasklet would now win the election).
+     */
+    void
+    charge(uint64_t cycles, CycleKind kind)
+    {
+        clockKey_ += cycles << kIdBits;
+        ++simEvents_;
+        breakdown_.add(kind, cycles);
+        if (clockKey_ > horizonKey_) [[unlikely]]
+            yieldNow();
+    }
+
+    /** Cold path: suspend back to the scheduler loop. */
+    void yieldNow();
+
     Dpu &dpu_;
     TaskletScheduler &sched_;
+    /** Points at the scheduler's live unfinished-tasklet count. */
+    const unsigned *activeTasklets_;
+    /** Cached DpuConfig::pipelineIssueInterval. */
+    uint64_t issueInterval_;
     unsigned id_;
-    uint64_t clock_ = 0;
+    /**
+     * The tasklet's election key: virtual clock in the upper 59 bits,
+     * id in the low kIdBits. "(smallest clock, lowest id) wins" is then
+     * plain integer order, so the scheduler's heap holds bare uint64
+     * keys and the horizon check below is a single compare. Charging
+     * cycles adds cycles << kIdBits, leaving the id bits untouched.
+     */
+    uint64_t clockKey_;
+    /**
+     * Run-ahead bound, maintained by the scheduler: the election key of
+     * the best waiting tasklet. This tasklet keeps running (no context
+     * switch) until a charge pushes clockKey_ past it. UINT64_MAX
+     * outside the run loop (or for the last unfinished tasklet), so
+     * charges never yield there.
+     */
+    uint64_t horizonKey_ = UINT64_MAX;
+    uint64_t simEvents_ = 0;
     CycleBreakdown breakdown_{};
 };
 

@@ -1,0 +1,184 @@
+#include "util/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace pim::util {
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::indent()
+{
+    out_ << '\n';
+    for (size_t i = 0; i < frames_.size(); ++i)
+        out_ << "  ";
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (key_pending_) {
+        key_pending_ = false;
+        return;
+    }
+    PIM_ASSERT(!wrote_root_ || !frames_.empty(),
+               "JSON document already complete");
+    if (!frames_.empty()) {
+        PIM_ASSERT(frames_.back() == Frame::Array,
+                   "object member requires key()");
+        if (!first_.back())
+            out_ << ',';
+        first_.back() = false;
+        indent();
+    }
+    wrote_root_ = true;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    PIM_ASSERT(!frames_.empty() && frames_.back() == Frame::Object,
+               "key() outside an object");
+    PIM_ASSERT(!key_pending_, "key() after key()");
+    if (!first_.back())
+        out_ << ',';
+    first_.back() = false;
+    indent();
+    out_ << '"' << escape(name) << "\": ";
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ << '{';
+    frames_.push_back(Frame::Object);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    PIM_ASSERT(!frames_.empty() && frames_.back() == Frame::Object,
+               "endObject() without beginObject()");
+    PIM_ASSERT(!key_pending_, "dangling key()");
+    const bool empty = first_.back();
+    frames_.pop_back();
+    first_.pop_back();
+    if (!empty)
+        indent();
+    out_ << '}';
+    if (frames_.empty())
+        out_ << '\n';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ << '[';
+    frames_.push_back(Frame::Array);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    PIM_ASSERT(!frames_.empty() && frames_.back() == Frame::Array,
+               "endArray() without beginArray()");
+    const bool empty = first_.back();
+    frames_.pop_back();
+    first_.pop_back();
+    if (!empty)
+        indent();
+    out_ << ']';
+    if (frames_.empty())
+        out_ << '\n';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    beforeValue();
+    out_ << '"' << escape(s) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    beforeValue();
+    if (!std::isfinite(d)) {
+        // JSON has no Inf/NaN; emit null so consumers fail loudly.
+        out_ << "null";
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t n)
+{
+    beforeValue();
+    out_ << n;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t n)
+{
+    beforeValue();
+    out_ << n;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    beforeValue();
+    out_ << (b ? "true" : "false");
+    return *this;
+}
+
+} // namespace pim::util

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for machine-readable benchmark output
+ * (BENCH_*.json). Supports nested objects/arrays, string escaping, and
+ * integer/double/bool values — just enough for perf artifacts, with no
+ * external dependency.
+ */
+
+#ifndef PIM_UTIL_JSON_HH
+#define PIM_UTIL_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pim::util {
+
+/**
+ * Streaming writer producing pretty-printed JSON on an ostream.
+ *
+ * Usage:
+ *   JsonWriter j(out);
+ *   j.beginObject();
+ *   j.key("name").value("bench");
+ *   j.key("cases").beginArray();
+ *   j.beginObject(); ... j.endObject();
+ *   j.endArray();
+ *   j.endObject();
+ *
+ * The writer asserts balanced begin/end calls and inserts commas and
+ * indentation automatically.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out) : out_(out) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by exactly one value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(double d);
+    JsonWriter &value(uint64_t n);
+    JsonWriter &value(int64_t n);
+    JsonWriter &value(int n) { return value(static_cast<int64_t>(n)); }
+    JsonWriter &value(unsigned n) { return value(static_cast<uint64_t>(n)); }
+    JsonWriter &value(bool b);
+
+    /** True once every begin has been matched by an end. */
+    bool complete() const { return frames_.empty() && wrote_root_; }
+
+    /** JSON-escape @p s (quotes not included). */
+    static std::string escape(const std::string &s);
+
+  private:
+    enum class Frame : uint8_t { Object, Array };
+
+    void beforeValue();
+    void indent();
+
+    std::ostream &out_;
+    std::vector<Frame> frames_;
+    std::vector<bool> first_;   // first element of frames_[i] pending?
+    bool key_pending_ = false;  // key() emitted, value expected
+    bool wrote_root_ = false;
+};
+
+} // namespace pim::util
+
+#endif // PIM_UTIL_JSON_HH

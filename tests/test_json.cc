@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the minimal streaming JSON writer used by benchmark
+ * artifacts (--json flags).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/json.hh"
+
+using pim::util::JsonWriter;
+
+TEST(Json, FlatObject)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("name").value("bench");
+    j.key("count").value(uint64_t{42});
+    j.key("ratio").value(0.5);
+    j.key("ok").value(true);
+    j.endObject();
+    EXPECT_TRUE(j.complete());
+    EXPECT_EQ(os.str(), "{\n"
+                        "  \"name\": \"bench\",\n"
+                        "  \"count\": 42,\n"
+                        "  \"ratio\": 0.5,\n"
+                        "  \"ok\": true\n"
+                        "}\n");
+}
+
+TEST(Json, NestedArraysAndObjects)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("cases").beginArray();
+    j.beginObject();
+    j.key("id").value(1);
+    j.endObject();
+    j.beginObject();
+    j.key("id").value(2);
+    j.endObject();
+    j.endArray();
+    j.key("empty").beginArray().endArray();
+    j.endObject();
+    EXPECT_TRUE(j.complete());
+    EXPECT_EQ(os.str(), "{\n"
+                        "  \"cases\": [\n"
+                        "    {\n"
+                        "      \"id\": 1\n"
+                        "    },\n"
+                        "    {\n"
+                        "      \"id\": 2\n"
+                        "    }\n"
+                        "  ],\n"
+                        "  \"empty\": []\n"
+                        "}\n");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+    EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(JsonWriter::escape(std::string("ctl\x01") + "x"),
+              "ctl\\u0001x");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginArray();
+    j.value(std::numeric_limits<double>::infinity());
+    j.value(std::nan(""));
+    j.endArray();
+    EXPECT_EQ(os.str(), "[\n  null,\n  null\n]\n");
+}
+
+TEST(Json, ScalarRoot)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.value(int64_t{-7});
+    EXPECT_TRUE(j.complete());
+    EXPECT_EQ(os.str(), "-7");
+}
+
+TEST(JsonDeath, KeyOutsideObjectPanics)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    EXPECT_DEATH(j.key("oops"), "outside");
+}
+
+TEST(JsonDeath, ValueInObjectWithoutKeyPanics)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginObject();
+    EXPECT_DEATH(j.value(1), "key");
+}

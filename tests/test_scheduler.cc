@@ -146,6 +146,43 @@ TEST(Scheduler, ActiveCountDropsAsTaskletsFinish)
     EXPECT_GE(clocks[0], 16 + 100 * 11);
 }
 
+TEST(Scheduler, SimEventsCountCharges)
+{
+    Dpu dpu;
+    dpu.run(1, [](Tasklet &t) {
+        t.execute(10);
+        t.stall(5, CycleKind::IdleEtc);
+        t.dmaRead(0, 64);
+        t.execute(0); // zero charges are elided, not events
+    });
+    EXPECT_EQ(dpu.lastSimEvents(), 3u);
+}
+
+TEST(Scheduler, HorizonRunAheadSkipsSwitchesNotEvents)
+{
+    // Same program under both policies: identical clocks and event
+    // counts (the determinism suite checks this exhaustively; this is
+    // the smoke version guarding the Dpu plumbing).
+    auto run = [](TaskletScheduler::Policy policy) {
+        Dpu dpu;
+        TaskletScheduler sched(dpu, policy);
+        for (int k = 0; k < 4; ++k)
+            sched.spawn([](Tasklet &t) {
+                for (int i = 0; i < 10; ++i)
+                    t.execute(1 + t.id());
+            });
+        sched.runToCompletion();
+        std::vector<uint64_t> out;
+        for (size_t i = 0; i < sched.numTasklets(); ++i) {
+            out.push_back(sched.tasklet(i).clock());
+            out.push_back(sched.tasklet(i).simEvents());
+        }
+        return out;
+    };
+    EXPECT_EQ(run(TaskletScheduler::Policy::Horizon),
+              run(TaskletScheduler::Policy::NaiveReference));
+}
+
 TEST(SchedulerDeath, TooManyTaskletsPanics)
 {
     Dpu dpu;

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Golden determinism suite for the simulation core.
+ *
+ * The horizon scheduler skips context switches that would immediately
+ * resume the same tasklet; that must be invisible to the simulation.
+ * These tests run a contended 16-tasklet workload (mutex spinning, MRAM
+ * DMA, asymmetric compute) under both scheduling policies and assert
+ * every observable is identical: per-tasklet clocks, event counts,
+ * cycle breakdowns, mutex statistics, DMA traffic, shared-memory
+ * results, and the exact execution interleaving (as a trace hash).
+ *
+ * The trace hash is also pinned to a golden constant, so the asm and
+ * ucontext fiber CI legs — separate binaries — are checked against the
+ * same interleaving. If you intentionally change the cost model or the
+ * workload below, rebuild and run this binary: GoldenTraceHash fails
+ * and prints the new hash to paste into kGoldenTraceHash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/dpu.hh"
+#include "sim/mutex.hh"
+#include "sim/scheduler.hh"
+
+using namespace pim::sim;
+
+namespace {
+
+/** FNV-1a over 64-bit words; stable across platforms and compilers. */
+struct TraceHash
+{
+    uint64_t h = 1469598103934665603ull;
+
+    void
+    add(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+};
+
+struct RunResult
+{
+    std::vector<uint64_t> clocks;
+    std::vector<uint64_t> events;
+    std::vector<CycleBreakdown> breakdowns;
+    uint64_t elapsed = 0;
+    uint64_t mutexAcquisitions = 0;
+    uint64_t mutexContended = 0;
+    uint64_t trafficBytes = 0;
+    uint64_t dmaTransfers = 0;
+    uint64_t sharedCounter = 0;
+    uint64_t traceHash = 0;
+};
+
+constexpr unsigned kTasklets = 16;
+constexpr unsigned kIters = 24;
+
+/**
+ * A deliberately nasty interleaving workload: every tasklet loops over
+ * (spin-lock, read-modify-write a shared MRAM counter, unlock, then an
+ * id-skewed compute block and an id-skewed DMA), so lock hand-off order,
+ * spin batching, and DMA visibility all feed the result.
+ */
+RunResult
+runWorkload(TaskletScheduler::Policy policy)
+{
+    Dpu dpu;
+    TaskletScheduler sched(dpu, policy);
+    SimMutex mutex;
+    const MramAddr counter_addr = 64;
+    dpu.mram().write<uint64_t>(counter_addr, 0);
+
+    TraceHash trace;
+    for (unsigned i = 0; i < kTasklets; ++i) {
+        sched.spawn([&](Tasklet &t) {
+            for (unsigned it = 0; it < kIters; ++it) {
+                mutex.lock(t);
+                const auto v = t.mramRead<uint64_t>(counter_addr);
+                t.execute(3 + t.id() % 5);
+                t.mramWrite<uint64_t>(counter_addr, v + 1 + t.id());
+                mutex.unlock(t);
+                trace.add((static_cast<uint64_t>(t.id()) << 32) | it);
+                trace.add(t.clock());
+                t.execute(7 + 3 * t.id());
+                t.dmaRead(128 + 8 * t.id(), 16 + 8 * (t.id() % 3));
+                t.stall(5 + t.id(), CycleKind::IdleEtc);
+            }
+        });
+    }
+    sched.runToCompletion();
+
+    RunResult r;
+    for (size_t i = 0; i < sched.numTasklets(); ++i) {
+        r.clocks.push_back(sched.tasklet(i).clock());
+        r.events.push_back(sched.tasklet(i).simEvents());
+        r.breakdowns.push_back(sched.tasklet(i).breakdown());
+    }
+    r.elapsed = sched.elapsedCycles();
+    r.mutexAcquisitions = mutex.acquisitions();
+    r.mutexContended = mutex.contendedAcquisitions();
+    r.trafficBytes = dpu.traffic().totalBytes();
+    r.dmaTransfers = dpu.traffic().dmaTransfers;
+    r.sharedCounter = dpu.mram().read<uint64_t>(counter_addr);
+    r.traceHash = trace.h;
+    return r;
+}
+
+/**
+ * Golden interleaving hash of the workload above. Identical for the
+ * horizon and naive schedulers and for the asm and ucontext fiber
+ * backends, on every compiler/arch/sanitizer combination.
+ */
+constexpr uint64_t kGoldenTraceHash = 0xd5c4d11022def0b0ull;
+
+} // namespace
+
+TEST(SimDeterminism, HorizonMatchesNaiveReference)
+{
+    const RunResult horizon = runWorkload(TaskletScheduler::Policy::Horizon);
+    const RunResult naive =
+        runWorkload(TaskletScheduler::Policy::NaiveReference);
+
+    EXPECT_EQ(horizon.traceHash, naive.traceHash);
+    EXPECT_EQ(horizon.elapsed, naive.elapsed);
+    EXPECT_EQ(horizon.mutexAcquisitions, naive.mutexAcquisitions);
+    EXPECT_EQ(horizon.mutexContended, naive.mutexContended);
+    EXPECT_EQ(horizon.trafficBytes, naive.trafficBytes);
+    EXPECT_EQ(horizon.dmaTransfers, naive.dmaTransfers);
+    EXPECT_EQ(horizon.sharedCounter, naive.sharedCounter);
+    ASSERT_EQ(horizon.clocks.size(), naive.clocks.size());
+    for (size_t i = 0; i < horizon.clocks.size(); ++i) {
+        EXPECT_EQ(horizon.clocks[i], naive.clocks[i]) << "tasklet " << i;
+        EXPECT_EQ(horizon.events[i], naive.events[i]) << "tasklet " << i;
+        for (size_t k = 0; k < kNumCycleKinds; ++k)
+            EXPECT_EQ(horizon.breakdowns[i].cycles[k],
+                      naive.breakdowns[i].cycles[k])
+                << "tasklet " << i << " kind " << k;
+    }
+}
+
+TEST(SimDeterminism, WorkloadIsActuallyContended)
+{
+    const RunResult r = runWorkload(TaskletScheduler::Policy::Horizon);
+    // The golden workload must keep exercising lock contention and
+    // busy-wait accounting, or the comparison above proves nothing.
+    EXPECT_EQ(r.mutexAcquisitions, uint64_t{kTasklets} * kIters);
+    EXPECT_GT(r.mutexContended, 0u);
+    uint64_t busy = 0;
+    for (const auto &bd : r.breakdowns)
+        busy += bd.of(CycleKind::BusyWait);
+    EXPECT_GT(busy, 0u);
+}
+
+TEST(SimDeterminism, GoldenTraceHash)
+{
+    const RunResult r = runWorkload(TaskletScheduler::Policy::Horizon);
+    EXPECT_EQ(r.traceHash, kGoldenTraceHash)
+        << "Interleaving changed. If the cost model or golden workload "
+           "changed intentionally, update kGoldenTraceHash to 0x"
+        << std::hex << r.traceHash;
+}
+
+TEST(SimDeterminism, RepeatedRunsAreIdentical)
+{
+    const RunResult a = runWorkload(TaskletScheduler::Policy::Horizon);
+    const RunResult b = runWorkload(TaskletScheduler::Policy::Horizon);
+    EXPECT_EQ(a.traceHash, b.traceHash);
+    EXPECT_EQ(a.clocks, b.clocks);
+}
+
+TEST(SimDeterminism, PolicyFromEnvParsing)
+{
+    // Dpu::runBodies latches policyFromEnv(getenv("PIM_SIM_SCHED"))
+    // once per process; the parse itself is checked directly.
+    EXPECT_EQ(TaskletScheduler::policyFromEnv(nullptr),
+              TaskletScheduler::Policy::Horizon);
+    EXPECT_EQ(TaskletScheduler::policyFromEnv("horizon"),
+              TaskletScheduler::Policy::Horizon);
+    EXPECT_EQ(TaskletScheduler::policyFromEnv("naive"),
+              TaskletScheduler::Policy::NaiveReference);
+}
+
+TEST(SimDeterminismDeath, UnknownPolicyEnvValueIsFatal)
+{
+    // A typo must not silently fall back to the default scheduler (it
+    // would make naive-vs-horizon differential runs vacuous).
+    EXPECT_EXIT(TaskletScheduler::policyFromEnv("Naive"),
+                testing::ExitedWithCode(1), "PIM_SIM_SCHED");
+}
+
+TEST(SimDeterminism, ExplicitPolicyConstruction)
+{
+    Dpu dpu;
+    TaskletScheduler horizon(dpu);
+    EXPECT_EQ(horizon.policy(), TaskletScheduler::Policy::Horizon);
+    TaskletScheduler naive(dpu, TaskletScheduler::Policy::NaiveReference);
+    EXPECT_EQ(naive.policy(), TaskletScheduler::Policy::NaiveReference);
+}
