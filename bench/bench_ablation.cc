@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "alloc/pim_malloc.hh"
+#include "core/pim_system.hh"
 #include "sim/dpu.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
@@ -45,7 +46,8 @@ struct SpanResult
 SpanResult
 spanSweep(uint32_t span_bytes)
 {
-    sim::Dpu dpu;
+    core::PimSystem sys(core::singleDpuConfig());
+    sim::Dpu &dpu = sys.dpu(0);
     alloc::PimMallocConfig cfg;
     cfg.spanBytes = span_bytes;
     // Keep class/span ratio within the bitmap: smallest class scales.
@@ -67,7 +69,8 @@ spanSweep(uint32_t span_bytes)
 double
 classCountLatency(size_t num_classes)
 {
-    sim::Dpu dpu;
+    core::PimSystem sys(core::singleDpuConfig());
+    sim::Dpu &dpu = sys.dpu(0);
     alloc::PimMallocConfig cfg;
     cfg.sizeClasses.clear();
     // Classes shrink from 2 KB downward: fewer classes -> smaller max

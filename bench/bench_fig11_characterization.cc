@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "alloc/pim_malloc.hh"
+#include "core/pim_system.hh"
 
 #include "sim/dpu.hh"
 #include "util/cli.hh"
@@ -65,7 +66,8 @@ attentionRow()
 {
     // LLM decode: per-DPU KV slices grow in 512 B blocks while a batch
     // of requests decodes (Section V's attention kernel pattern).
-    sim::Dpu dpu;
+    core::PimSystem sys(core::singleDpuConfig());
+    sim::Dpu &dpu = sys.dpu(0);
     alloc::PimMallocConfig cfg;
     cfg.numTasklets = 16;
     alloc::PimMallocAllocator a(dpu, cfg);

@@ -10,11 +10,13 @@
  */
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <vector>
 
 #include "util/cli.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 #include "workloads/graph/update_driver.hh"
 
@@ -23,16 +25,9 @@ using namespace pim::workloads::graph;
 
 namespace {
 
-/** --threads / --sample / --dpus from the command line (0 = default). */
-struct BenchKnobs
-{
-    unsigned threads = 0;
-    unsigned sample = 2;
-    unsigned dpus = 512;
-};
-
 GraphUpdateConfig
-baseConfig(StructureKind s, core::AllocatorKind a, const BenchKnobs &knobs)
+baseConfig(StructureKind s, core::AllocatorKind a,
+           const util::BenchKnobs &knobs)
 {
     GraphUpdateConfig cfg;
     cfg.structure = s;
@@ -40,7 +35,7 @@ baseConfig(StructureKind s, core::AllocatorKind a, const BenchKnobs &knobs)
     cfg.numDpus = knobs.dpus;
     cfg.sampleDpus = knobs.sample;
     cfg.simThreads = knobs.threads;
-    cfg.tasklets = 16;
+    cfg.tasklets = knobs.tasklets;
     // loc-gowalla scale: 196,591 nodes / 950,327 edges.
     cfg.gen.numNodes = 196591;
     cfg.gen.numEdges = 950327;
@@ -59,11 +54,8 @@ struct NamedRun
 int
 main(int argc, char **argv)
 {
-    util::Cli cli(argc, argv, "threads,sample,dpus");
-    BenchKnobs knobs;
-    knobs.threads = static_cast<unsigned>(cli.getInt("threads", 0));
-    knobs.sample = static_cast<unsigned>(cli.getInt("sample", 2));
-    knobs.dpus = static_cast<unsigned>(cli.getInt("dpus", 512));
+    util::Cli cli(argc, argv, util::benchKnobNames());
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
 
     std::vector<NamedRun> runs;
     runs.push_back({"Static (CSR)",
@@ -178,5 +170,45 @@ main(int argc, char **argv)
                  "(paper: 7.1x and 32x over static for the two "
                  "structures); HW/SW moves ~30% less metadata than SW "
                  "(paper Fig 17(d)).\n";
+
+    if (!knobs.jsonPath.empty()) {
+        std::ofstream out(knobs.jsonPath);
+        if (!out) {
+            std::cerr << "cannot open " << knobs.jsonPath << "\n";
+            return 1;
+        }
+        util::JsonWriter j(out);
+        j.beginObject();
+        j.key("bench").value("fig17_graph_update");
+        j.key("dpus").value(knobs.dpus);
+        j.key("sample").value(knobs.sample);
+        j.key("tasklets").value(knobs.tasklets);
+        j.key("configurations").beginArray();
+        for (const auto &r : runs) {
+            const auto &res = r.result;
+            j.beginObject();
+            j.key("name").value(r.name);
+            j.key("medges_per_sec").value(res.millionEdgesPerSec);
+            j.key("update_seconds").value(res.updateSeconds);
+            j.key("update_edges").value(res.updateEdgesTotal);
+            j.key("run_frac")
+                .value(res.breakdown.fraction(sim::CycleKind::Run));
+            j.key("busy_wait_frac")
+                .value(res.breakdown.fraction(sim::CycleKind::BusyWait));
+            j.key("idle_mem_frac")
+                .value(res.breakdown.fraction(
+                    sim::CycleKind::IdleMemory));
+            j.key("malloc_calls").value(res.allocStats.mallocCalls);
+            j.key("avg_alloc_latency_us").value(res.avgAllocLatencyUs);
+            j.key("peak_fragmentation").value(res.fragmentation);
+            j.key("total_traffic_bytes").value(res.traffic.totalBytes());
+            j.key("metadata_traffic_bytes")
+                .value(res.traffic.metadataBytes());
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+        std::cout << "\nJSON written to " << knobs.jsonPath << "\n";
+    }
     return 0;
 }

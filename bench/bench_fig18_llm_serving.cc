@@ -7,9 +7,13 @@
  * prompts, 256-token outputs (Section V).
  */
 
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <vector>
 
+#include "util/cli.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 #include "workloads/llm/serving_sim.hh"
 
@@ -17,9 +21,21 @@ using namespace pim;
 using namespace pim::workloads::llm;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const ServingConfig cfg;
+    // Serving has no sampling or sim-thread fan-out, so only the
+    // applicable shared knobs are accepted (unknown flags stay fatal).
+    util::Cli cli(argc, argv, "dpus,tasklets,json,requests,rate");
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
+
+    ServingConfig cfg;
+    cfg.numDpus = knobs.dpus;
+    cfg.allocTasklets = knobs.tasklets;
+    cfg.numRequests =
+        static_cast<unsigned>(cli.getInt("requests", cfg.numRequests));
+    cfg.arrivalRatePerSec =
+        cli.getDouble("rate", cfg.arrivalRatePerSec);
+
     const ServingScheme schemes[] = {
         {std::nullopt},
         {core::AllocatorKind::StrawMan},
@@ -34,8 +50,10 @@ main()
                      "Alloc us/block"});
     double static_throughput = 0.0;
     double best_throughput = 0.0;
+    std::vector<std::pair<std::string, ServingResult>> results;
     for (const auto &scheme : schemes) {
         const auto r = runServing(scheme, cfg);
+        results.emplace_back(scheme.name(), r);
         if (!scheme.allocator)
             static_throughput = r.throughputTokensPerSec;
         best_throughput =
@@ -55,5 +73,37 @@ main()
                  "TPOT but the smallest batch; the straw-man has the "
                  "highest TPOT; PIM-malloc-HW/SW has the highest "
                  "throughput.\n";
+
+    if (!knobs.jsonPath.empty()) {
+        std::ofstream out(knobs.jsonPath);
+        if (!out) {
+            std::cerr << "cannot open " << knobs.jsonPath << "\n";
+            return 1;
+        }
+        util::JsonWriter j(out);
+        j.beginObject();
+        j.key("bench").value("fig18_llm_serving");
+        j.key("dpus").value(cfg.numDpus);
+        j.key("requests").value(cfg.numRequests);
+        j.key("arrival_rate_per_sec").value(cfg.arrivalRatePerSec);
+        j.key("schemes").beginArray();
+        for (const auto &[name, r] : results) {
+            j.beginObject();
+            j.key("name").value(name);
+            j.key("throughput_tokens_per_sec")
+                .value(r.throughputTokensPerSec);
+            j.key("tpot_p50_ms").value(r.tpotP50Ms);
+            j.key("tpot_p95_ms").value(r.tpotP95Ms);
+            j.key("tpot_p99_ms").value(r.tpotP99Ms);
+            j.key("makespan_sec").value(r.makespanSec);
+            j.key("max_batch").value(r.maxBatchLimit);
+            j.key("peak_batch").value(r.peakBatchObserved);
+            j.key("alloc_sec_per_block").value(r.allocSecPerBlock);
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+        std::cout << "\nJSON written to " << knobs.jsonPath << "\n";
+    }
     return 0;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/allocator_factory.hh"
+#include "core/pim_system.hh"
 #include "sim/dpu.hh"
 #include "sim/fiber.hh"
 #include "util/cli.hh"
@@ -47,7 +48,11 @@ runCase(unsigned tasklets, unsigned allocs, unsigned reps)
     // Best-of-N wall time so a noisy host doesn't hide a regression.
     double best = -1.0;
     for (unsigned rep = 0; rep < reps; ++rep) {
-        sim::Dpu dpu;
+        // Fresh one-DPU system per rep (clean heap); timing wraps only
+        // the per-DPU event loop, so the bench still measures the
+        // scheduler, not the runtime plumbing.
+        core::PimSystem sys(core::singleDpuConfig());
+        sim::Dpu &dpu = sys.dpu(0);
         core::AllocatorOverrides ov;
         ov.numTasklets = tasklets;
         auto allocator =

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "alloc/pim_malloc.hh"
+#include "core/pim_system.hh"
 #include "sim/dpu.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
@@ -40,7 +41,8 @@ graphFragmentation(graph::StructureKind structure, core::AllocatorKind kind,
 double
 attentionFragmentation(bool lazy)
 {
-    sim::Dpu dpu;
+    core::PimSystem sys(core::singleDpuConfig());
+    sim::Dpu &dpu = sys.dpu(0);
     alloc::PimMallocConfig cfg;
     cfg.numTasklets = 16;
     cfg.prePopulate = !lazy;

@@ -15,7 +15,8 @@
 #include <vector>
 
 #include "core/allocator_factory.hh"
-#include "sim/dpu.hh"
+#include "core/command_queue.hh"
+#include "core/pim_system.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 
@@ -32,18 +33,23 @@ main(int argc, char **argv)
     const auto kind =
         core::allocatorKindFromName(cli.get("allocator", "sw"));
 
-    // One DPU with the UPMEM defaults: 350 MHz, 24 tasklet slots,
-    // 64 KB WRAM, 64 MB MRAM.
-    sim::Dpu dpu;
+    // A one-DPU system with the UPMEM defaults (350 MHz, 24 tasklet
+    // slots, 64 KB WRAM, 64 MB MRAM), driven through the command-queue
+    // runtime every experiment in the repo uses.
+    core::PimSystem sys(core::singleDpuConfig());
+    core::CommandQueue queue(sys);
+    sim::Dpu &dpu = sys.dpu(0);
+
     core::AllocatorOverrides ov;
     ov.numTasklets = tasklets;
     auto allocator = core::makeAllocator(dpu, kind, ov);
 
     // Table II: initAllocator() runs once, on a designated tasklet.
-    dpu.run(1, [&](sim::Tasklet &t) { allocator->init(t); });
+    queue.launch(sys.all(), 1,
+                 [&](sim::Tasklet &t, unsigned) { allocator->init(t); });
 
     // pimMalloc()/pimFree() from every tasklet, no explicit locking.
-    dpu.run(tasklets, [&](sim::Tasklet &t) {
+    queue.launch(sys.all(), tasklets, [&](sim::Tasklet &t, unsigned) {
         std::vector<sim::MramAddr> mine;
         for (unsigned i = 0; i < allocs; ++i) {
             const sim::MramAddr p = allocator->malloc(t, size);
@@ -56,6 +62,7 @@ main(int argc, char **argv)
         for (sim::MramAddr p : mine)
             allocator->free(t, p);
     });
+    queue.sync();
 
     const auto &st = allocator->stats();
     util::Table out(allocator->name() + " on one DPU: "

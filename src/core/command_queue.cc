@@ -1,0 +1,325 @@
+#include "core/command_queue.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace pim::core {
+
+CommandQueue::CommandQueue(PimSystem &sys)
+    : sys_(sys), rankT_(sys.numRanks(), 0.0)
+{
+}
+
+double
+CommandQueue::rankReadySeconds(unsigned r) const
+{
+    PIM_ASSERT(r < rankT_.size(), "rank out of range");
+    return rankT_[r];
+}
+
+Event
+CommandQueue::enqueue(Command cmd)
+{
+    const Event id = static_cast<Event>(
+        resolvedBase_ + resolved_.size() + pending_.size());
+    PIM_ASSERT(cmd.after < id, "dependency on a future command");
+    pending_.push_back(std::move(cmd));
+    return id;
+}
+
+double
+CommandQueue::eventTime(Event e) const
+{
+    // Events older than the last compaction point are dominated by the
+    // joined host time, so 0.0 is an exact stand-in inside the max().
+    return e < static_cast<Event>(resolvedBase_)
+        ? 0.0 : resolved_[static_cast<size_t>(e) - resolvedBase_];
+}
+
+double
+CommandQueue::copyDuration(const DpuSet &set, uint64_t total_bytes) const
+{
+    return sys_.transferModel().secondsTotal(total_bytes, set.size());
+}
+
+CommandQueue::Command
+CommandQueue::makeCopy(const DpuSet &set, uint64_t total_bytes,
+                       bool blocking, Event after) const
+{
+    Command cmd;
+    cmd.type = Command::Type::Copy;
+    cmd.after = after;
+    cmd.totalBytes = total_bytes;
+    cmd.copySeconds = copyDuration(set, total_bytes);
+    cmd.blocking = blocking;
+    cmd.ranks = set.ranks();
+    return cmd;
+}
+
+double
+CommandQueue::memcpy(const DpuSet &set, uint64_t bytes_per_dpu,
+                     CopyDirection dir)
+{
+    (void)dir; // symmetric cost model
+    Command cmd = makeCopy(set, bytes_per_dpu * set.size(),
+                           /*blocking=*/true, kNoEvent);
+    const double sec = cmd.copySeconds;
+    enqueue(std::move(cmd));
+    drain();
+    return sec;
+}
+
+Event
+CommandQueue::memcpyAsync(const DpuSet &set, uint64_t bytes_per_dpu,
+                          CopyDirection dir, Event after)
+{
+    (void)dir;
+    return enqueue(makeCopy(set, bytes_per_dpu * set.size(),
+                            /*blocking=*/false, after));
+}
+
+double
+CommandQueue::memcpyScatter(const DpuSet &set,
+                            const std::vector<uint64_t> &bytes_per_dpu,
+                            CopyDirection dir)
+{
+    (void)dir;
+    PIM_ASSERT(bytes_per_dpu.size() == set.size(),
+               "scatter byte counts must match the set size");
+    uint64_t total = 0;
+    for (const uint64_t b : bytes_per_dpu)
+        total += b;
+    Command cmd = makeCopy(set, total, /*blocking=*/true, kNoEvent);
+    const double sec = cmd.copySeconds;
+    enqueue(std::move(cmd));
+    drain();
+    return sec;
+}
+
+Event
+CommandQueue::memcpyScatterAsync(const DpuSet &set,
+                                 std::vector<uint64_t> bytes_per_dpu,
+                                 CopyDirection dir, Event after)
+{
+    (void)dir;
+    PIM_ASSERT(bytes_per_dpu.size() == set.size(),
+               "scatter byte counts must match the set size");
+    uint64_t total = 0;
+    for (const uint64_t b : bytes_per_dpu)
+        total += b;
+    return enqueue(makeCopy(set, total, /*blocking=*/false, after));
+}
+
+Event
+CommandQueue::launch(const DpuSet &set, unsigned tasklets,
+                     std::function<void(sim::Tasklet &, unsigned)> body,
+                     Event after)
+{
+    return launchProgram(
+        set,
+        [tasklets, body = std::move(body)](sim::Dpu &dpu,
+                                           unsigned global) {
+            dpu.run(tasklets,
+                    [&](sim::Tasklet &t) { body(t, global); });
+        },
+        after);
+}
+
+Event
+CommandQueue::launchProgram(
+    const DpuSet &set,
+    std::function<void(sim::Dpu &, unsigned)> program, Event after)
+{
+    // A launch with no materialized member would silently run nothing
+    // and cost nothing — an experiment bug, not a zero-work launch
+    // (cf. PimSystemConfig::samplePerRank for rank-granular targets).
+    PIM_ASSERT(!set.slots().empty(),
+               "launch target contains no materialized DPU");
+    Command cmd;
+    cmd.type = Command::Type::Launch;
+    cmd.after = after;
+    cmd.program = std::move(program);
+    cmd.ranks = set.ranks();
+    cmd.slots = set.slots();
+    cmd.slotCycles.assign(cmd.slots.size(), 0);
+    return enqueue(std::move(cmd));
+}
+
+double
+CommandQueue::hostCompute(uint64_t tasks, uint64_t instrs_per_task,
+                          Event after)
+{
+    return hostBusy(sys_.hostModel().seconds(tasks, instrs_per_task),
+                    after);
+}
+
+double
+CommandQueue::hostBusy(double seconds, Event after)
+{
+    Command cmd;
+    cmd.type = Command::Type::HostCompute;
+    cmd.after = after;
+    cmd.hostSeconds = seconds;
+    enqueue(std::move(cmd));
+    return seconds;
+}
+
+void
+CommandQueue::hostIdleUntil(double seconds, Event after)
+{
+    Command cmd;
+    cmd.type = Command::Type::HostCompute;
+    cmd.after = after;
+    cmd.hostUntil = seconds;
+    enqueue(std::move(cmd));
+}
+
+void
+CommandQueue::drain()
+{
+    if (pending_.empty())
+        return;
+
+    // Phase 1: execute launch bodies. Each materialized slot runs its
+    // launches in enqueue order (one ordered chain per slot), and the
+    // chains shard across the host pool — a slot's state is only ever
+    // touched by one worker, so per-DPU closures need no locking.
+    std::vector<std::vector<Command *>> chains(sys_.sampleCount());
+    for (Command &cmd : pending_) {
+        if (cmd.type != Command::Type::Launch)
+            continue;
+        for (const unsigned slot : cmd.slots)
+            chains[slot].push_back(&cmd);
+    }
+    std::vector<unsigned> active;
+    for (unsigned slot = 0; slot < chains.size(); ++slot) {
+        if (!chains[slot].empty())
+            active.push_back(slot);
+    }
+    sys_.engine().forEach(active.size(), [&](size_t i) {
+        const unsigned slot = active[i];
+        const unsigned global = sys_.globalIndex(slot);
+        sim::Dpu &dpu = sys_.dpu(slot);
+        for (Command *cmd : chains[slot]) {
+            cmd->program(dpu, global);
+            const size_t pos = static_cast<size_t>(
+                std::lower_bound(cmd->slots.begin(), cmd->slots.end(),
+                                 slot)
+                - cmd->slots.begin());
+            cmd->slotCycles[pos] = dpu.lastElapsedCycles();
+        }
+    });
+
+    // Phase 2: fold the commands into the timelines, sequentially and
+    // in enqueue order — bit-identical for any worker-thread count.
+    const double launch_overhead =
+        sys_.config().xferCfg.launchLatencySec;
+    for (Command &cmd : pending_) {
+        const double dep =
+            cmd.after == kNoEvent ? 0.0 : eventTime(cmd.after);
+        switch (cmd.type) {
+          case Command::Type::Launch: {
+            // The host pays the driver-issue overhead, then moves on.
+            hostT_ += launch_overhead;
+            // A rank with sampled members is busy for its slowest one;
+            // an unsampled rank is charged the slowest sampled member
+            // of the whole launch (representative-sample assumption).
+            uint64_t all_max = 0;
+            for (const uint64_t c : cmd.slotCycles)
+                all_max = std::max(all_max, c);
+            double launch_end = hostT_;
+            double launch_work = 0.0;
+            for (const unsigned r : cmd.ranks) {
+                uint64_t rank_max = 0;
+                bool rank_sampled = false;
+                for (size_t i = 0; i < cmd.slots.size(); ++i) {
+                    if (sys_.rankOf(sys_.globalIndex(cmd.slots[i]))
+                        == r) {
+                        rank_sampled = true;
+                        rank_max = std::max(rank_max,
+                                            cmd.slotCycles[i]);
+                    }
+                }
+                const double dur = sys_.config().dpuCfg.cyclesToSeconds(
+                    rank_sampled ? rank_max : all_max);
+                const double start =
+                    std::max({hostT_, rankT_[r], dep});
+                rankT_[r] = start + dur;
+                launch_end = std::max(launch_end, rankT_[r]);
+                launch_work = std::max(launch_work, dur);
+            }
+            // Ranks run concurrently, so one launch contributes its
+            // slowest rank once to the serial-composition work sum.
+            launchWork_ += launch_work;
+            cmd.end = launch_end;
+            break;
+          }
+          case Command::Type::Copy: {
+            double start = std::max({hostT_, busT_, dep});
+            for (const unsigned r : cmd.ranks)
+                start = std::max(start, rankT_[r]);
+            const double end = start + cmd.copySeconds;
+            busT_ = end;
+            for (const unsigned r : cmd.ranks)
+                rankT_[r] = end;
+            if (cmd.blocking)
+                hostT_ = end;
+            transferredBytes_ += cmd.totalBytes;
+            copyWork_ += cmd.copySeconds;
+            cmd.end = end;
+            break;
+          }
+          case Command::Type::HostCompute: {
+            if (cmd.hostUntil >= 0.0) {
+                hostT_ = std::max({hostT_, cmd.hostUntil, dep});
+            } else {
+                const double start = std::max(hostT_, dep);
+                hostT_ = start + cmd.hostSeconds;
+                hostWork_ += cmd.hostSeconds;
+            }
+            cmd.end = hostT_;
+            break;
+          }
+        }
+        resolved_.push_back(cmd.end);
+    }
+    pending_.clear();
+}
+
+double
+CommandQueue::sync()
+{
+    drain();
+    double t = std::max(hostT_, busT_);
+    for (const double r : rankT_)
+        t = std::max(t, r);
+    hostT_ = t;
+    // Every resolved completion is now <= the joined host time, so the
+    // event history can be compacted (eventTime answers 0.0, which is
+    // exact inside the start-time max()). Keeps memory bounded for
+    // sync-per-step drivers like the serving simulator.
+    resolvedBase_ += resolved_.size();
+    resolved_.clear();
+    return t;
+}
+
+void
+CommandQueue::resetTimeline()
+{
+    drain();
+    // Compacting rebases pre-reset Events to the new epoch: they
+    // resolve to 0.0 and cannot leak stale absolute time in.
+    resolvedBase_ += resolved_.size();
+    resolved_.clear();
+    hostT_ = 0.0;
+    busT_ = 0.0;
+    std::fill(rankT_.begin(), rankT_.end(), 0.0);
+    transferredBytes_ = 0;
+    launchWork_ = 0.0;
+    copyWork_ = 0.0;
+    hostWork_ = 0.0;
+}
+
+} // namespace pim::core

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Asynchronous command-queue runtime (the unified execution path of the
+ * Fig 5 host programming model). Every way the repo drives DPUs —
+ * simulateDpus(), HostRuntime, the graph/LLM workload drivers — funnels
+ * through this queue: commands are enqueued against a DpuSet and
+ * resolved against three kinds of timelines:
+ *
+ *   host      — the single host thread issuing commands (hostCompute,
+ *               blocking transfers, launch-issue overhead);
+ *   bus       — the shared host<->PIM transfer engine (memcpy commands
+ *               serialize here, costed by the transfer model);
+ *   per-rank  — each rank executes launches and receives transfers
+ *               independently, so launches on disjoint ranks overlap,
+ *               and host compute overlaps in-flight launches.
+ *
+ * Launch bodies run on the ParallelDpuEngine host pool when the queue
+ * drains (sync(), a blocking transfer, or elapsed-time queries force a
+ * drain); the timeline fold afterwards is sequential in enqueue order,
+ * so every result is bit-identical for any worker-thread count. sync()
+ * joins all timelines and returns the makespan — overlapped host and
+ * PIM work is costed as max-of-timelines, not sum.
+ *
+ * Sampling: launches simulate only the materialized sample slots inside
+ * the target set. A touched rank's launch time is the max over its
+ * sampled members; ranks with no sampled member are charged the max
+ * over all sampled members of the launch (the sample is assumed
+ * representative, consistent with the reduction in core::simulateDpus).
+ */
+
+#ifndef PIM_CORE_COMMAND_QUEUE_HH
+#define PIM_CORE_COMMAND_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/pim_system.hh"
+
+namespace pim::core {
+
+/** Direction of a memcpy command. */
+enum class CopyDirection {
+    HostToPim,
+    PimToHost,
+};
+
+/**
+ * Completion handle of an enqueued command; pass as `after` to order a
+ * later command behind it explicitly (program order already serializes
+ * the host and each rank).
+ */
+using Event = int;
+
+/** "No dependency" — the command orders only by its timelines. */
+inline constexpr Event kNoEvent = -1;
+
+/** The co-processor command queue of one PimSystem. */
+class CommandQueue
+{
+  public:
+    explicit CommandQueue(PimSystem &sys);
+
+    /**
+     * Blocking bulk transfer of @p bytes_per_dpu to/from every DPU of
+     * @p set in one batched call: drains the queue, then occupies the
+     * host, the bus, and the target ranks. @return seconds of the copy
+     * itself (the modeled duration, excluding any wait).
+     */
+    double memcpy(const DpuSet &set, uint64_t bytes_per_dpu,
+                  CopyDirection dir);
+
+    /**
+     * Asynchronous bulk transfer: enqueues the copy and returns
+     * immediately; the copy occupies the bus and the target ranks but
+     * not the host. @return completion event.
+     */
+    Event memcpyAsync(const DpuSet &set, uint64_t bytes_per_dpu,
+                      CopyDirection dir, Event after = kNoEvent);
+
+    /**
+     * Blocking scatter/gather transfer with one byte count per DPU of
+     * @p set (indexed by position in the set; must match set.size()).
+     * Costed as one batched call moving the summed payload at the
+     * set-wide bandwidth. @return seconds of the copy itself.
+     */
+    double memcpyScatter(const DpuSet &set,
+                         const std::vector<uint64_t> &bytes_per_dpu,
+                         CopyDirection dir);
+
+    /** Asynchronous scatter/gather transfer. @return completion event. */
+    Event memcpyScatterAsync(const DpuSet &set,
+                             std::vector<uint64_t> bytes_per_dpu,
+                             CopyDirection dir, Event after = kNoEvent);
+
+    /**
+     * Asynchronously launch @p tasklets tasklets running @p body on
+     * every DPU of @p set; the body receives the tasklet context and
+     * the DPU's global index, and must not touch state shared between
+     * DPUs. The host pays only the launch-issue overhead; the target
+     * ranks are busy for their slowest member's makespan. @return
+     * completion event.
+     */
+    Event launch(const DpuSet &set, unsigned tasklets,
+                 std::function<void(sim::Tasklet &, unsigned)> body,
+                 Event after = kNoEvent);
+
+    /**
+     * Asynchronously launch heterogeneous per-DPU work: @p program
+     * receives each materialized DPU of @p set and its global index,
+     * and drives it directly (Dpu::run / runBodies, any number of
+     * phases). The launch's cost on a rank is the max over its members'
+     * final Dpu::lastElapsedCycles() — phases before the last run are
+     * setup and not charged. @return completion event.
+     */
+    Event launchProgram(const DpuSet &set,
+                        std::function<void(sim::Dpu &, unsigned)> program,
+                        Event after = kNoEvent);
+
+    /**
+     * Host-side compute of @p tasks independent tasks of
+     * @p instrs_per_task instructions (the pthreads parallel-for of
+     * Fig 5); occupies only the host timeline, overlapping in-flight
+     * launches and async transfers. @return modeled seconds.
+     */
+    double hostCompute(uint64_t tasks, uint64_t instrs_per_task,
+                       Event after = kNoEvent);
+
+    /** Occupy the host for a fixed @p seconds (driver bookkeeping). */
+    double hostBusy(double seconds, Event after = kNoEvent);
+
+    /**
+     * Idle the host until at least absolute time @p seconds on the
+     * timeline (wait for an external event such as a request arrival);
+     * no-op if the host is already past it.
+     */
+    void hostIdleUntil(double seconds, Event after = kNoEvent);
+
+    /**
+     * Drain the queue and join every timeline. @return the makespan:
+     * wall-clock seconds from the timeline origin until host, bus, and
+     * all ranks are idle.
+     */
+    double sync();
+
+    /**
+     * Host timeline as of the last drain (sync() first for a makespan
+     * that includes pending commands).
+     */
+    double elapsedSeconds() const { return hostT_; }
+
+    /** Rank @p r's timeline as of the last drain. */
+    double rankReadySeconds(unsigned r) const;
+
+    /** Bus timeline as of the last drain. */
+    double busReadySeconds() const { return busT_; }
+
+    /** Cumulative host<->PIM bytes moved by resolved copies. */
+    uint64_t transferredBytes() const { return transferredBytes_; }
+
+    /** Seconds of launch work resolved so far (sum, not makespan). */
+    double launchWorkSeconds() const { return launchWork_; }
+
+    /** Seconds of transfer work resolved so far (sum, not makespan). */
+    double copyWorkSeconds() const { return copyWork_; }
+
+    /** Seconds of host work resolved so far (sum, not makespan). */
+    double hostWorkSeconds() const { return hostWork_; }
+
+    /** Commands enqueued but not yet resolved. */
+    size_t pendingCommands() const { return pending_.size(); }
+
+    /**
+     * Zero every timeline and work/traffic counter (DPU state is kept).
+     * Pending commands are drained first so simulation state stays
+     * consistent.
+     */
+    void resetTimeline();
+
+  private:
+    struct Command
+    {
+        enum class Type { Launch, Copy, HostCompute };
+
+        Type type;
+        Event after = kNoEvent;
+
+        // Launch
+        std::function<void(sim::Dpu &, unsigned)> program;
+        // Copy
+        uint64_t totalBytes = 0;
+        double copySeconds = 0.0;
+        bool blocking = false;
+        // HostCompute
+        double hostSeconds = 0.0;
+        /** >= 0: idle the host until this absolute time instead. */
+        double hostUntil = -1.0;
+
+        // Target (Launch / Copy).
+        std::vector<unsigned> ranks;
+        std::vector<unsigned> slots;
+        /** Per-slot makespan of a launch, filled at drain. */
+        std::vector<uint64_t> slotCycles;
+
+        /** Completion time, filled at drain. */
+        double end = 0.0;
+    };
+
+    Event enqueue(Command cmd);
+    double copyDuration(const DpuSet &set, uint64_t total_bytes) const;
+    Command makeCopy(const DpuSet &set, uint64_t total_bytes,
+                     bool blocking, Event after) const;
+    /** Execute pending launch bodies and fold every pending command
+     *  into the timelines, in enqueue order. */
+    void drain();
+
+    /** Completion time of event @p e (0.0 for compacted history). */
+    double eventTime(Event e) const;
+
+    PimSystem &sys_;
+    std::vector<Command> pending_;
+    /**
+     * Completion times of resolved commands, indexed by
+     * Event - resolvedBase_. Compacted at every sync(): once all
+     * timelines are joined, the host time dominates every earlier
+     * completion, so the history collapses to the base offset and the
+     * queue's memory stays bounded no matter how many commands ran.
+     */
+    std::vector<double> resolved_;
+    size_t resolvedBase_ = 0;
+    double hostT_ = 0.0;
+    double busT_ = 0.0;
+    std::vector<double> rankT_;
+    uint64_t transferredBytes_ = 0;
+    double launchWork_ = 0.0;
+    double copyWork_ = 0.0;
+    double hostWork_ = 0.0;
+};
+
+} // namespace pim::core
+
+#endif // PIM_CORE_COMMAND_QUEUE_HH

@@ -1,8 +1,13 @@
 #include "core/design_space.hh"
 
+#include <memory>
+#include <vector>
+
 #include "alloc/buddy_tree.hh"
 #include "alloc/cost_model.hh"
 #include "alloc/metadata_store.hh"
+#include "core/command_queue.hh"
+#include "core/pim_system.hh"
 #include "sim/dpu.hh"
 #include "util/logging.hh"
 
@@ -34,6 +39,20 @@ metadataBytesPerDpu(const alloc::StrawManConfig &cfg)
 
 namespace {
 
+/** Host instructions to run the buddy algorithm for one allocation. */
+uint64_t
+hostInstrsPerAlloc(const DesignSpaceParams &p)
+{
+    const uint32_t nodes =
+        alloc::BuddyTree::nodesFor(p.allocCfg.heapBytes, p.allocCfg.minBlock);
+    // levels = log2(nodes+1)
+    uint32_t levels = 0;
+    while ((1u << (levels + 1)) - 1 <= nodes)
+        ++levels;
+    return alloc::cost::kHostAllocOverheadInstrs
+        + static_cast<uint64_t>(levels) * alloc::cost::kHostInstrsPerLevel;
+}
+
 /**
  * Simulate the PIM-executed buddy allocator on one representative DPU
  * (all DPUs run the identical program, so one is exact) and return the
@@ -61,14 +80,7 @@ pimExecutedSeconds(const DesignSpaceParams &p)
 double
 hostExecutedSeconds(const DesignSpaceParams &p)
 {
-    const uint32_t nodes =
-        alloc::BuddyTree::nodesFor(p.allocCfg.heapBytes, p.allocCfg.minBlock);
-    // levels = log2(nodes+1)
-    uint32_t levels = 0;
-    while ((1u << (levels + 1)) - 1 <= nodes)
-        ++levels;
-    const uint64_t instrs_per_alloc = alloc::cost::kHostAllocOverheadInstrs
-        + static_cast<uint64_t>(levels) * alloc::cost::kHostInstrsPerLevel;
+    const uint64_t instrs_per_alloc = hostInstrsPerAlloc(p);
     const sim::HostModel host(p.hostCfg);
     // Each allocation round services one request per DPU, parallelized
     // across host worker threads; rounds are serial (the PIM program
@@ -80,13 +92,12 @@ hostExecutedSeconds(const DesignSpaceParams &p)
     return per_round * p.allocsPerDpu;
 }
 
-} // namespace
-
 DesignSpaceResult
-evalStrategy(DesignStrategy s, const DesignSpaceParams &p)
+evalSerial(DesignStrategy s, const DesignSpaceParams &p)
 {
     DesignSpaceResult r;
     r.strategy = s;
+    r.mode = ExecutionMode::Serial;
 
     const sim::TransferModel xfer(p.xferCfg);
     const uint64_t meta_bytes = metadataBytesPerDpu(p.allocCfg);
@@ -127,7 +138,152 @@ evalStrategy(DesignStrategy s, const DesignSpaceParams &p)
             * xfer.seconds(ptr_bytes, p.numDpus);
         break;
     }
+    r.makespanSeconds = r.computeSeconds + r.transferSeconds;
     return r;
+}
+
+/**
+ * Replay the same pseudo-program on the command-queue runtime at rank
+ * granularity: round-by-round data movement and compute are issued per
+ * rank, so the bus feeds one rank while other ranks execute and the
+ * host computes ahead — the makespan is the joined max-of-timelines.
+ */
+DesignSpaceResult
+evalOverlapped(DesignStrategy s, const DesignSpaceParams &p)
+{
+    DesignSpaceResult r;
+    r.strategy = s;
+    r.mode = ExecutionMode::Overlapped;
+
+    const bool pim_executed = s == DesignStrategy::PimMetaPimExec
+        || s == DesignStrategy::HostMetaPimExec;
+
+    PimSystemConfig scfg;
+    scfg.numDpus = p.numDpus;
+    scfg.dpusPerRank = p.dpusPerRank;
+    scfg.dpuCfg = p.dpuCfg;
+    scfg.hostCfg = p.hostCfg;
+    scfg.xferCfg = p.xferCfg;
+    // One representative DPU per rank (exact for the uniform Fig 6
+    // program, and guaranteed per-rank coverage however numDpus
+    // divides); host-executed strategies never launch, so one suffices.
+    if (pim_executed)
+        scfg.samplePerRank = true;
+    else
+        scfg.sampleDpus = 1;
+    PimSystem sys(scfg);
+    CommandQueue q(sys);
+
+    const uint64_t meta_bytes = metadataBytesPerDpu(p.allocCfg);
+    const uint64_t ptr_bytes = 8;
+
+    // PIM-executed strategies materialize one representative DPU per
+    // rank (identical programs, so one per rank is exact) and build a
+    // persistent allocator on each.
+    std::vector<std::unique_ptr<alloc::StrawManAllocator>> allocators;
+    if (pim_executed) {
+        allocators.resize(sys.sampleCount());
+        for (unsigned slot = 0; slot < sys.sampleCount(); ++slot) {
+            allocators[slot] = std::make_unique<alloc::StrawManAllocator>(
+                sys.dpu(slot), p.allocCfg);
+        }
+        q.launch(sys.all(), 1, [&](sim::Tasklet &t, unsigned global) {
+            allocators[sys.slotOf(global)]->init(t);
+        });
+        q.sync();
+        q.resetTimeline(); // initAllocator is untimed, as in Serial
+    }
+
+    auto allocOnce = [&](sim::Tasklet &t, unsigned global) {
+        const auto addr =
+            allocators[sys.slotOf(global)]->malloc(t, p.allocSize);
+        PIM_ASSERT(addr != sim::kNullAddr,
+                   "design-space experiment ran out of heap");
+    };
+
+    switch (s) {
+      case DesignStrategy::PimMetaPimExec: {
+        // One launch runs every round on-device; nothing to pipeline.
+        const unsigned per_tasklet = p.allocsPerDpu / p.taskletsPerDpu;
+        q.launch(sys.all(), p.taskletsPerDpu,
+                 [&, per_tasklet](sim::Tasklet &t, unsigned global) {
+                     for (unsigned i = 0; i < per_tasklet; ++i)
+                         allocOnce(t, global);
+                 });
+        break;
+      }
+
+      case DesignStrategy::HostMetaPimExec: {
+        // Fig 5(b), pipelined: the bus ships rank k's metadata while
+        // rank j executes its round. One round per allocation with a
+        // metadata sync each way, exactly like the Serial cost model —
+        // the comparison isolates pipelining, not transfer batching.
+        for (unsigned round = 0; round < p.allocsPerDpu; ++round) {
+            for (unsigned k = 0; k < sys.numRanks(); ++k) {
+                const DpuSet target = sys.rank(k);
+                q.memcpyAsync(target, meta_bytes,
+                              CopyDirection::HostToPim);
+                q.launch(target, 1, allocOnce);
+                q.memcpyAsync(target, meta_bytes,
+                              CopyDirection::PimToHost);
+            }
+        }
+        break;
+      }
+
+      case DesignStrategy::PimMetaHostExec: {
+        // Fig 5(c), pipelined: pull rank k's metadata, run the buddy
+        // code on the host, push metadata + pointers back — while the
+        // bus serves rank k, the host computes for rank k-1.
+        const uint64_t instrs = hostInstrsPerAlloc(p);
+        for (unsigned round = 0; round < p.allocsPerDpu; ++round) {
+            for (unsigned k = 0; k < sys.numRanks(); ++k) {
+                const DpuSet target = sys.rank(k);
+                const Event up = q.memcpyAsync(
+                    target, meta_bytes, CopyDirection::PimToHost);
+                q.hostCompute(sys.rankSize(k), instrs, up);
+                q.hostBusy(static_cast<double>(sys.rankSize(k))
+                           * p.driverCallSec / p.hostCfg.threads);
+                q.memcpyAsync(target, meta_bytes,
+                              CopyDirection::HostToPim);
+                q.memcpyAsync(target, ptr_bytes,
+                              CopyDirection::HostToPim);
+            }
+        }
+        break;
+      }
+
+      case DesignStrategy::HostMetaHostExec: {
+        // Fig 5(a), pipelined: host computes rank k+1's round while the
+        // bus delivers rank k's pointers.
+        const uint64_t instrs = hostInstrsPerAlloc(p);
+        for (unsigned round = 0; round < p.allocsPerDpu; ++round) {
+            for (unsigned k = 0; k < sys.numRanks(); ++k) {
+                q.hostCompute(sys.rankSize(k), instrs);
+                q.hostBusy(static_cast<double>(sys.rankSize(k))
+                           * p.driverCallSec / p.hostCfg.threads);
+                q.memcpyAsync(sys.rank(k), ptr_bytes,
+                              CopyDirection::HostToPim);
+            }
+        }
+        break;
+      }
+    }
+
+    r.makespanSeconds = q.sync();
+    r.computeSeconds = q.launchWorkSeconds() + q.hostWorkSeconds();
+    r.transferSeconds = q.copyWorkSeconds();
+    return r;
+}
+
+} // namespace
+
+DesignSpaceResult
+evalStrategy(DesignStrategy s, const DesignSpaceParams &p,
+             ExecutionMode mode)
+{
+    return mode == ExecutionMode::Serial ? evalSerial(s, p)
+                                         : evalOverlapped(s, p);
 }
 
 } // namespace pim::core

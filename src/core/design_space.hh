@@ -11,6 +11,14 @@
  * simulator, and metadata/pointer movement between the two sides is
  * costed with the transfer model — one metadata sync per allocation
  * round, exactly like the Fig 5 pseudo-code loop.
+ *
+ * Each pseudo-program can be evaluated in two execution modes:
+ *   Serial     — the paper's strawman: every round's transfers and
+ *                compute strictly serialize (makespan = sum of work);
+ *   Overlapped — the same work replayed on the command-queue runtime
+ *                at rank granularity, so one rank's host compute and
+ *                bus transfers overlap other ranks' execution
+ *                (makespan = max-of-timelines < sum of work).
  */
 
 #ifndef PIM_CORE_DESIGN_SPACE_HH
@@ -41,6 +49,12 @@ inline constexpr DesignStrategy kAllStrategies[] = {
     DesignStrategy::PimMetaPimExec,
 };
 
+/** How the pseudo-program's rounds compose in time. */
+enum class ExecutionMode {
+    Serial,
+    Overlapped,
+};
+
 /** Display name matching Table I. */
 const char *designStrategyName(DesignStrategy s);
 
@@ -49,6 +63,8 @@ struct DesignSpaceParams
 {
     /** PIM cores issuing allocations concurrently. */
     unsigned numDpus = 512;
+    /** DPUs per rank (granularity of the Overlapped pipeline). */
+    unsigned dpusPerRank = 64;
     /** Allocations per PIM core (Fig 6: 128). */
     unsigned allocsPerDpu = 128;
     /** Allocation size (Fig 6: 32 B). */
@@ -74,27 +90,39 @@ struct DesignSpaceParams
 struct DesignSpaceResult
 {
     DesignStrategy strategy{};
-    double computeSeconds = 0.0;  ///< buddy algorithm execution
-    double transferSeconds = 0.0; ///< DRAM<->PIM metadata + pointer moves
+    ExecutionMode mode = ExecutionMode::Serial;
+    double computeSeconds = 0.0;  ///< buddy execution work (sum)
+    double transferSeconds = 0.0; ///< metadata + pointer move work (sum)
+    /** End-to-end latency: the sum of the work in Serial mode, the
+     *  joined max-of-timelines makespan in Overlapped mode. */
+    double makespanSeconds = 0.0;
 
     double
     totalSeconds() const
     {
-        return computeSeconds + transferSeconds;
+        return makespanSeconds;
     }
 
-    /** Fraction of time in transfers (Fig 6(b)). */
+    /** Work hidden by overlap (zero in Serial mode). */
+    double
+    overlapSavedSeconds() const
+    {
+        return computeSeconds + transferSeconds - makespanSeconds;
+    }
+
+    /** Fraction of the work that is transfers (Fig 6(b)). */
     double
     transferFraction() const
     {
-        const double t = totalSeconds();
+        const double t = computeSeconds + transferSeconds;
         return t > 0 ? transferSeconds / t : 0.0;
     }
 };
 
 /** Evaluate one design strategy under @p params. */
 DesignSpaceResult evalStrategy(DesignStrategy s,
-                               const DesignSpaceParams &params);
+                               const DesignSpaceParams &params,
+                               ExecutionMode mode = ExecutionMode::Serial);
 
 /** Bytes of straw-man buddy metadata per DPU under @p cfg. */
 uint64_t metadataBytesPerDpu(const alloc::StrawManConfig &cfg);

@@ -1,43 +1,34 @@
 #include "core/host_runtime.hh"
 
-#include <algorithm>
-
-#include "util/logging.hh"
-
 namespace pim::core {
 
+namespace {
+
+PimSystemConfig
+toSystemConfig(const HostRuntimeConfig &cfg)
+{
+    PimSystemConfig scfg;
+    scfg.numDpus = cfg.numDpus;
+    scfg.sampleDpus = cfg.sampleDpus;
+    scfg.dpuCfg = cfg.dpuCfg;
+    scfg.hostCfg = cfg.hostCfg;
+    scfg.xferCfg = cfg.xferCfg;
+    scfg.simThreads = cfg.simThreads;
+    return scfg;
+}
+
+} // namespace
+
 HostRuntime::HostRuntime(const HostRuntimeConfig &cfg)
-    : cfg_(cfg), host_(cfg.hostCfg), xfer_(cfg.xferCfg),
-      engine_(cfg.simThreads)
+    : sys_(toSystemConfig(cfg)), queue_(sys_)
 {
-    PIM_ASSERT(cfg.numDpus > 0, "need at least one DPU");
-    const unsigned sample = cfg.sampleDpus == 0
-        ? cfg.numDpus : std::min(cfg.sampleDpus, cfg.numDpus);
-    for (unsigned i = 0; i < sample; ++i)
-        dpus_.push_back(std::make_unique<sim::Dpu>(cfg.dpuCfg));
-}
-
-sim::Dpu &
-HostRuntime::dpu(unsigned sample_index)
-{
-    return *dpus_.at(sample_index);
-}
-
-unsigned
-HostRuntime::globalIndex(unsigned sample_index) const
-{
-    const unsigned sample = static_cast<unsigned>(dpus_.size());
-    return sample == cfg_.numDpus
-        ? sample_index : sample_index * (cfg_.numDpus / sample);
 }
 
 double
 HostRuntime::pimMemcpy(uint64_t bytes_per_dpu, CopyDirection dir)
 {
-    (void)dir; // symmetric cost model
-    const double sec = xfer_.seconds(bytes_per_dpu, cfg_.numDpus);
-    elapsed_ += sec;
-    transferredBytes_ += bytes_per_dpu * cfg_.numDpus;
+    const double sec = queue_.memcpy(sys_.all(), bytes_per_dpu, dir);
+    queue_.sync();
     return sec;
 }
 
@@ -46,38 +37,17 @@ HostRuntime::pimLaunch(unsigned tasklets,
                        const std::function<void(sim::Tasklet &, unsigned)>
                            &body)
 {
-    // DPUs share no state, so the launch shards across the host pool;
-    // per-DPU makespans land in index-addressed slots and reduce
-    // sequentially afterwards, keeping the result thread-count
-    // independent.
-    std::vector<uint64_t> cycles(dpus_.size(), 0);
-    engine_.forEach(dpus_.size(), [&](size_t i) {
-        const unsigned global = globalIndex(static_cast<unsigned>(i));
-        dpus_[i]->run(tasklets, [&](sim::Tasklet &t) { body(t, global); });
-        cycles[i] = dpus_[i]->lastElapsedCycles();
-    });
-    uint64_t max_cycles = 0;
-    for (const uint64_t c : cycles)
-        max_cycles = std::max(max_cycles, c);
-    const double sec = cfg_.xferCfg.launchLatencySec
-        + cfg_.dpuCfg.cyclesToSeconds(max_cycles);
-    elapsed_ += sec;
-    return sec;
+    const double before = queue_.elapsedSeconds();
+    queue_.launch(sys_.all(), tasklets, body);
+    return queue_.sync() - before;
 }
 
 double
 HostRuntime::hostCompute(uint64_t tasks, uint64_t instrs_per_task)
 {
-    const double sec = host_.seconds(tasks, instrs_per_task);
-    elapsed_ += sec;
+    const double sec = queue_.hostCompute(tasks, instrs_per_task);
+    queue_.sync();
     return sec;
-}
-
-void
-HostRuntime::resetTimeline()
-{
-    elapsed_ = 0.0;
-    transferredBytes_ = 0;
 }
 
 } // namespace pim::core

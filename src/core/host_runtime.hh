@@ -10,9 +10,11 @@
  *                  host timeline by the slowest DPU's makespan;
  *   hostCompute() — host-side work between launches.
  *
- * The runtime keeps one wall-clock timeline so experiments can compose
- * transfers, launches, and host work exactly like the four design-space
- * pseudo-programs, and like real UPMEM host applications.
+ * Since the command-queue refactor this class is a thin synchronous
+ * facade over core::PimSystem + core::CommandQueue: every call
+ * enqueues one command and immediately sync()s, so the single
+ * wall-clock timeline composes exactly like before, while asynchronous
+ * experiments use the queue directly (see core/command_queue.hh).
  *
  * Memory realism vs scale: only `sampleDpus` DPU instances are actually
  * materialized (bank-level DPUs share no state, and the paper's
@@ -24,22 +26,15 @@
 #define PIM_CORE_HOST_RUNTIME_HH
 
 #include <functional>
-#include <memory>
-#include <vector>
 
-#include "core/parallel_engine.hh"
+#include "core/command_queue.hh"
+#include "core/pim_system.hh"
 #include "sim/config.hh"
 #include "sim/dpu.hh"
 #include "sim/host_model.hh"
 #include "sim/transfer_model.hh"
 
 namespace pim::core {
-
-/** Direction of a pimMemcpy(). */
-enum class CopyDirection {
-    HostToPim,
-    PimToHost,
-};
 
 /** Host runtime configuration. */
 struct HostRuntimeConfig
@@ -59,7 +54,7 @@ struct HostRuntimeConfig
     unsigned simThreads = 0;
 };
 
-/** The co-processor runtime. */
+/** The synchronous co-processor runtime facade. */
 class HostRuntime
 {
   public:
@@ -91,40 +86,47 @@ class HostRuntime
     double hostCompute(uint64_t tasks, uint64_t instrs_per_task);
 
     /** Wall-clock seconds elapsed on the runtime's timeline. */
-    double elapsedSeconds() const { return elapsed_; }
+    double elapsedSeconds() const { return queue_.elapsedSeconds(); }
 
     /** Cumulative host<->PIM bytes moved (all DPUs). */
-    uint64_t transferredBytes() const { return transferredBytes_; }
-
-    /** Access a sampled DPU (e.g. to attach allocators or verify). */
-    sim::Dpu &dpu(unsigned sample_index);
-
-    /** Global DPU index represented by sample @p sample_index. */
-    unsigned globalIndex(unsigned sample_index) const;
-
-    /** Number of materialized DPU instances. */
-    unsigned sampleCount() const
+    uint64_t transferredBytes() const
     {
-        return static_cast<unsigned>(dpus_.size());
+        return queue_.transferredBytes();
     }
 
+    /** Access a sampled DPU (e.g. to attach allocators or verify). */
+    sim::Dpu &dpu(unsigned sample_index)
+    {
+        return sys_.dpu(sample_index);
+    }
+
+    /** Global DPU index represented by sample @p sample_index. */
+    unsigned globalIndex(unsigned sample_index) const
+    {
+        return sys_.globalIndex(sample_index);
+    }
+
+    /** Number of materialized DPU instances. */
+    unsigned sampleCount() const { return sys_.sampleCount(); }
+
     /** Logical system size. */
-    unsigned numDpus() const { return cfg_.numDpus; }
+    unsigned numDpus() const { return sys_.numDpus(); }
 
     /** Host worker threads used per pimLaunch. */
-    unsigned simThreads() const { return engine_.threadCount(); }
+    unsigned simThreads() const { return sys_.engine().threadCount(); }
+
+    /** The underlying system (rank structure, DPU sets). */
+    PimSystem &system() { return sys_; }
+
+    /** The underlying queue (for composing async experiments). */
+    CommandQueue &queue() { return queue_; }
 
     /** Reset the timeline (keeps DPU state). */
-    void resetTimeline();
+    void resetTimeline() { queue_.resetTimeline(); }
 
   private:
-    HostRuntimeConfig cfg_;
-    sim::HostModel host_;
-    sim::TransferModel xfer_;
-    ParallelDpuEngine engine_;
-    std::vector<std::unique_ptr<sim::Dpu>> dpus_;
-    double elapsed_ = 0.0;
-    uint64_t transferredBytes_ = 0;
+    PimSystem sys_;
+    CommandQueue queue_;
 };
 
 } // namespace pim::core

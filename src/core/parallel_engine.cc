@@ -93,79 +93,4 @@ ParallelDpuEngine::forEach(size_t n,
         std::rethrow_exception(first_error);
 }
 
-namespace {
-
-/** Per-DPU reduction inputs, filled into an index-addressed slot. */
-struct DpuOutcome
-{
-    uint64_t cycles = 0;
-    double seconds = 0.0;
-    sim::CycleBreakdown breakdown{};
-    sim::TrafficStats traffic{};
-};
-
-} // namespace
-
-MultiDpuResult
-ParallelDpuEngine::simulate(
-    unsigned num_dpus, const sim::DpuConfig &cfg,
-    const std::function<void(sim::Dpu &, unsigned)> &program,
-    unsigned sample) const
-{
-    PIM_ASSERT(num_dpus > 0, "need at least one DPU");
-    const unsigned simulated =
-        sample == 0 ? num_dpus : std::min(sample, num_dpus);
-
-    MultiDpuResult out;
-    out.numDpus = num_dpus;
-    out.simulatedDpus = simulated;
-
-    // Workers write only their own DPU's slot; the reduction below is a
-    // sequential left fold over the slots, so the result — including
-    // the floating-point sums — is bit-identical for any thread count
-    // (and identical to a plain serial loop).
-    std::vector<DpuOutcome> outcomes(simulated);
-    forEach(simulated, [&](size_t i) {
-        // Spread a sample across the global index space so
-        // index-dependent sharding stays representative.
-        const unsigned global = simulated == num_dpus
-            ? static_cast<unsigned>(i)
-            : static_cast<unsigned>(i) * (num_dpus / simulated);
-        sim::Dpu dpu(cfg);
-        program(dpu, global);
-        DpuOutcome &oc = outcomes[i];
-        oc.cycles = dpu.lastElapsedCycles();
-        oc.seconds = dpu.lastElapsedSeconds();
-        oc.breakdown = dpu.lastBreakdown();
-        oc.traffic = dpu.traffic();
-    });
-
-    double sum_seconds = 0.0;
-    for (const DpuOutcome &oc : outcomes) {
-        out.maxCycles = std::max(out.maxCycles, oc.cycles);
-        sum_seconds += oc.seconds;
-        out.breakdown.merge(oc.breakdown);
-        out.traffic.merge(oc.traffic);
-    }
-    out.maxSeconds = cfg.cyclesToSeconds(out.maxCycles);
-    out.meanSeconds = sum_seconds / static_cast<double>(simulated);
-
-    // Scale traffic from the sample to the full system.
-    if (simulated < num_dpus) {
-        const double scale = static_cast<double>(num_dpus)
-            / static_cast<double>(simulated);
-        auto scaleUp = [scale](uint64_t v) {
-            return static_cast<uint64_t>(static_cast<double>(v) * scale);
-        };
-        out.traffic.dataReadBytes = scaleUp(out.traffic.dataReadBytes);
-        out.traffic.dataWriteBytes = scaleUp(out.traffic.dataWriteBytes);
-        out.traffic.metadataReadBytes =
-            scaleUp(out.traffic.metadataReadBytes);
-        out.traffic.metadataWriteBytes =
-            scaleUp(out.traffic.metadataWriteBytes);
-        out.traffic.dmaTransfers = scaleUp(out.traffic.dmaTransfers);
-    }
-    return out;
-}
-
 } // namespace pim::core

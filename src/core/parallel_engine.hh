@@ -23,10 +23,6 @@
 #include <cstddef>
 #include <functional>
 
-#include "core/system.hh"
-#include "sim/config.hh"
-#include "sim/dpu.hh"
-
 namespace pim::core {
 
 /**
@@ -61,18 +57,6 @@ class ParallelDpuEngine
      * index-addressed slots of a shared container).
      */
     void forEach(size_t n, const std::function<void(size_t)> &fn) const;
-
-    /**
-     * Parallel equivalent of core::simulateDpus: simulate @p num_dpus
-     * DPUs running @p program, @p sample limiting how many distinct
-     * DPUs are materialized (0 = all). The reduction (max makespan,
-     * summed breakdown/traffic, mean seconds) is bit-identical for any
-     * thread count.
-     */
-    MultiDpuResult
-    simulate(unsigned num_dpus, const sim::DpuConfig &cfg,
-             const std::function<void(sim::Dpu &, unsigned)> &program,
-             unsigned sample = 0) const;
 
   private:
     unsigned threads_;

@@ -1,0 +1,172 @@
+#include "core/pim_system.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pim::core {
+
+PimSystemConfig
+singleDpuConfig(const sim::DpuConfig &dpu_cfg)
+{
+    PimSystemConfig cfg;
+    cfg.numDpus = 1;
+    cfg.dpuCfg = dpu_cfg;
+    cfg.simThreads = 1;
+    return cfg;
+}
+
+unsigned
+sampleGlobalIndex(unsigned slot, unsigned sample, unsigned num_dpus)
+{
+    if (sample == 0 || sample >= num_dpus)
+        return slot;
+    return static_cast<unsigned>(static_cast<uint64_t>(slot) * num_dpus
+                                 / sample);
+}
+
+DpuSet::DpuSet(const PimSystem *sys, Kind kind, unsigned rank,
+               std::vector<unsigned> members)
+    : sys_(sys), kind_(kind), rank_(rank), members_(std::move(members))
+{
+    switch (kind_) {
+      case Kind::All:
+        size_ = sys_->numDpus();
+        for (unsigned r = 0; r < sys_->numRanks(); ++r)
+            ranks_.push_back(r);
+        for (unsigned s = 0; s < sys_->sampleCount(); ++s)
+            slots_.push_back(s);
+        break;
+      case Kind::Rank:
+        size_ = sys_->rankSize(rank_);
+        ranks_.push_back(rank_);
+        for (unsigned s = 0; s < sys_->sampleCount(); ++s) {
+            if (sys_->rankOf(sys_->globalIndex(s)) == rank_)
+                slots_.push_back(s);
+        }
+        break;
+      case Kind::Explicit:
+        size_ = static_cast<unsigned>(members_.size());
+        // members_ is sorted (subset() guarantees it — contains()'s
+        // binary_search depends on that) and rankOf is monotone, so
+        // this builds ranks_ ascending and duplicate-free.
+        for (const unsigned g : members_) {
+            const unsigned r = sys_->rankOf(g);
+            if (ranks_.empty() || ranks_.back() != r)
+                ranks_.push_back(r);
+        }
+        for (unsigned s = 0; s < sys_->sampleCount(); ++s) {
+            if (std::binary_search(members_.begin(), members_.end(),
+                                   sys_->globalIndex(s)))
+                slots_.push_back(s);
+        }
+        break;
+    }
+}
+
+bool
+DpuSet::contains(unsigned global) const
+{
+    switch (kind_) {
+      case Kind::All:
+        return global < sys_->numDpus();
+      case Kind::Rank:
+        return global < sys_->numDpus() && sys_->rankOf(global) == rank_;
+      case Kind::Explicit:
+        return std::binary_search(members_.begin(), members_.end(),
+                                  global);
+    }
+    return false;
+}
+
+PimSystem::PimSystem(const PimSystemConfig &cfg)
+    : cfg_(cfg), host_(cfg.hostCfg), xfer_(cfg.xferCfg),
+      engine_(cfg.simThreads)
+{
+    PIM_ASSERT(cfg.numDpus > 0, "need at least one DPU");
+    PIM_ASSERT(cfg.dpusPerRank > 0, "need at least one DPU per rank");
+    numRanks_ = (cfg.numDpus + cfg.dpusPerRank - 1) / cfg.dpusPerRank;
+    const unsigned sample = cfg.samplePerRank ? numRanks_
+        : cfg.sampleDpus == 0
+            ? cfg.numDpus : std::min(cfg.sampleDpus, cfg.numDpus);
+    dpus_.reserve(sample);
+    for (unsigned i = 0; i < sample; ++i)
+        dpus_.push_back(std::make_unique<sim::Dpu>(cfg.dpuCfg));
+}
+
+unsigned
+PimSystem::rankSize(unsigned r) const
+{
+    PIM_ASSERT(r < numRanks_, "rank out of range");
+    const unsigned begin = r * cfg_.dpusPerRank;
+    return std::min(cfg_.dpusPerRank, cfg_.numDpus - begin);
+}
+
+unsigned
+PimSystem::rankOf(unsigned global) const
+{
+    PIM_ASSERT(global < cfg_.numDpus, "DPU index out of range");
+    return global / cfg_.dpusPerRank;
+}
+
+sim::Dpu &
+PimSystem::dpu(unsigned slot)
+{
+    return *dpus_.at(slot);
+}
+
+unsigned
+PimSystem::globalIndex(unsigned slot) const
+{
+    PIM_ASSERT(slot < dpus_.size(), "sample slot out of range");
+    if (cfg_.samplePerRank)
+        return slot * cfg_.dpusPerRank; // first DPU of rank `slot`
+    return sampleGlobalIndex(slot,
+                             static_cast<unsigned>(dpus_.size()),
+                             cfg_.numDpus);
+}
+
+unsigned
+PimSystem::slotOf(unsigned global) const
+{
+    // globalIndex is strictly increasing in the slot, so binary search.
+    const unsigned sample = static_cast<unsigned>(dpus_.size());
+    unsigned lo = 0, hi = sample;
+    while (lo < hi) {
+        const unsigned mid = lo + (hi - lo) / 2;
+        if (globalIndex(mid) < global)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    PIM_ASSERT(lo < sample && globalIndex(lo) == global,
+               "global DPU index ", global, " is not materialized");
+    return lo;
+}
+
+DpuSet
+PimSystem::all() const
+{
+    return DpuSet(this, DpuSet::Kind::All, 0, {});
+}
+
+DpuSet
+PimSystem::rank(unsigned r) const
+{
+    PIM_ASSERT(r < numRanks_, "rank out of range");
+    return DpuSet(this, DpuSet::Kind::Rank, r, {});
+}
+
+DpuSet
+PimSystem::subset(std::vector<unsigned> globals) const
+{
+    std::sort(globals.begin(), globals.end());
+    globals.erase(std::unique(globals.begin(), globals.end()),
+                  globals.end());
+    PIM_ASSERT(!globals.empty(), "empty DPU subset");
+    PIM_ASSERT(globals.back() < cfg_.numDpus,
+               "subset member out of range");
+    return DpuSet(this, DpuSet::Kind::Explicit, 0, std::move(globals));
+}
+
+} // namespace pim::core

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The rank-aware PIM system the command-queue runtime executes against.
+ *
+ * A PimSystem owns the (sampled) sim::Dpu instances of a logical system
+ * of `numDpus` DPUs grouped into ranks of `dpusPerRank` (UPMEM: 64 DPUs
+ * per DIMM rank). Commands — transfers, launches, host compute — are
+ * addressed to a DpuSet: the whole system, one rank, or an explicit
+ * subset of global DPU indices. Like real UPMEM hosts, experiments can
+ * thus launch work on a subset of ranks while other ranks are busy or
+ * being fed data.
+ *
+ * Memory realism vs scale: only `sampleDpus` DPU instances are
+ * materialized (bank-level DPUs share no state, and the paper's
+ * workloads shard near-uniformly), spread across the global index space
+ * by sampleGlobalIndex() so index-dependent sharding stays
+ * representative. `numDpus` still drives transfer bandwidth and
+ * aggregate statistics.
+ */
+
+#ifndef PIM_CORE_PIM_SYSTEM_HH
+#define PIM_CORE_PIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/parallel_engine.hh"
+#include "sim/config.hh"
+#include "sim/dpu.hh"
+#include "sim/host_model.hh"
+#include "sim/transfer_model.hh"
+
+namespace pim::core {
+
+/** System-wide configuration of the runtime. */
+struct PimSystemConfig
+{
+    /** Logical system size. */
+    unsigned numDpus = 512;
+    /** DPU instances actually materialized (0 = all). */
+    unsigned sampleDpus = 0;
+    /**
+     * Materialize the first DPU of every rank instead of spreading
+     * `sampleDpus` over the index space — for rank-granular experiments
+     * (e.g. the overlapped design space) where every rank must have a
+     * representative member regardless of how numDpus divides.
+     */
+    bool samplePerRank = false;
+    /** DPUs per rank (UPMEM: 64 per DIMM rank). */
+    unsigned dpusPerRank = 64;
+    /** DPU hardware parameters. */
+    sim::DpuConfig dpuCfg{};
+    /** Host CPU model (hostCompute commands). */
+    sim::HostConfig hostCfg{};
+    /** Host<->PIM transfer model (memcpy commands, launch overhead). */
+    sim::TransferConfig xferCfg{};
+    /** Host worker threads simulating DPUs (0 = PIM_SIM_THREADS env,
+     *  else hardware concurrency). Results are thread-count invariant. */
+    unsigned simThreads = 0;
+};
+
+/**
+ * Configuration of a one-DPU system (single-DPU microbenchmarks and
+ * examples): one materialized DPU, no worker-thread fan-out.
+ */
+PimSystemConfig singleDpuConfig(const sim::DpuConfig &dpu_cfg = {});
+
+/**
+ * Global DPU index represented by sample slot @p slot when @p sample of
+ * @p num_dpus DPUs are materialized. Spreads the sample evenly across
+ * the whole index space — including a non-divisible tail — via
+ * floor(slot * num_dpus / sample); identical to the historical
+ * slot * (num_dpus / sample) stride whenever sample divides num_dpus.
+ */
+unsigned sampleGlobalIndex(unsigned slot, unsigned sample,
+                           unsigned num_dpus);
+
+class PimSystem;
+
+/** A selection of DPUs a command is addressed to. */
+class DpuSet
+{
+  public:
+    /** Logical number of DPUs addressed (drives transfer bandwidth). */
+    unsigned size() const { return size_; }
+
+    /** True if global DPU index @p global is a member. */
+    bool contains(unsigned global) const;
+
+    /** Rank ids the set touches, ascending. */
+    const std::vector<unsigned> &ranks() const { return ranks_; }
+
+    /** Materialized sample slots belonging to the set, ascending. */
+    const std::vector<unsigned> &slots() const { return slots_; }
+
+    /** Owning system. */
+    const PimSystem &system() const { return *sys_; }
+
+  private:
+    friend class PimSystem;
+
+    enum class Kind { All, Rank, Explicit };
+
+    DpuSet(const PimSystem *sys, Kind kind, unsigned rank,
+           std::vector<unsigned> members);
+
+    const PimSystem *sys_;
+    Kind kind_;
+    unsigned rank_ = 0;             ///< Kind::Rank only
+    std::vector<unsigned> members_; ///< Kind::Explicit only, sorted
+    unsigned size_ = 0;
+    std::vector<unsigned> ranks_;
+    std::vector<unsigned> slots_;
+};
+
+/** The DPU set a command queue executes against. */
+class PimSystem
+{
+  public:
+    explicit PimSystem(const PimSystemConfig &cfg);
+
+    const PimSystemConfig &config() const { return cfg_; }
+
+    /** Logical system size. */
+    unsigned numDpus() const { return cfg_.numDpus; }
+
+    /** Number of ranks (ceil(numDpus / dpusPerRank)). */
+    unsigned numRanks() const { return numRanks_; }
+
+    /** DPUs in rank @p r (the last rank may be ragged). */
+    unsigned rankSize(unsigned r) const;
+
+    /** Rank owning global DPU index @p global. */
+    unsigned rankOf(unsigned global) const;
+
+    /** Number of materialized DPU instances. */
+    unsigned sampleCount() const
+    {
+        return static_cast<unsigned>(dpus_.size());
+    }
+
+    /** Materialized DPU of sample slot @p slot. */
+    sim::Dpu &dpu(unsigned slot);
+
+    /** Global DPU index represented by sample slot @p slot. */
+    unsigned globalIndex(unsigned slot) const;
+
+    /**
+     * Sample slot materializing global index @p global; fatal if that
+     * index is not part of the sample (see DpuSet::slots for membership
+     * queries).
+     */
+    unsigned slotOf(unsigned global) const;
+
+    /** The whole system. */
+    DpuSet all() const;
+
+    /** One rank. */
+    DpuSet rank(unsigned r) const;
+
+    /** An explicit set of global DPU indices (deduplicated, sorted). */
+    DpuSet subset(std::vector<unsigned> globals) const;
+
+    /** Shared host thread pool commands execute on. */
+    const ParallelDpuEngine &engine() const { return engine_; }
+
+    /** Host<->PIM transfer cost model. */
+    const sim::TransferModel &transferModel() const { return xfer_; }
+
+    /** Host compute cost model. */
+    const sim::HostModel &hostModel() const { return host_; }
+
+  private:
+    PimSystemConfig cfg_;
+    unsigned numRanks_;
+    sim::HostModel host_;
+    sim::TransferModel xfer_;
+    ParallelDpuEngine engine_;
+    std::vector<std::unique_ptr<sim::Dpu>> dpus_;
+};
+
+} // namespace pim::core
+
+#endif // PIM_CORE_PIM_SYSTEM_HH

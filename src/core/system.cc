@@ -1,6 +1,9 @@
 #include "core/system.hh"
 
-#include "core/parallel_engine.hh"
+#include <algorithm>
+
+#include "core/command_queue.hh"
+#include "core/pim_system.hh"
 
 namespace pim::core {
 
@@ -9,8 +12,61 @@ simulateDpus(unsigned num_dpus, const sim::DpuConfig &cfg,
              const std::function<void(sim::Dpu &, unsigned)> &program,
              unsigned sample, unsigned threads)
 {
-    return ParallelDpuEngine(threads).simulate(num_dpus, cfg, program,
-                                               sample);
+    // Synchronous facade over the command-queue runtime: one program
+    // launch on the whole system, then a sequential slot-order fold so
+    // the reduction — including the floating-point sums — is
+    // bit-identical for any worker-thread count.
+    PimSystemConfig scfg;
+    scfg.numDpus = num_dpus;
+    scfg.sampleDpus = sample;
+    scfg.dpuCfg = cfg;
+    scfg.simThreads = threads;
+    PimSystem sys(scfg);
+    CommandQueue queue(sys);
+    // The reduction below reads only scalar outcomes, so each worker
+    // returns its DPU's memory pages as soon as the program finishes —
+    // peak RSS tracks the in-flight workers, not the whole system,
+    // exactly like the pre-queue transient-Dpu loop.
+    queue.launchProgram(sys.all(),
+                        [&program](sim::Dpu &dpu, unsigned global) {
+                            program(dpu, global);
+                            dpu.reclaimMemory();
+                        });
+    queue.sync();
+
+    const unsigned simulated = sys.sampleCount();
+    MultiDpuResult out;
+    out.numDpus = num_dpus;
+    out.simulatedDpus = simulated;
+
+    double sum_seconds = 0.0;
+    for (unsigned slot = 0; slot < simulated; ++slot) {
+        sim::Dpu &dpu = sys.dpu(slot);
+        out.maxCycles = std::max(out.maxCycles,
+                                 dpu.lastElapsedCycles());
+        sum_seconds += dpu.lastElapsedSeconds();
+        out.breakdown.merge(dpu.lastBreakdown());
+        out.traffic.merge(dpu.traffic());
+    }
+    out.maxSeconds = cfg.cyclesToSeconds(out.maxCycles);
+    out.meanSeconds = sum_seconds / static_cast<double>(simulated);
+
+    // Scale traffic from the sample to the full system.
+    if (simulated < num_dpus) {
+        const double scale = static_cast<double>(num_dpus)
+            / static_cast<double>(simulated);
+        auto scaleUp = [scale](uint64_t v) {
+            return static_cast<uint64_t>(static_cast<double>(v) * scale);
+        };
+        out.traffic.dataReadBytes = scaleUp(out.traffic.dataReadBytes);
+        out.traffic.dataWriteBytes = scaleUp(out.traffic.dataWriteBytes);
+        out.traffic.metadataReadBytes =
+            scaleUp(out.traffic.metadataReadBytes);
+        out.traffic.metadataWriteBytes =
+            scaleUp(out.traffic.metadataWriteBytes);
+        out.traffic.dmaTransfers = scaleUp(out.traffic.dmaTransfers);
+    }
+    return out;
 }
 
 } // namespace pim::core

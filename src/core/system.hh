@@ -1,13 +1,13 @@
 /**
  * @file
- * Multi-DPU orchestration. Bank-level PIM cores never share state, so a
- * system of N DPUs is simulated by running per-DPU programs in parallel
- * across host threads (see core::ParallelDpuEngine) and reducing:
- * makespan = max over DPUs, throughput/traffic = sum. The reduction is
- * deterministic — bit-identical results for any thread count. A sample
- * of representative DPUs can still be simulated and results
- * extrapolated — valid because the paper's workloads statically shard
- * work uniformly across DPUs — but with the parallel engine, full-system
+ * Multi-DPU orchestration: the synchronous facade over the unified
+ * command-queue runtime (core::PimSystem + core::CommandQueue). A call
+ * performs one whole-system program launch and reduces: makespan = max
+ * over DPUs, throughput/traffic = sum. The reduction is deterministic —
+ * bit-identical results for any thread count. A sample of
+ * representative DPUs can still be simulated and results extrapolated —
+ * valid because the paper's workloads statically shard work uniformly
+ * across DPUs — but with the parallel engine underneath, full-system
  * (sample = 0) sweeps are the norm.
  */
 

@@ -95,6 +95,18 @@ class Dpu
     /** Clear traffic counters and buddy-cache statistics. */
     void resetStats();
 
+    /**
+     * Return this DPU's touched MRAM/WRAM pages to the OS (contents are
+     * lost; statistics and the last run's results survive). One-shot
+     * reductions call this after harvesting a DPU's outcome so peak
+     * memory tracks the in-flight workers, not the whole system.
+     */
+    void reclaimMemory()
+    {
+        mram_.reset();
+        wram_.reset();
+    }
+
   private:
     DpuConfig cfg_;
     FlatMemory mram_;

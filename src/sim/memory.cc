@@ -12,6 +12,15 @@ FlatMemory::FlatMemory(size_t bytes, const char *name)
 }
 
 void
+FlatMemory::reset()
+{
+    data_.reset(
+        static_cast<uint8_t *>(std::calloc(size_ ? size_ : 1, 1)));
+    PIM_ASSERT(data_ != nullptr, name_, " reallocation of ", size_,
+               " bytes failed");
+}
+
+void
 FlatMemory::checkRange(MramAddr addr, size_t n) const
 {
     PIM_ASSERT(static_cast<size_t>(addr) + n <= size_,

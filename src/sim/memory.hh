@@ -67,6 +67,14 @@ class FlatMemory
     /** Zero-fill a range. */
     void fill(MramAddr addr, size_t n, uint8_t value);
 
+    /**
+     * Drop the backing store and reallocate it lazily zeroed: returns
+     * every touched page to the OS. Contents are lost; capacity is
+     * unchanged. Used to bound peak memory when thousands of DPUs are
+     * simulated once and reduced (core::simulateDpus and friends).
+     */
+    void reset();
+
     /** Raw pointer for read-only inspection in tests. */
     const uint8_t *raw() const { return data_.get(); }
 

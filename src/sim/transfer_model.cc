@@ -29,4 +29,13 @@ TransferModel::seconds(uint64_t bytes_per_dpu, unsigned num_dpus) const
     return cfg_.launchLatencySec + total / bandwidth(num_dpus);
 }
 
+double
+TransferModel::secondsTotal(uint64_t total_bytes, unsigned num_dpus) const
+{
+    if (num_dpus == 0 || total_bytes == 0)
+        return 0.0;
+    return cfg_.launchLatencySec
+        + static_cast<double>(total_bytes) / bandwidth(num_dpus);
+}
+
 } // namespace pim::sim

@@ -39,6 +39,13 @@ class TransferModel
      */
     double seconds(uint64_t bytes_per_dpu, unsigned num_dpus) const;
 
+    /**
+     * Time for one batched scatter/gather call moving @p total_bytes
+     * spread (possibly unevenly) over @p num_dpus DPUs. Identical to
+     * seconds() when the payload is uniform.
+     */
+    double secondsTotal(uint64_t total_bytes, unsigned num_dpus) const;
+
     /** Effective aggregate bandwidth for a batch of @p num_dpus DPUs. */
     double bandwidth(unsigned num_dpus) const;
 

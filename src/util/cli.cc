@@ -83,4 +83,28 @@ Cli::getBool(const std::string &name, bool def) const
     return it->second != "false" && it->second != "0";
 }
 
+std::string
+benchKnobNames(const std::string &extra)
+{
+    std::string names = "dpus,sample,tasklets,threads,json";
+    if (!extra.empty()) {
+        names += ',';
+        names += extra;
+    }
+    return names;
+}
+
+BenchKnobs
+parseBenchKnobs(const Cli &cli, const BenchKnobs &defaults)
+{
+    BenchKnobs k = defaults;
+    k.dpus = static_cast<unsigned>(cli.getInt("dpus", k.dpus));
+    k.sample = static_cast<unsigned>(cli.getInt("sample", k.sample));
+    k.tasklets =
+        static_cast<unsigned>(cli.getInt("tasklets", k.tasklets));
+    k.threads = static_cast<unsigned>(cli.getInt("threads", k.threads));
+    k.jsonPath = cli.get("json", k.jsonPath);
+    return k;
+}
+
 } // namespace pim::util

@@ -43,6 +43,32 @@ class Cli
     std::map<std::string, std::string> values_;
 };
 
+/**
+ * The shared experiment knobs the figure benchmarks accept
+ * (--dpus/--sample/--tasklets/--threads/--json), so every bench parses
+ * them identically instead of hand-rolling its own subset.
+ */
+struct BenchKnobs
+{
+    /** Logical system size (--dpus). */
+    unsigned dpus = 512;
+    /** Materialized sample DPUs, 0 = all (--sample). */
+    unsigned sample = 2;
+    /** Tasklets per DPU (--tasklets). */
+    unsigned tasklets = 16;
+    /** Host worker threads, 0 = PIM_SIM_THREADS/auto (--threads). */
+    unsigned threads = 0;
+    /** Machine-readable output path (--json); empty = none. */
+    std::string jsonPath;
+};
+
+/** Comma-joined known-flag list: the shared knob names + @p extra. */
+std::string benchKnobNames(const std::string &extra = "");
+
+/** Read the shared knobs from @p cli over per-bench @p defaults. */
+BenchKnobs parseBenchKnobs(const Cli &cli,
+                           const BenchKnobs &defaults = {});
+
 } // namespace pim::util
 
 #endif // PIM_UTIL_CLI_HH

@@ -5,7 +5,8 @@
 #include <unordered_map>
 
 #include "alloc/allocator.hh"
-#include "core/parallel_engine.hh"
+#include "core/command_queue.hh"
+#include "core/pim_system.hh"
 #include "sim/dpu.hh"
 #include "util/logging.hh"
 #include "workloads/graph/csr_graph.hh"
@@ -89,8 +90,18 @@ runGraphUpdate(const GraphUpdateConfig &cfg)
     GraphUpdateResult out;
     out.updateEdgesTotal = w.updateEdges.size();
 
-    const unsigned simulated = cfg.sampleDpus == 0
-        ? cfg.numDpus : std::min(cfg.sampleDpus, cfg.numDpus);
+    // The dataset is sharded across the whole system; the unified
+    // runtime materializes the sampled shards and executes the one
+    // heterogeneous launch below on its host pool.
+    core::PimSystemConfig scfg;
+    scfg.numDpus = cfg.numDpus;
+    scfg.sampleDpus = cfg.sampleDpus;
+    scfg.dpuCfg = cfg.dpuCfg;
+    scfg.simThreads = cfg.simThreads;
+    core::PimSystem sys(scfg);
+    core::CommandQueue queue(sys);
+
+    const unsigned simulated = sys.sampleCount();
 
     /* Per-shard outcome, filled by its worker and merged in shard order
      * afterwards so the result is thread-count invariant. */
@@ -106,18 +117,15 @@ runGraphUpdate(const GraphUpdateConfig &cfg)
     };
     std::vector<ShardOutcome> outcomes(simulated);
 
-    // Shards never share state (each builds its own Dpu), so the loop
-    // shards across the host thread pool.
-    core::ParallelDpuEngine engine(cfg.simThreads);
-    engine.forEach(simulated, [&](size_t slot) {
-        const unsigned i = static_cast<unsigned>(slot);
-        const unsigned dpu_idx = simulated == cfg.numDpus
-            ? i : i * (cfg.numDpus / simulated);
+    // One launch, heterogeneous per-DPU work: every sampled DPU builds
+    // and updates its own shard (no two shards share state, so the
+    // bodies are safely concurrent).
+    queue.launchProgram(sys.all(), [&](sim::Dpu &dpu, unsigned dpu_idx) {
+        const unsigned slot = sys.slotOf(dpu_idx);
         const Shard shard = buildShard(w, dpu_idx, cfg.numDpus);
         if (shard.numLocalNodes == 0)
             return;
 
-        sim::Dpu dpu(cfg.dpuCfg);
         std::unique_ptr<alloc::Allocator> allocator;
         std::unique_ptr<GraphStructure> graph;
 
@@ -185,7 +193,13 @@ runGraphUpdate(const GraphUpdateConfig &cfg)
             oc.stats = allocator->stats();
             oc.metadataBytes = allocator->metadataBytes();
         }
+        // Outcome harvested — return this shard's pages so full-system
+        // (sample = 0) runs don't hold every shard resident at once.
+        graph.reset();
+        allocator.reset();
+        dpu.reclaimMemory();
     });
+    queue.sync();
 
     // Sequential merge in shard order — identical to the former
     // single-threaded loop, for any worker count.

@@ -2,6 +2,8 @@
 
 #include "alloc/pim_malloc.hh"
 #include "core/allocator_factory.hh"
+#include "core/command_queue.hh"
+#include "core/pim_system.hh"
 #include "sim/dpu.hh"
 #include "util/logging.hh"
 #include "workloads/llm/llm_config.hh"
@@ -78,17 +80,21 @@ measureBatchCapacity(const LlmModelConfig &model,
         res.heapBytes / res.staticReserveBytesPerRequest);
 
     // Dynamic: admit sampled requests against the real allocator until
-    // the heap cannot hold another one.
+    // the heap cannot hold another one, on a one-DPU system driven
+    // through the unified runtime.
     util::Rng rng(seed);
-    sim::Dpu dpu;
+    core::PimSystem sys(core::singleDpuConfig());
+    core::CommandQueue queue(sys);
+    sim::Dpu &dpu = sys.dpu(0);
     auto allocator =
         core::makeAllocator(dpu, core::AllocatorKind::PimMallocSw);
     KvCacheManager kv(*allocator);
 
     unsigned admitted = 0;
     uint64_t actual_bytes_sum = 0;
-    dpu.run(1, [&](sim::Tasklet &t) { allocator->init(t); });
-    dpu.run(1, [&](sim::Tasklet &t) {
+    queue.launch(sys.all(), 1,
+                 [&](sim::Tasklet &t, unsigned) { allocator->init(t); });
+    queue.launch(sys.all(), 1, [&](sim::Tasklet &t, unsigned) {
         for (;;) {
             const RequestLengths r = sampleRequest(lengths, rng);
             const uint64_t bytes = per_token * r.totalTokens();
@@ -100,6 +106,7 @@ measureBatchCapacity(const LlmModelConfig &model,
             ++admitted;
         }
     });
+    queue.sync();
     res.dynamicMaxBatch = admitted;
     res.meanActualBytesPerRequest = admitted
         ? static_cast<double>(actual_bytes_sum) / admitted : 0.0;

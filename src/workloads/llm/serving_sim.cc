@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "alloc/pim_malloc.hh"
+#include "core/command_queue.hh"
+#include "core/pim_system.hh"
 #include "util/stats.hh"
 #include "workloads/microbench.hh"
 
@@ -101,15 +103,27 @@ runServing(const ServingScheme &scheme, const ServingConfig &cfg)
         a = at;
     }
 
+    // The serving clock lives on the unified runtime's host timeline:
+    // each lockstep decode step occupies the host for its composed
+    // step latency, and idle gaps wait on the next Poisson arrival.
+    // (The PIM-side per-block allocation cost feeding each step was
+    // calibrated above by running the real allocator on the runtime.)
+    core::PimSystemConfig scfg;
+    scfg.numDpus = cfg.numDpus;
+    scfg.sampleDpus = 1; // analytic steps: no DPU programs launched
+    scfg.simThreads = 1;
+    core::PimSystem sys(scfg);
+    core::CommandQueue clock(sys);
+
     std::deque<unsigned> waiting;
     std::vector<ActiveRequest> active;
     unsigned next_arrival = 0;
     unsigned completed = 0;
-    double now = 0.0;
     uint64_t tokens_out = 0;
     util::Percentile tpot;
 
     while (completed < cfg.numRequests) {
+        const double now = clock.sync();
         // Admit arrivals that happened before `now`.
         while (next_arrival < cfg.numRequests
                && arrivals[next_arrival] <= now) {
@@ -127,7 +141,7 @@ runServing(const ServingScheme &scheme, const ServingConfig &cfg)
         if (active.empty()) {
             // Idle until the next arrival.
             if (next_arrival < cfg.numRequests)
-                now = std::max(now, arrivals[next_arrival]);
+                clock.hostIdleUntil(arrivals[next_arrival]);
             continue;
         }
 
@@ -144,7 +158,7 @@ runServing(const ServingScheme &scheme, const ServingConfig &cfg)
                              * static_cast<double>(active.size()));
         const double step_sec = cfg.stepOverheadSeconds + cfg.fcStepSeconds
             + attn_sec + alloc_sec;
-        now += step_sec;
+        clock.hostBusy(step_sec);
 
         res.peakBatchObserved = std::max<unsigned>(
             res.peakBatchObserved, static_cast<unsigned>(active.size()));
@@ -164,9 +178,10 @@ runServing(const ServingScheme &scheme, const ServingConfig &cfg)
         });
     }
 
-    res.makespanSec = now;
+    res.makespanSec = clock.sync();
     res.throughputTokensPerSec =
-        static_cast<double>(tokens_out) / std::max(now, 1e-9);
+        static_cast<double>(tokens_out)
+        / std::max(res.makespanSec, 1e-9);
     res.tpotP50Ms = tpot.p50() * 1e3;
     res.tpotP95Ms = tpot.p95() * 1e3;
     res.tpotP99Ms = tpot.p99() * 1e3;

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "core/command_queue.hh"
+#include "core/pim_system.hh"
 #include "sim/dpu.hh"
 #include "util/logging.hh"
 
@@ -10,7 +12,11 @@ namespace pim::workloads {
 MicrobenchResult
 runMicrobench(const MicrobenchConfig &cfg)
 {
-    sim::Dpu dpu(cfg.dpuCfg);
+    // One-DPU system driven through the unified command-queue runtime.
+    core::PimSystem sys(core::singleDpuConfig(cfg.dpuCfg));
+    core::CommandQueue queue(sys);
+    sim::Dpu &dpu = sys.dpu(0);
+
     core::AllocatorOverrides ov = cfg.overrides;
     ov.numTasklets = cfg.tasklets;
     auto allocator = core::makeAllocator(dpu, cfg.allocator, ov);
@@ -18,11 +24,13 @@ runMicrobench(const MicrobenchConfig &cfg)
 
     // initAllocator() is a one-time, single-tasklet operation (Table II);
     // run it in its own launch so the measured phase starts initialized.
-    dpu.run(1, [&](sim::Tasklet &t) { allocator->init(t); });
+    queue.launch(sys.all(), 1,
+                 [&](sim::Tasklet &t, unsigned) { allocator->init(t); });
+    queue.sync();
     dpu.resetStats();
     allocator->stats().resetCounters();
 
-    dpu.run(cfg.tasklets, [&](sim::Tasklet &t) {
+    queue.launch(sys.all(), cfg.tasklets, [&](sim::Tasklet &t, unsigned) {
         std::vector<sim::MramAddr> live;
         live.reserve(cfg.freeEachAlloc ? 1 : cfg.allocsPerTasklet);
         for (unsigned i = 0; i < cfg.allocsPerTasklet; ++i) {
@@ -38,6 +46,7 @@ runMicrobench(const MicrobenchConfig &cfg)
             }
         }
     });
+    queue.sync();
 
     MicrobenchResult res;
     res.elapsedCycles = dpu.lastElapsedCycles();

@@ -79,3 +79,37 @@ TEST(CliDeath, PositionalIsFatal)
 {
     EXPECT_DEATH(parse({"positional"}), "positional");
 }
+
+TEST(Cli, BenchKnobNamesComposeWithExtras)
+{
+    EXPECT_EQ(pim::util::benchKnobNames(),
+              "dpus,sample,tasklets,threads,json");
+    EXPECT_EQ(pim::util::benchKnobNames("requests,rate"),
+              "dpus,sample,tasklets,threads,json,requests,rate");
+}
+
+TEST(Cli, ParseBenchKnobsReadsSharedFlags)
+{
+    auto c = parse({"--dpus=64", "--sample=0", "--threads=3",
+                    "--json=out.json"},
+                   pim::util::benchKnobNames());
+    pim::util::BenchKnobs defaults;
+    defaults.tasklets = 8;
+    const auto k = pim::util::parseBenchKnobs(c, defaults);
+    EXPECT_EQ(k.dpus, 64u);
+    EXPECT_EQ(k.sample, 0u);
+    EXPECT_EQ(k.tasklets, 8u); // per-bench default survives
+    EXPECT_EQ(k.threads, 3u);
+    EXPECT_EQ(k.jsonPath, "out.json");
+}
+
+TEST(Cli, ParseBenchKnobsDefaults)
+{
+    auto c = parse({}, pim::util::benchKnobNames());
+    const auto k = pim::util::parseBenchKnobs(c);
+    EXPECT_EQ(k.dpus, 512u);
+    EXPECT_EQ(k.sample, 2u);
+    EXPECT_EQ(k.tasklets, 16u);
+    EXPECT_EQ(k.threads, 0u);
+    EXPECT_TRUE(k.jsonPath.empty());
+}

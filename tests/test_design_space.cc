@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/design_space.hh"
 
 using namespace pim;
@@ -113,4 +115,55 @@ TEST(DesignSpace, TransferScalesWithMetadataSize)
     const auto large =
         evalStrategy(DesignStrategy::HostMetaPimExec, p_large);
     EXPECT_GT(large.transferSeconds, 4.0 * small.transferSeconds);
+}
+
+TEST(DesignSpace, SerialMakespanIsSumOfWork)
+{
+    const auto r =
+        evalStrategy(DesignStrategy::HostMetaPimExec, fastParams(128));
+    EXPECT_EQ(r.mode, ExecutionMode::Serial);
+    EXPECT_DOUBLE_EQ(r.totalSeconds(),
+                     r.computeSeconds + r.transferSeconds);
+    EXPECT_DOUBLE_EQ(r.overlapSavedSeconds(), 0.0);
+}
+
+TEST(DesignSpace, OverlappedHidesWorkUnderTheMakespan)
+{
+    // Host-Meta/Host-Exec is compute-dominated: rank-pipelining hides
+    // the per-round pointer transfers under the host's buddy runs.
+    const auto p = fastParams(512);
+    const auto r = evalStrategy(DesignStrategy::HostMetaHostExec, p,
+                                ExecutionMode::Overlapped);
+    EXPECT_EQ(r.mode, ExecutionMode::Overlapped);
+    EXPECT_GT(r.computeSeconds, 0.0);
+    EXPECT_GT(r.transferSeconds, 0.0);
+    // Genuine overlap: end-to-end strictly below the summed work.
+    EXPECT_LT(r.makespanSeconds,
+              r.computeSeconds + r.transferSeconds);
+    EXPECT_GT(r.overlapSavedSeconds(), 0.0);
+    // ...but never below the bigger of the two timelines.
+    EXPECT_GE(r.makespanSeconds,
+              std::max(r.computeSeconds, r.transferSeconds) * 0.999);
+}
+
+TEST(DesignSpace, OverlappedPimPimMatchesSerial)
+{
+    // Nothing to pipeline in PIM-Meta/PIM-Exec: one launch either way.
+    const auto p = fastParams(512);
+    const auto serial =
+        evalStrategy(DesignStrategy::PimMetaPimExec, p);
+    const auto overlapped = evalStrategy(
+        DesignStrategy::PimMetaPimExec, p, ExecutionMode::Overlapped);
+    EXPECT_NEAR(overlapped.totalSeconds(), serial.totalSeconds(),
+                serial.totalSeconds() * 0.01);
+}
+
+TEST(DesignSpace, OverlappedNeverBeatsBusOnTransferBoundStrategies)
+{
+    // Transfer-dominated strategies stay within a whisker of their bus
+    // time: pipelining hides compute, not the saturated bus.
+    const auto p = fastParams(128);
+    const auto r = evalStrategy(DesignStrategy::HostMetaPimExec, p,
+                                ExecutionMode::Overlapped);
+    EXPECT_GE(r.makespanSeconds, r.transferSeconds * 0.999);
 }

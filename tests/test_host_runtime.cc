@@ -38,6 +38,52 @@ TEST(HostRuntime, MaterializesOnlyTheSample)
     EXPECT_EQ(rt.globalIndex(1), 32u);
 }
 
+TEST(HostRuntime, GlobalIndexSpreadsNonDivisibleSample)
+{
+    // 10 DPUs sampled by 4: the old stride mapping (10/4 = 2) yielded
+    // {0,2,4,6} and never represented the tail; the shared even-spread
+    // mapping reaches it.
+    HostRuntimeConfig cfg = smallCfg();
+    cfg.numDpus = 10;
+    cfg.sampleDpus = 4;
+    HostRuntime rt(cfg);
+    EXPECT_EQ(rt.globalIndex(0), 0u);
+    EXPECT_EQ(rt.globalIndex(1), 2u);
+    EXPECT_EQ(rt.globalIndex(2), 5u);
+    EXPECT_EQ(rt.globalIndex(3), 7u);
+}
+
+TEST(HostRuntime, FacadeMatchesDirectQueueUse)
+{
+    // The synchronous facade must be behavior-identical to driving the
+    // underlying PimSystem + CommandQueue by hand, one sync per call.
+    auto body = [](sim::Tasklet &t, unsigned idx) {
+        t.execute(100 + idx);
+    };
+
+    HostRuntime rt(smallCfg());
+    rt.pimMemcpy(4096, CopyDirection::HostToPim);
+    rt.pimLaunch(2, body);
+    rt.hostCompute(8, 5000);
+
+    PimSystemConfig scfg;
+    scfg.numDpus = 64;
+    scfg.sampleDpus = 2;
+    PimSystem sys(scfg);
+    CommandQueue q(sys);
+    q.memcpy(sys.all(), 4096, CopyDirection::HostToPim);
+    q.sync();
+    q.launch(sys.all(), 2, body);
+    q.sync();
+    q.hostCompute(8, 5000);
+    q.sync();
+
+    EXPECT_EQ(rt.elapsedSeconds(), q.elapsedSeconds());
+    EXPECT_EQ(rt.transferredBytes(), q.transferredBytes());
+    EXPECT_EQ(rt.dpu(1).lastElapsedCycles(),
+              sys.dpu(1).lastElapsedCycles());
+}
+
 TEST(HostRuntime, MemcpyAdvancesTimelineAndCountsBytes)
 {
     HostRuntime rt(smallCfg());

@@ -13,8 +13,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/command_queue.hh"
 #include "core/host_runtime.hh"
 #include "core/parallel_engine.hh"
+#include "core/pim_system.hh"
 #include "core/system.hh"
 #include "workloads/graph/update_driver.hh"
 
@@ -49,8 +51,8 @@ referenceProgram(sim::Dpu &dpu, unsigned idx)
 MultiDpuResult
 runWithThreads(unsigned num_dpus, unsigned threads, unsigned sample = 0)
 {
-    return ParallelDpuEngine(threads).simulate(num_dpus, smallDpuCfg(),
-                                               referenceProgram, sample);
+    return simulateDpus(num_dpus, smallDpuCfg(), referenceProgram,
+                        sample, threads);
 }
 
 void
@@ -120,12 +122,35 @@ TEST(ParallelEngine, MergesPartialsLikeSequentialReference)
     EXPECT_EQ(r.traffic.dmaTransfers, ref_traffic.dmaTransfers);
 }
 
-TEST(ParallelEngine, SimulateDpusWrapperStaysEquivalent)
+TEST(ParallelEngine, SimulateDpusFacadeMatchesManualQueueUse)
 {
-    const auto engine = runWithThreads(96, 3);
-    const auto wrapper =
+    // The synchronous facade and a hand-driven PimSystem+CommandQueue
+    // must produce identical reductions.
+    const auto facade =
         simulateDpus(96, smallDpuCfg(), referenceProgram, 0, 3);
-    expectIdentical(engine, wrapper);
+
+    PimSystemConfig scfg;
+    scfg.numDpus = 96;
+    scfg.dpuCfg = smallDpuCfg();
+    scfg.simThreads = 3;
+    PimSystem sys(scfg);
+    CommandQueue queue(sys);
+    queue.launchProgram(sys.all(), referenceProgram);
+    queue.sync();
+
+    uint64_t max_cycles = 0;
+    sim::CycleBreakdown breakdown{};
+    sim::TrafficStats traffic{};
+    for (unsigned slot = 0; slot < sys.sampleCount(); ++slot) {
+        max_cycles =
+            std::max(max_cycles, sys.dpu(slot).lastElapsedCycles());
+        breakdown.merge(sys.dpu(slot).lastBreakdown());
+        traffic.merge(sys.dpu(slot).traffic());
+    }
+    EXPECT_EQ(facade.maxCycles, max_cycles);
+    for (size_t k = 0; k < sim::kNumCycleKinds; ++k)
+        EXPECT_EQ(facade.breakdown.cycles[k], breakdown.cycles[k]);
+    EXPECT_EQ(facade.traffic.totalBytes(), traffic.totalBytes());
 }
 
 TEST(ParallelEngine, ResolveThreadsPrecedence)

@@ -49,6 +49,29 @@ TEST(System, SamplingSpreadsIndices)
     EXPECT_EQ(indices[3], 384u);
 }
 
+TEST(System, SamplingRepresentsNonDivisibleTail)
+{
+    // 10 DPUs sampled by 4: the even spread must reach the tail the
+    // old stride mapping (stride 10/4 = 2 -> {0,2,4,6}) never hit.
+    std::mutex mu;
+    std::vector<unsigned> indices;
+    simulateDpus(10, sim::DpuConfig{},
+                 [&](sim::Dpu &dpu, unsigned idx) {
+                     {
+                         std::lock_guard<std::mutex> lock(mu);
+                         indices.push_back(idx);
+                     }
+                     dpu.run(1, [](sim::Tasklet &t) { t.execute(1); });
+                 },
+                 4);
+    std::sort(indices.begin(), indices.end());
+    ASSERT_EQ(indices.size(), 4u);
+    EXPECT_EQ(indices[0], 0u);
+    EXPECT_EQ(indices[1], 2u);
+    EXPECT_EQ(indices[2], 5u);
+    EXPECT_EQ(indices[3], 7u);
+}
+
 TEST(System, TrafficScalesFromSample)
 {
     const auto r = simulateDpus(
