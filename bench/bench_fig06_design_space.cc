@@ -4,20 +4,31 @@
  * Table I design strategies as the number of PIM cores grows from 1 to
  * 512 (each core issuing 128 x 32 B allocations), and (b) the
  * transfer-vs-compute latency breakdown at 512 cores.
+ *
+ * Shared knobs: --threads bounds the Overlapped replay's host pool;
+ * --trace <file> exports the rank-pipelined replays as one Chrome/
+ * Perfetto process per strategy; --occupancy prints each replay's
+ * per-lane busy breakdown (which lane — host, bus, or a rank — ends
+ * the makespan).
  */
 
 #include <iostream>
 #include <vector>
 
 #include "core/design_space.hh"
+#include "trace/chrome_trace.hh"
+#include "util/cli.hh"
 #include "util/table.hh"
 
 using namespace pim;
 using namespace pim::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::Cli cli(argc, argv, "threads,trace,occupancy");
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
+
     util::Table scaling("Fig 6(a): allocation latency (seconds) vs number "
                         "of PIM cores");
     scaling.setHeader({"PIM cores", "Host-Meta/Host-Exec",
@@ -40,6 +51,7 @@ main()
                          "Total (s)"});
     DesignSpaceParams p512;
     p512.numDpus = 512;
+    p512.simThreads = knobs.threads;
     for (auto s : kAllStrategies) {
         const auto r = evalStrategy(s, p512);
         breakdown.addRow({designStrategyName(s),
@@ -54,14 +66,16 @@ main()
     // Beyond the paper: the same four pseudo-programs replayed on the
     // async command-queue runtime at rank granularity, so host compute
     // and bus transfers overlap other ranks' execution.
+    trace::RecorderSet recorders(knobs.wantsTrace());
     util::Table overlap("Rank-pipelined (async command queue) vs serial "
                         "at 512 PIM cores");
     overlap.setHeader({"Design strategy", "Serial (s)", "Overlapped (s)",
                        "Hidden (s)", "Speedup"});
-    for (auto s : kAllStrategies) {
+    for (const auto s : kAllStrategies) {
         const auto serial = evalStrategy(s, p512);
-        const auto async =
-            evalStrategy(s, p512, ExecutionMode::Overlapped);
+        DesignSpaceParams p = p512;
+        p.recorder = recorders.add(designStrategyName(s));
+        const auto async = evalStrategy(s, p, ExecutionMode::Overlapped);
         overlap.addRow(
             {designStrategyName(s),
              util::Table::num(serial.totalSeconds(), 3),
@@ -76,5 +90,9 @@ main()
                  "flat as cores grow; metadata-moving strategies are "
                  "transfer-dominated (paper Fig 6), and rank-pipelining "
                  "only partially hides their transfers.\n";
+
+    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+                            knobs.tracePath, "Overlapped occupancy: "))
+        return 1;
     return 0;
 }

@@ -7,11 +7,13 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "alloc/pim_malloc.hh"
 #include "core/pim_system.hh"
 
 #include "sim/dpu.hh"
+#include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 #include "workloads/graph/update_driver.hh"
@@ -47,16 +49,17 @@ fromStats(std::string name, const alloc::AllocStats &st)
 
 Row
 graphRow(graph::StructureKind structure, const char *name,
-         unsigned threads)
+         const pim::util::BenchKnobs &knobs, trace::Recorder *rec)
 {
     graph::GraphUpdateConfig cfg;
     cfg.structure = structure;
     cfg.allocator = core::AllocatorKind::PimMallocSw;
-    cfg.numDpus = 64;
-    cfg.sampleDpus = 2;
+    cfg.numDpus = knobs.dpus;
+    cfg.sampleDpus = knobs.sample;
     cfg.gen.numNodes = 24000;
     cfg.gen.numEdges = 120000;
-    cfg.simThreads = threads;
+    cfg.simThreads = knobs.threads;
+    cfg.recorder = rec;
     const auto res = graph::runGraphUpdate(cfg);
     return fromStats(name, res.allocStats);
 }
@@ -90,14 +93,20 @@ attentionRow()
 int
 main(int argc, char **argv)
 {
-    util::Cli cli(argc, argv, "threads");
-    const unsigned threads =
-        static_cast<unsigned>(cli.getInt("threads", 0));
+    // Shared knobs (the attention row is single-DPU, so --tasklets does
+    // not apply); --trace/--occupancy cover the two graph-update runs.
+    util::Cli cli(argc, argv, "dpus,sample,threads,trace,occupancy");
+    util::BenchKnobs defaults;
+    defaults.dpus = 64;
+    defaults.sample = 2;
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli, defaults);
+
+    trace::RecorderSet recorders(knobs.wantsTrace());
     const Row rows[] = {
         graphRow(graph::StructureKind::LinkedList, "Array of linked list",
-                 threads),
+                 knobs, recorders.add("Array of linked list")),
         graphRow(graph::StructureKind::VarArray, "Variable sized array",
-                 threads),
+                 knobs, recorders.add("Variable sized array")),
         attentionRow(),
     };
 
@@ -125,5 +134,9 @@ main(int argc, char **argv)
     std::cout << "\nExpected shape: ~90%+ of requests hit the frontend "
                  "(paper: 93% average) while the backend dominates "
                  "aggregate latency (paper: 68%).\n";
+
+    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+                            knobs.tracePath))
+        return 1;
     return 0;
 }

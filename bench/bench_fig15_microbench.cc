@@ -6,11 +6,17 @@
  * and (b) 16 tasklets (lock contention). Each tasklet issues 128
  * allocations. Also prints the headline speedups (paper: PIM-malloc-SW
  * 66x over the straw-man; HW/SW +31% over SW).
+ *
+ * --json <file> emits the cases and headline geomeans as a BENCH_*.json
+ * artifact, like the other headline figure benches.
  */
 
+#include <fstream>
 #include <iostream>
 #include <vector>
 
+#include "util/cli.hh"
+#include "util/json.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 #include "workloads/microbench.hh"
@@ -31,14 +37,27 @@ avgLatency(core::AllocatorKind kind, unsigned tasklets, uint32_t size)
     return workloads::runMicrobench(cfg).avgLatencyUs;
 }
 
+struct Case
+{
+    unsigned tasklets;
+    uint32_t size;
+    double strawUs;
+    double swUs;
+    double hwswUs;
+};
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::Cli cli(argc, argv, "json");
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
+
     const uint32_t sizes[] = {32, 256, 4096};
     const unsigned thread_counts[] = {1, 16};
 
+    std::vector<Case> cases;
     std::vector<double> sw_speedups;   // straw-man / SW
     std::vector<double> hwsw_speedups; // SW / HW-SW
 
@@ -56,6 +75,7 @@ main()
                 avgLatency(core::AllocatorKind::PimMallocSw, tasklets, size);
             const double hwsw = avgLatency(
                 core::AllocatorKind::PimMallocHwSw, tasklets, size);
+            cases.push_back({tasklets, size, straw, sw, hwsw});
             sw_speedups.push_back(straw / sw);
             hwsw_speedups.push_back(sw / hwsw);
             table.addRow({std::to_string(size) + " B",
@@ -70,15 +90,45 @@ main()
         std::cout << "\n";
     }
 
+    const double sw_geomean = util::geomean(sw_speedups);
+    const double hwsw_geomean = util::geomean(hwsw_speedups);
     util::Table headline("Headline speedups (paper: 66x and +31%)");
     headline.setHeader({"Metric", "Measured"});
     headline.addRow({"PIM-malloc-SW vs straw-man (geomean)",
-                     util::Table::num(util::geomean(sw_speedups), 1) + "x"});
+                     util::Table::num(sw_geomean, 1) + "x"});
     std::string hwsw_gain = "+";
-    hwsw_gain += util::Table::num(
-        (util::geomean(hwsw_speedups) - 1.0) * 100.0, 1);
+    hwsw_gain += util::Table::num((hwsw_geomean - 1.0) * 100.0, 1);
     hwsw_gain += "%";
     headline.addRow({"PIM-malloc-HW/SW vs SW (geomean)", hwsw_gain});
     headline.print(std::cout);
+
+    if (!knobs.jsonPath.empty()) {
+        std::ofstream out(knobs.jsonPath);
+        if (!out) {
+            std::cerr << "cannot open " << knobs.jsonPath << "\n";
+            return 1;
+        }
+        util::JsonWriter j(out);
+        j.beginObject();
+        j.key("bench").value("fig15_microbench");
+        j.key("allocs_per_tasklet").value(128);
+        j.key("cases").beginArray();
+        for (const Case &c : cases) {
+            j.beginObject();
+            j.key("tasklets").value(c.tasklets);
+            j.key("alloc_size").value(c.size);
+            j.key("straw_man_us").value(c.strawUs);
+            j.key("pim_malloc_sw_us").value(c.swUs);
+            j.key("pim_malloc_hwsw_us").value(c.hwswUs);
+            j.key("sw_speedup").value(c.strawUs / c.swUs);
+            j.key("hwsw_vs_sw").value(c.swUs / c.hwswUs);
+            j.endObject();
+        }
+        j.endArray();
+        j.key("sw_speedup_geomean").value(sw_geomean);
+        j.key("hwsw_vs_sw_geomean").value(hwsw_geomean);
+        j.endObject();
+        std::cout << "\nJSON written to " << knobs.jsonPath << "\n";
+    }
     return 0;
 }

@@ -15,6 +15,7 @@
 #include <map>
 #include <vector>
 
+#include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
 #include "util/table.hh"
@@ -57,20 +58,30 @@ main(int argc, char **argv)
     util::Cli cli(argc, argv, util::benchKnobNames());
     const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
 
+    // One recorder per configuration.
+    trace::RecorderSet recorders(knobs.wantsTrace());
+    auto tracedConfig = [&](StructureKind s, core::AllocatorKind a,
+                            const std::string &name) {
+        GraphUpdateConfig cfg = baseConfig(s, a, knobs);
+        cfg.recorder = recorders.add(name);
+        return cfg;
+    };
+
     std::vector<NamedRun> runs;
     runs.push_back({"Static (CSR)",
-                    runGraphUpdate(baseConfig(
+                    runGraphUpdate(tracedConfig(
                         StructureKind::StaticCsr,
-                        core::AllocatorKind::PimMallocSw, knobs))});
+                        core::AllocatorKind::PimMallocSw,
+                        "Static (CSR)"))});
     const std::pair<const char *, StructureKind> structures[] = {
         {"LinkedList", StructureKind::LinkedList},
         {"VarArray", StructureKind::VarArray}};
     for (const auto &[sname, s] : structures) {
         for (auto kind : core::kMainKinds) {
+            std::string name = std::string(sname) + " + "
+                + core::allocatorKindName(kind);
             runs.push_back(
-                {std::string(sname) + " + "
-                     + core::allocatorKindName(kind),
-                 runGraphUpdate(baseConfig(s, kind, knobs))});
+                {name, runGraphUpdate(tracedConfig(s, kind, name))});
         }
     }
 
@@ -210,5 +221,9 @@ main(int argc, char **argv)
         j.endObject();
         std::cout << "\nJSON written to " << knobs.jsonPath << "\n";
     }
+
+    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+                            knobs.tracePath))
+        return 1;
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
 #include "util/table.hh"
@@ -25,7 +26,8 @@ main(int argc, char **argv)
 {
     // Serving has no sampling or sim-thread fan-out, so only the
     // applicable shared knobs are accepted (unknown flags stay fatal).
-    util::Cli cli(argc, argv, "dpus,tasklets,json,requests,rate");
+    util::Cli cli(argc, argv,
+                  "dpus,tasklets,json,trace,occupancy,requests,rate");
     const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
 
     ServingConfig cfg;
@@ -42,6 +44,7 @@ main(int argc, char **argv)
         {core::AllocatorKind::PimMallocSw},
         {core::AllocatorKind::PimMallocHwSw},
     };
+    trace::RecorderSet recorders(knobs.wantsTrace());
 
     util::Table table("Fig 18: LLM serving throughput and TPOT across "
                       "allocation schemes");
@@ -52,7 +55,9 @@ main(int argc, char **argv)
     double best_throughput = 0.0;
     std::vector<std::pair<std::string, ServingResult>> results;
     for (const auto &scheme : schemes) {
-        const auto r = runServing(scheme, cfg);
+        ServingConfig run_cfg = cfg;
+        run_cfg.recorder = recorders.add(scheme.name());
+        const auto r = runServing(scheme, run_cfg);
         results.emplace_back(scheme.name(), r);
         if (!scheme.allocator)
             static_throughput = r.throughputTokensPerSec;
@@ -105,5 +110,9 @@ main(int argc, char **argv)
         j.endObject();
         std::cout << "\nJSON written to " << knobs.jsonPath << "\n";
     }
+
+    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+                            knobs.tracePath, "Serving occupancy: "))
+        return 1;
     return 0;
 }

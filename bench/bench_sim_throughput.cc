@@ -7,6 +7,11 @@
  *
  * Cases: 1-tasklet (uncontended) and 16-tasklet (mutex-contended)
  * alloc/free loops on PIM-malloc-SW, the paper's default design point.
+ *
+ * --trace/--occupancy replay each case once, untimed, with the
+ * per-tasklet trace hook attached (PIM_TRACE_SIM builds), so the
+ * measured loops stay undisturbed while the capture still shows how
+ * the tasklets interleave.
  */
 
 #include <chrono>
@@ -19,6 +24,7 @@
 #include "core/pim_system.hh"
 #include "sim/dpu.hh"
 #include "sim/fiber.hh"
+#include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -83,16 +89,42 @@ runCase(unsigned tasklets, unsigned allocs, unsigned reps)
     return res;
 }
 
+#ifdef PIM_TRACE_SIM
+/** Replay one case, untimed, recording per-tasklet spans into @p rec. */
+void
+tracedCase(unsigned tasklets, unsigned allocs, trace::Recorder &rec)
+{
+    core::PimSystem sys(core::singleDpuConfig());
+    sim::Dpu &dpu = sys.dpu(0);
+    core::AllocatorOverrides ov;
+    ov.numTasklets = tasklets;
+    auto allocator =
+        core::makeAllocator(dpu, core::AllocatorKind::PimMallocSw, ov);
+    dpu.run(1, [&](sim::Tasklet &t) { allocator->init(t); });
+    dpu.attachTraceRecorder(&rec);
+    dpu.setTraceOrigin(0.0);
+    dpu.run(tasklets, [&](sim::Tasklet &t) {
+        for (unsigned i = 0; i < allocs; ++i) {
+            const sim::MramAddr addr = allocator->malloc(t, 32);
+            PIM_ASSERT(addr != sim::kNullAddr, "heap exhausted");
+            const bool ok = allocator->free(t, addr);
+            PIM_ASSERT(ok, "double free");
+        }
+    });
+}
+#endif
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    util::Cli cli(argc, argv, "allocs,reps,json");
+    util::Cli cli(argc, argv, "allocs,reps,json,trace,occupancy");
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
     const unsigned allocs =
         static_cast<unsigned>(cli.getInt("allocs", 2048));
     const unsigned reps = static_cast<unsigned>(cli.getInt("reps", 3));
-    const std::string json_path = cli.get("json", "");
+    const std::string &json_path = knobs.jsonPath;
 
     std::vector<CaseResult> results;
     for (unsigned tasklets : {1u, 16u})
@@ -137,6 +169,21 @@ main(int argc, char **argv)
         j.endArray();
         j.endObject();
         std::cout << "\nJSON written to " << json_path << "\n";
+    }
+
+    if (knobs.wantsTrace()) {
+#ifdef PIM_TRACE_SIM
+        trace::RecorderSet recorders(true);
+        for (const auto &r : results)
+            tracedCase(r.tasklets, allocs, *recorders.add(r.name));
+        if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+                                knobs.tracePath, "Tasklet occupancy: "))
+            return 1;
+#else
+        std::cerr << "tasklet tracing was compiled out "
+                     "(rebuild with -DPIM_TRACE_SIM=ON)\n";
+        return 1;
+#endif
     }
     return 0;
 }

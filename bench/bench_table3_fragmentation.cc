@@ -12,6 +12,7 @@
 #include "alloc/pim_malloc.hh"
 #include "core/pim_system.hh"
 #include "sim/dpu.hh"
+#include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 #include "workloads/graph/update_driver.hh"
@@ -25,7 +26,7 @@ namespace {
 
 double
 graphFragmentation(graph::StructureKind structure, core::AllocatorKind kind,
-                   unsigned threads)
+                   unsigned threads, trace::Recorder *rec)
 {
     graph::GraphUpdateConfig cfg;
     cfg.structure = structure;
@@ -35,6 +36,7 @@ graphFragmentation(graph::StructureKind structure, core::AllocatorKind kind,
     cfg.gen.numNodes = 196591;
     cfg.gen.numEdges = 950327;
     cfg.simThreads = threads;
+    cfg.recorder = rec;
     return graph::runGraphUpdate(cfg).fragmentation;
 }
 
@@ -65,9 +67,13 @@ attentionFragmentation(bool lazy)
 int
 main(int argc, char **argv)
 {
-    util::Cli cli(argc, argv, "threads");
-    const unsigned threads =
-        static_cast<unsigned>(cli.getInt("threads", 0));
+    // Shared knobs (single representative DPU per run, so --dpus and
+    // --sample stay fixed); --trace/--occupancy cover the graph runs.
+    util::Cli cli(argc, argv, "threads,trace,occupancy");
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
+    const unsigned threads = knobs.threads;
+
+    trace::RecorderSet recorders(knobs.wantsTrace());
 
     util::Table table("Table III: memory fragmentation (A/U), PIM-malloc "
                       "as-is vs PIM-malloc-lazy");
@@ -77,23 +83,27 @@ main(int argc, char **argv)
                   util::Table::num(
                       graphFragmentation(graph::StructureKind::LinkedList,
                                          core::AllocatorKind::PimMallocSw,
-                                         threads),
+                                         threads,
+                                         recorders.add("LinkedList as-is")),
                       2),
                   util::Table::num(
                       graphFragmentation(
                           graph::StructureKind::LinkedList,
-                          core::AllocatorKind::PimMallocSwLazy, threads),
+                          core::AllocatorKind::PimMallocSwLazy, threads,
+                          recorders.add("LinkedList lazy")),
                       2)});
     table.addRow({"Dynamic graph update (variable sized array)",
                   util::Table::num(
                       graphFragmentation(graph::StructureKind::VarArray,
                                          core::AllocatorKind::PimMallocSw,
-                                         threads),
+                                         threads,
+                                         recorders.add("VarArray as-is")),
                       2),
                   util::Table::num(
                       graphFragmentation(
                           graph::StructureKind::VarArray,
-                          core::AllocatorKind::PimMallocSwLazy, threads),
+                          core::AllocatorKind::PimMallocSwLazy, threads,
+                          recorders.add("VarArray lazy")),
                       2)});
     table.addRow({"LLM attention",
                   util::Table::num(attentionFragmentation(false), 2),
@@ -102,5 +112,9 @@ main(int argc, char **argv)
     std::cout << "\nPaper's Table III: 1.95/1.21, 1.72/1.49, 1.66/1.00 — "
                  "lazy allocation reduces fragmentation everywhere, most "
                  "for single-size-class workloads.\n";
+
+    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+                            knobs.tracePath))
+        return 1;
     return 0;
 }

@@ -8,15 +8,20 @@
  * paper's choice of PIM-Metadata/PIM-Executed.
  *
  * Run:  ./design_space [--dpus=512] [--allocs=128] [--size=32]
- *                      [--overlap]
+ *                      [--overlap] [--trace=out.json] [--occupancy]
  *
  * --overlap additionally replays each pseudo-program on the async
  * command-queue runtime, pipelining rounds at rank granularity.
+ * --trace / --occupancy imply --overlap: the replays are captured as
+ * one Chrome/Perfetto process per strategy, and/or summarized as
+ * per-lane busy fractions.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "core/design_space.hh"
+#include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 
@@ -26,10 +31,13 @@ using namespace pim::core;
 int
 main(int argc, char **argv)
 {
-    util::Cli cli(argc, argv, "dpus,allocs,size,overlap");
+    util::Cli cli(argc, argv, "dpus,allocs,size,overlap,trace,occupancy");
+    // The shared-knob subset (dpus/trace/occupancy) parses through
+    // BenchKnobs so the trace knobs behave exactly like the benches'.
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
 
     DesignSpaceParams p;
-    p.numDpus = static_cast<unsigned>(cli.getInt("dpus", 512));
+    p.numDpus = knobs.dpus;
     p.allocsPerDpu = static_cast<unsigned>(cli.getInt("allocs", 128));
     p.allocSize = static_cast<uint32_t>(cli.getInt("size", 32));
 
@@ -58,20 +66,28 @@ main(int argc, char **argv)
               << " (the paper selects PIM-Metadata/PIM-Executed as the "
                  "foundation of PIM-malloc)\n";
 
-    if (cli.getBool("overlap", false)) {
+    if (cli.getBool("overlap", false) || knobs.wantsTrace()) {
+        trace::RecorderSet recorders(knobs.wantsTrace());
         util::Table ov("Async command queue: rank-pipelined overlap");
         ov.setHeader({"Strategy", "Serial (s)", "Overlapped (s)",
                       "Hidden (s)"});
-        for (auto s : kAllStrategies) {
+        for (const auto s : kAllStrategies) {
             const auto serial = evalStrategy(s, p);
+            DesignSpaceParams po = p;
+            po.recorder = recorders.add(designStrategyName(s));
             const auto async =
-                evalStrategy(s, p, ExecutionMode::Overlapped);
+                evalStrategy(s, po, ExecutionMode::Overlapped);
             ov.addRow({designStrategyName(s),
                        util::Table::num(serial.totalSeconds(), 4),
                        util::Table::num(async.totalSeconds(), 4),
                        util::Table::num(async.overlapSavedSeconds(), 4)});
         }
         ov.print(std::cout);
+
+        if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+                                knobs.tracePath,
+                                "Overlapped occupancy: "))
+            return 1;
     }
     return 0;
 }

@@ -9,6 +9,11 @@
  *
  * Run:  ./quickstart [--tasklets=16] [--allocs=64] [--size=256]
  *                    [--allocator=sw|hwsw|straw-man|sw-lazy|hwsw-lazy]
+ *                    [--trace=out.json] [--occupancy]
+ *
+ * --trace captures the run as Chrome/Perfetto trace-event JSON (queue
+ * lanes, plus per-tasklet lanes in PIM_TRACE_SIM builds); --occupancy
+ * prints the per-lane busy breakdown.
  */
 
 #include <iostream>
@@ -17,6 +22,7 @@
 #include "core/allocator_factory.hh"
 #include "core/command_queue.hh"
 #include "core/pim_system.hh"
+#include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 
@@ -25,9 +31,12 @@ using namespace pim;
 int
 main(int argc, char **argv)
 {
-    util::Cli cli(argc, argv, "tasklets,allocs,size,allocator");
-    const unsigned tasklets =
-        static_cast<unsigned>(cli.getInt("tasklets", 16));
+    util::Cli cli(argc, argv,
+                  "tasklets,allocs,size,allocator,trace,occupancy");
+    // The shared-knob subset (tasklets/trace/occupancy) parses through
+    // BenchKnobs so the trace knobs behave exactly like the benches'.
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
+    const unsigned tasklets = knobs.tasklets;
     const unsigned allocs = static_cast<unsigned>(cli.getInt("allocs", 64));
     const uint32_t size = static_cast<uint32_t>(cli.getInt("size", 256));
     const auto kind =
@@ -40,13 +49,22 @@ main(int argc, char **argv)
     core::CommandQueue queue(sys);
     sim::Dpu &dpu = sys.dpu(0);
 
+    trace::Recorder recorder;
+    if (knobs.wantsTrace()) {
+        queue.attachRecorder(&recorder);
+#ifdef PIM_TRACE_SIM
+        dpu.attachTraceRecorder(&recorder);
+#endif
+    }
+
     core::AllocatorOverrides ov;
     ov.numTasklets = tasklets;
     auto allocator = core::makeAllocator(dpu, kind, ov);
 
     // Table II: initAllocator() runs once, on a designated tasklet.
     queue.launch(sys.all(), 1,
-                 [&](sim::Tasklet &t, unsigned) { allocator->init(t); });
+                 [&](sim::Tasklet &t, unsigned) { allocator->init(t); },
+                 core::kNoEvent, "initAllocator");
 
     // pimMalloc()/pimFree() from every tasklet, no explicit locking.
     queue.launch(sys.all(), tasklets, [&](sim::Tasklet &t, unsigned) {
@@ -61,7 +79,7 @@ main(int argc, char **argv)
         }
         for (sim::MramAddr p : mine)
             allocator->free(t, p);
-    });
+    }, core::kNoEvent, "alloc+free");
     queue.sync();
 
     const auto &st = allocator->stats();
@@ -89,5 +107,10 @@ main(int argc, char **argv)
                 util::Table::num(dpu.config().cyclesToMicros(
                     dpu.lastElapsedCycles()), 1)});
     out.print(std::cout);
+
+    if (knobs.wantsTrace()
+        && !trace::emitReports(std::cout, {{"quickstart", &recorder}},
+                               knobs.occupancy, knobs.tracePath))
+        return 1;
     return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "trace/trace.hh"
 #include "util/logging.hh"
 
 namespace pim::core {
@@ -10,6 +11,16 @@ namespace pim::core {
 CommandQueue::CommandQueue(PimSystem &sys)
     : sys_(sys), rankT_(sys.numRanks(), 0.0)
 {
+}
+
+void
+CommandQueue::attachRecorder(trace::Recorder *rec)
+{
+    drain();
+    rec_ = rec;
+    traceEpoch_ = 0.0;
+    if (rec_ != nullptr)
+        rec_->setRankCount(sys_.numRanks());
 }
 
 double
@@ -46,11 +57,15 @@ CommandQueue::copyDuration(const DpuSet &set, uint64_t total_bytes) const
 
 CommandQueue::Command
 CommandQueue::makeCopy(const DpuSet &set, uint64_t total_bytes,
-                       bool blocking, Event after) const
+                       bool blocking, Event after, CopyDirection dir,
+                       const std::string &label) const
 {
     Command cmd;
     cmd.type = Command::Type::Copy;
     cmd.after = after;
+    cmd.dir = dir;
+    if (rec_ != nullptr)
+        cmd.label = label;
     cmd.totalBytes = total_bytes;
     cmd.copySeconds = copyDuration(set, total_bytes);
     cmd.blocking = blocking;
@@ -60,11 +75,10 @@ CommandQueue::makeCopy(const DpuSet &set, uint64_t total_bytes,
 
 double
 CommandQueue::memcpy(const DpuSet &set, uint64_t bytes_per_dpu,
-                     CopyDirection dir)
+                     CopyDirection dir, const std::string &label)
 {
-    (void)dir; // symmetric cost model
     Command cmd = makeCopy(set, bytes_per_dpu * set.size(),
-                           /*blocking=*/true, kNoEvent);
+                           /*blocking=*/true, kNoEvent, dir, label);
     const double sec = cmd.copySeconds;
     enqueue(std::move(cmd));
     drain();
@@ -73,25 +87,25 @@ CommandQueue::memcpy(const DpuSet &set, uint64_t bytes_per_dpu,
 
 Event
 CommandQueue::memcpyAsync(const DpuSet &set, uint64_t bytes_per_dpu,
-                          CopyDirection dir, Event after)
+                          CopyDirection dir, Event after,
+                          const std::string &label)
 {
-    (void)dir;
     return enqueue(makeCopy(set, bytes_per_dpu * set.size(),
-                            /*blocking=*/false, after));
+                            /*blocking=*/false, after, dir, label));
 }
 
 double
 CommandQueue::memcpyScatter(const DpuSet &set,
                             const std::vector<uint64_t> &bytes_per_dpu,
-                            CopyDirection dir)
+                            CopyDirection dir, const std::string &label)
 {
-    (void)dir;
     PIM_ASSERT(bytes_per_dpu.size() == set.size(),
                "scatter byte counts must match the set size");
     uint64_t total = 0;
     for (const uint64_t b : bytes_per_dpu)
         total += b;
-    Command cmd = makeCopy(set, total, /*blocking=*/true, kNoEvent);
+    Command cmd =
+        makeCopy(set, total, /*blocking=*/true, kNoEvent, dir, label);
     const double sec = cmd.copySeconds;
     enqueue(std::move(cmd));
     drain();
@@ -101,21 +115,22 @@ CommandQueue::memcpyScatter(const DpuSet &set,
 Event
 CommandQueue::memcpyScatterAsync(const DpuSet &set,
                                  std::vector<uint64_t> bytes_per_dpu,
-                                 CopyDirection dir, Event after)
+                                 CopyDirection dir, Event after,
+                                 const std::string &label)
 {
-    (void)dir;
     PIM_ASSERT(bytes_per_dpu.size() == set.size(),
                "scatter byte counts must match the set size");
     uint64_t total = 0;
     for (const uint64_t b : bytes_per_dpu)
         total += b;
-    return enqueue(makeCopy(set, total, /*blocking=*/false, after));
+    return enqueue(
+        makeCopy(set, total, /*blocking=*/false, after, dir, label));
 }
 
 Event
 CommandQueue::launch(const DpuSet &set, unsigned tasklets,
                      std::function<void(sim::Tasklet &, unsigned)> body,
-                     Event after)
+                     Event after, const std::string &label)
 {
     return launchProgram(
         set,
@@ -124,13 +139,14 @@ CommandQueue::launch(const DpuSet &set, unsigned tasklets,
             dpu.run(tasklets,
                     [&](sim::Tasklet &t) { body(t, global); });
         },
-        after);
+        after, label);
 }
 
 Event
 CommandQueue::launchProgram(
     const DpuSet &set,
-    std::function<void(sim::Dpu &, unsigned)> program, Event after)
+    std::function<void(sim::Dpu &, unsigned)> program, Event after,
+    const std::string &label)
 {
     // A launch with no materialized member would silently run nothing
     // and cost nothing — an experiment bug, not a zero-work launch
@@ -140,6 +156,8 @@ CommandQueue::launchProgram(
     Command cmd;
     cmd.type = Command::Type::Launch;
     cmd.after = after;
+    if (rec_ != nullptr)
+        cmd.label = label;
     cmd.program = std::move(program);
     cmd.ranks = set.ranks();
     cmd.slots = set.slots();
@@ -149,29 +167,35 @@ CommandQueue::launchProgram(
 
 double
 CommandQueue::hostCompute(uint64_t tasks, uint64_t instrs_per_task,
-                          Event after)
+                          Event after, const std::string &label)
 {
     return hostBusy(sys_.hostModel().seconds(tasks, instrs_per_task),
-                    after);
+                    after, label);
 }
 
 double
-CommandQueue::hostBusy(double seconds, Event after)
+CommandQueue::hostBusy(double seconds, Event after,
+                       const std::string &label)
 {
     Command cmd;
     cmd.type = Command::Type::HostCompute;
     cmd.after = after;
+    if (rec_ != nullptr)
+        cmd.label = label;
     cmd.hostSeconds = seconds;
     enqueue(std::move(cmd));
     return seconds;
 }
 
 void
-CommandQueue::hostIdleUntil(double seconds, Event after)
+CommandQueue::hostIdleUntil(double seconds, Event after,
+                            const std::string &label)
 {
     Command cmd;
     cmd.type = Command::Type::HostCompute;
     cmd.after = after;
+    if (rec_ != nullptr)
+        cmd.label = label;
     cmd.hostUntil = seconds;
     enqueue(std::move(cmd));
 }
@@ -214,15 +238,42 @@ CommandQueue::drain()
 
     // Phase 2: fold the commands into the timelines, sequentially and
     // in enqueue order — bit-identical for any worker-thread count.
+    // With a recorder attached, each command also emits one span per
+    // lane it occupied, at exactly the interval the fold computed.
     const double launch_overhead =
         sys_.config().xferCfg.launchLatencySec;
+    auto span = [this](int lane, const std::string &name, double t0,
+                       double t1, const Command &cmd, Event id,
+                       bool idle = false) {
+        trace::Span s;
+        s.lane = lane;
+        s.name = name;
+        s.t0 = traceEpoch_ + t0;
+        s.t1 = traceEpoch_ + t1;
+        s.bytes = cmd.type == Command::Type::Copy
+                && lane == trace::kBusLane
+            ? cmd.totalBytes : 0;
+        s.event = id;
+        s.after = cmd.after;
+        s.idle = idle;
+        rec_->record(std::move(s));
+    };
     for (Command &cmd : pending_) {
+        const Event id = static_cast<Event>(
+            resolvedBase_ + resolved_.size());
         const double dep =
             cmd.after == kNoEvent ? 0.0 : eventTime(cmd.after);
         switch (cmd.type) {
           case Command::Type::Launch: {
             // The host pays the driver-issue overhead, then moves on.
+            const double issue_t0 = hostT_;
             hostT_ += launch_overhead;
+            std::string name; // only materialized when tracing
+            if (rec_ != nullptr) {
+                name = cmd.label.empty() ? "launch" : cmd.label;
+                span(trace::kHostLane, name + " (issue)", issue_t0,
+                     hostT_, cmd, id);
+            }
             // A rank with sampled members is busy for its slowest one;
             // an unsampled rank is charged the slowest sampled member
             // of the whole launch (representative-sample assumption).
@@ -242,13 +293,26 @@ CommandQueue::drain()
                                             cmd.slotCycles[i]);
                     }
                 }
-                const double dur = sys_.config().dpuCfg.cyclesToSeconds(
-                    rank_sampled ? rank_max : all_max);
+                const uint64_t cycles =
+                    rank_sampled ? rank_max : all_max;
+                const double dur =
+                    sys_.config().dpuCfg.cyclesToSeconds(cycles);
                 const double start =
                     std::max({hostT_, rankT_[r], dep});
                 rankT_[r] = start + dur;
                 launch_end = std::max(launch_end, rankT_[r]);
                 launch_work = std::max(launch_work, dur);
+                if (rec_ != nullptr) {
+                    trace::Span s;
+                    s.lane = trace::rankLane(r);
+                    s.name = name;
+                    s.t0 = traceEpoch_ + start;
+                    s.t1 = traceEpoch_ + rankT_[r];
+                    s.cycles = cycles;
+                    s.event = id;
+                    s.after = cmd.after;
+                    rec_->record(std::move(s));
+                }
             }
             // Ranks run concurrently, so one launch contributes its
             // slowest rank once to the serial-composition work sum.
@@ -257,6 +321,7 @@ CommandQueue::drain()
             break;
           }
           case Command::Type::Copy: {
+            const double host_t0 = hostT_;
             double start = std::max({hostT_, busT_, dep});
             for (const unsigned r : cmd.ranks)
                 start = std::max(start, rankT_[r]);
@@ -269,15 +334,38 @@ CommandQueue::drain()
             transferredBytes_ += cmd.totalBytes;
             copyWork_ += cmd.copySeconds;
             cmd.end = end;
+            if (rec_ != nullptr) {
+                const std::string &name = cmd.label.empty()
+                    ? std::string(cmd.dir == CopyDirection::HostToPim
+                                      ? "memcpy:h2p" : "memcpy:p2h")
+                    : cmd.label;
+                span(trace::kBusLane, name, start, end, cmd, id);
+                for (const unsigned r : cmd.ranks)
+                    span(trace::rankLane(r), name, start, end, cmd, id);
+                if (cmd.blocking && end > host_t0)
+                    span(trace::kHostLane, name + " (wait)", host_t0,
+                         end, cmd, id, /*idle=*/true);
+            }
             break;
           }
           case Command::Type::HostCompute: {
+            const double host_t0 = hostT_;
             if (cmd.hostUntil >= 0.0) {
                 hostT_ = std::max({hostT_, cmd.hostUntil, dep});
+                if (rec_ != nullptr && hostT_ > host_t0)
+                    span(trace::kHostLane,
+                         cmd.label.empty() ? std::string("idle-until")
+                                           : cmd.label,
+                         host_t0, hostT_, cmd, id, /*idle=*/true);
             } else {
                 const double start = std::max(hostT_, dep);
                 hostT_ = start + cmd.hostSeconds;
                 hostWork_ += cmd.hostSeconds;
+                if (rec_ != nullptr)
+                    span(trace::kHostLane,
+                         cmd.label.empty() ? std::string("host")
+                                           : cmd.label,
+                         start, hostT_, cmd, id);
             }
             cmd.end = hostT_;
             break;
@@ -289,12 +377,19 @@ CommandQueue::drain()
 }
 
 double
-CommandQueue::sync()
+CommandQueue::joinedTime() const
 {
-    drain();
     double t = std::max(hostT_, busT_);
     for (const double r : rankT_)
         t = std::max(t, r);
+    return t;
+}
+
+double
+CommandQueue::sync()
+{
+    drain();
+    const double t = joinedTime();
     hostT_ = t;
     // Every resolved completion is now <= the joined host time, so the
     // event history can be compacted (eventTime answers 0.0, which is
@@ -313,6 +408,10 @@ CommandQueue::resetTimeline()
     // resolve to 0.0 and cannot leak stale absolute time in.
     resolvedBase_ += resolved_.size();
     resolved_.clear();
+    // Keep the trace timeline monotonic across the reset: spans of the
+    // new epoch start where the old epoch's timelines ended.
+    if (rec_ != nullptr)
+        traceEpoch_ += joinedTime();
     hostT_ = 0.0;
     busT_ = 0.0;
     std::fill(rankT_.begin(), rankT_.end(), 0.0);

@@ -164,6 +164,7 @@ evalOverlapped(DesignStrategy s, const DesignSpaceParams &p)
     scfg.dpuCfg = p.dpuCfg;
     scfg.hostCfg = p.hostCfg;
     scfg.xferCfg = p.xferCfg;
+    scfg.simThreads = p.simThreads;
     // One representative DPU per rank (exact for the uniform Fig 6
     // program, and guaranteed per-rank coverage however numDpus
     // divides); host-executed strategies never launch, so one suffices.
@@ -194,6 +195,11 @@ evalOverlapped(DesignStrategy s, const DesignSpaceParams &p)
         q.resetTimeline(); // initAllocator is untimed, as in Serial
     }
 
+    // Trace only the measured phase: attaching after the untimed init
+    // (and its timeline reset) starts the trace at t = 0.
+    if (p.recorder != nullptr)
+        q.attachRecorder(p.recorder);
+
     auto allocOnce = [&](sim::Tasklet &t, unsigned global) {
         const auto addr =
             allocators[sys.slotOf(global)]->malloc(t, p.allocSize);
@@ -209,7 +215,8 @@ evalOverlapped(DesignStrategy s, const DesignSpaceParams &p)
                  [&, per_tasklet](sim::Tasklet &t, unsigned global) {
                      for (unsigned i = 0; i < per_tasklet; ++i)
                          allocOnce(t, global);
-                 });
+                 },
+                 kNoEvent, "alloc rounds");
         break;
       }
 
@@ -222,10 +229,12 @@ evalOverlapped(DesignStrategy s, const DesignSpaceParams &p)
             for (unsigned k = 0; k < sys.numRanks(); ++k) {
                 const DpuSet target = sys.rank(k);
                 q.memcpyAsync(target, meta_bytes,
-                              CopyDirection::HostToPim);
-                q.launch(target, 1, allocOnce);
+                              CopyDirection::HostToPim, kNoEvent,
+                              "meta:h2p");
+                q.launch(target, 1, allocOnce, kNoEvent, "alloc");
                 q.memcpyAsync(target, meta_bytes,
-                              CopyDirection::PimToHost);
+                              CopyDirection::PimToHost, kNoEvent,
+                              "meta:p2h");
             }
         }
         break;
@@ -240,14 +249,18 @@ evalOverlapped(DesignStrategy s, const DesignSpaceParams &p)
             for (unsigned k = 0; k < sys.numRanks(); ++k) {
                 const DpuSet target = sys.rank(k);
                 const Event up = q.memcpyAsync(
-                    target, meta_bytes, CopyDirection::PimToHost);
-                q.hostCompute(sys.rankSize(k), instrs, up);
+                    target, meta_bytes, CopyDirection::PimToHost,
+                    kNoEvent, "meta:p2h");
+                q.hostCompute(sys.rankSize(k), instrs, up, "buddy");
                 q.hostBusy(static_cast<double>(sys.rankSize(k))
-                           * p.driverCallSec / p.hostCfg.threads);
+                               * p.driverCallSec / p.hostCfg.threads,
+                           kNoEvent, "driver");
                 q.memcpyAsync(target, meta_bytes,
-                              CopyDirection::HostToPim);
+                              CopyDirection::HostToPim, kNoEvent,
+                              "meta:h2p");
                 q.memcpyAsync(target, ptr_bytes,
-                              CopyDirection::HostToPim);
+                              CopyDirection::HostToPim, kNoEvent,
+                              "ptrs:h2p");
             }
         }
         break;
@@ -259,11 +272,14 @@ evalOverlapped(DesignStrategy s, const DesignSpaceParams &p)
         const uint64_t instrs = hostInstrsPerAlloc(p);
         for (unsigned round = 0; round < p.allocsPerDpu; ++round) {
             for (unsigned k = 0; k < sys.numRanks(); ++k) {
-                q.hostCompute(sys.rankSize(k), instrs);
+                q.hostCompute(sys.rankSize(k), instrs, kNoEvent,
+                              "buddy");
                 q.hostBusy(static_cast<double>(sys.rankSize(k))
-                           * p.driverCallSec / p.hostCfg.threads);
+                               * p.driverCallSec / p.hostCfg.threads,
+                           kNoEvent, "driver");
                 q.memcpyAsync(sys.rank(k), ptr_bytes,
-                              CopyDirection::HostToPim);
+                              CopyDirection::HostToPim, kNoEvent,
+                              "ptrs:h2p");
             }
         }
         break;

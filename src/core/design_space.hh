@@ -31,6 +31,10 @@
 #include "sim/host_model.hh"
 #include "sim/transfer_model.hh"
 
+namespace pim::trace {
+class Recorder;
+}
+
 namespace pim::core {
 
 /** The four Table I strategies. */
@@ -84,6 +88,13 @@ struct DesignSpaceParams
      * allocation round (dpu_copy of returned pointers, rank sync).
      */
     double driverCallSec = 25e-6;
+    /** Host worker threads of the Overlapped replay (0 = auto). */
+    unsigned simThreads = 0;
+    /**
+     * Span recorder for the Overlapped replay's measured phase (the
+     * untimed allocator init is not traced); ignored in Serial mode.
+     */
+    trace::Recorder *recorder = nullptr;
 };
 
 /** Decomposed latency of one strategy. */

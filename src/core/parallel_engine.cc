@@ -19,10 +19,17 @@ resolveSimThreads(unsigned requested)
     if (requested > 0)
         return requested;
     if (const char *env = std::getenv("PIM_SIM_THREADS")) {
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0)
+        // An empty value counts as unset; anything else must be a
+        // positive integer — a typo silently falling back to the
+        // hardware thread count would quietly change every experiment.
+        if (*env != '\0') {
+            char *end = nullptr;
+            const long v = std::strtol(env, &end, 10);
+            if (end == env || *end != '\0' || v <= 0)
+                PIM_FATAL("PIM_SIM_THREADS must be a positive integer, "
+                          "got '", env, "'");
             return static_cast<unsigned>(v);
+        }
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;

@@ -1,9 +1,14 @@
 #include "sim/dpu.hh"
 
 #include <cstdlib>
+#include <string>
 
 #include "sim/scheduler.hh"
 #include "util/logging.hh"
+
+#ifdef PIM_TRACE_SIM
+#include "trace/trace.hh"
+#endif
 
 namespace pim::sim {
 
@@ -61,6 +66,24 @@ Dpu::runBodies(std::vector<std::function<void(Tasklet &)>> bodies)
         lastBreakdown_.add(CycleKind::IdleEtc,
                            lastElapsed_ - sched.tasklet(i).clock());
     }
+
+#ifdef PIM_TRACE_SIM
+    if (traceRec_ != nullptr) {
+        const std::string prefix =
+            "dpu" + std::to_string(traceGlobal_) + "/t";
+        for (size_t i = 0; i < sched.numTasklets(); ++i) {
+            const uint64_t cycles = sched.tasklet(i).clock();
+            trace::Span s;
+            s.lane = traceRec_->customLane(prefix + std::to_string(i));
+            s.name = "tasklet";
+            s.t0 = traceOrigin_;
+            s.t1 = traceOrigin_ + cfg_.cyclesToSeconds(cycles);
+            s.cycles = cycles;
+            traceRec_->record(std::move(s));
+        }
+        traceOrigin_ += cfg_.cyclesToSeconds(lastElapsed_);
+    }
+#endif
     return lastElapsed_;
 }
 

@@ -1,0 +1,192 @@
+#include "trace/occupancy.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace pim::trace {
+
+namespace {
+
+/** Union length of a set of intervals (destructive: sorts @p iv). */
+double
+unionSeconds(std::vector<std::pair<double, double>> &iv)
+{
+    std::sort(iv.begin(), iv.end());
+    double total = 0.0;
+    double cur_lo = 0.0;
+    double cur_hi = -1.0;
+    for (const auto &[lo, hi] : iv) {
+        if (cur_hi < cur_lo || lo > cur_hi) {
+            if (cur_hi >= cur_lo)
+                total += cur_hi - cur_lo;
+            cur_lo = lo;
+            cur_hi = hi;
+        } else {
+            cur_hi = std::max(cur_hi, hi);
+        }
+    }
+    if (cur_hi >= cur_lo)
+        total += cur_hi - cur_lo;
+    return total;
+}
+
+} // namespace
+
+OccupancyReport
+analyzeOccupancy(const Recorder &rec, double straggler_factor)
+{
+    OccupancyReport rep;
+
+    struct LaneAccum
+    {
+        std::vector<std::pair<double, double>> busy;
+        double end = 0.0;
+        double busyEnd = 0.0;
+        size_t spans = 0;
+        uint64_t bytes = 0;
+    };
+    std::map<int, LaneAccum> accum;
+    for (const Span &s : rec.spans()) {
+        LaneAccum &a = accum[s.lane];
+        ++a.spans;
+        a.bytes += s.bytes;
+        a.end = std::max(a.end, s.t1);
+        if (!s.idle && s.t1 > s.t0) {
+            a.busy.emplace_back(s.t0, s.t1);
+            a.busyEnd = std::max(a.busyEnd, s.t1);
+        }
+    }
+
+    for (const int lane : rec.lanes()) {
+        LaneAccum &a = accum[lane];
+        LaneOccupancy lo;
+        lo.lane = lane;
+        lo.name = rec.laneName(lane);
+        lo.busySeconds = unionSeconds(a.busy);
+        lo.endSeconds = a.end;
+        lo.busyEndSeconds = a.busyEnd;
+        lo.spans = a.spans;
+        lo.bytes = a.bytes;
+        rep.lanes.push_back(std::move(lo));
+    }
+
+    // Makespan covers every lane; the busy-time sum (and therefore the
+    // overlap figure) covers only the resource lanes — custom lanes
+    // carry work the queue already charged to a rank.
+    // The critical lane is the one whose busy timeline ends last (an
+    // idle wait reaching the makespan does not constrain anything);
+    // ties go to the busier lane, then to display order. A trace with
+    // no busy span at all falls back to the latest-ending lane.
+    double best_busy_end = 0.0;
+    double best_busy = -1.0;
+    bool have_critical = false;
+    for (const LaneOccupancy &lo : rep.lanes) {
+        rep.makespanSeconds =
+            std::max(rep.makespanSeconds, lo.endSeconds);
+        if (!isCustomLane(lo.lane))
+            rep.busySumSeconds += lo.busySeconds;
+        if (lo.busySeconds > 0.0
+            && (lo.busyEndSeconds > best_busy_end
+                || (lo.busyEndSeconds == best_busy_end
+                    && lo.busySeconds > best_busy))) {
+            best_busy_end = lo.busyEndSeconds;
+            best_busy = lo.busySeconds;
+            rep.criticalLane = lo.lane;
+            rep.criticalLaneName = lo.name;
+            have_critical = true;
+        }
+    }
+    if (!have_critical) {
+        double best_end = -1.0;
+        for (const LaneOccupancy &lo : rep.lanes) {
+            if (lo.endSeconds > best_end) {
+                best_end = lo.endSeconds;
+                rep.criticalLane = lo.lane;
+                rep.criticalLaneName = lo.name;
+            }
+        }
+    }
+    rep.overlapSeconds =
+        std::max(0.0, rep.busySumSeconds - rep.makespanSeconds);
+
+    if (rep.makespanSeconds > 0.0) {
+        for (LaneOccupancy &lo : rep.lanes)
+            lo.busyFraction = lo.busySeconds / rep.makespanSeconds;
+    }
+
+    // Straggler ranks: busy time well above the median rank's.
+    std::vector<double> rank_busy;
+    for (const LaneOccupancy &lo : rep.lanes) {
+        if (isRankLane(lo.lane))
+            rank_busy.push_back(lo.busySeconds);
+    }
+    if (rank_busy.size() >= 2) {
+        std::sort(rank_busy.begin(), rank_busy.end());
+        const size_t n = rank_busy.size();
+        rep.rankBusyMedianSeconds = n % 2 == 1
+            ? rank_busy[n / 2]
+            : 0.5 * (rank_busy[n / 2 - 1] + rank_busy[n / 2]);
+        for (LaneOccupancy &lo : rep.lanes) {
+            if (isRankLane(lo.lane) && rep.rankBusyMedianSeconds > 0.0
+                && lo.busySeconds
+                    > straggler_factor * rep.rankBusyMedianSeconds)
+                lo.straggler = true;
+        }
+    }
+    return rep;
+}
+
+util::Table
+OccupancyReport::toTable(const std::string &title) const
+{
+    util::Table t(title + " — makespan "
+                  + util::Table::num(makespanSeconds * 1e3, 3)
+                  + " ms, critical lane " + criticalLaneName
+                  + ", overlap hid "
+                  + util::Table::num(overlapSeconds * 1e3, 3) + " ms");
+    t.setHeader({"Lane", "Busy (ms)", "Busy %", "End (ms)", "Spans",
+                 "MB moved", "Flags"});
+    for (const LaneOccupancy &lo : lanes) {
+        std::string flags;
+        if (lo.lane == criticalLane)
+            flags += "critical";
+        if (lo.straggler)
+            flags += flags.empty() ? "straggler" : ",straggler";
+        t.addRow({lo.name, util::Table::num(lo.busySeconds * 1e3, 3),
+                  util::Table::num(lo.busyFraction * 100.0, 1),
+                  util::Table::num(lo.endSeconds * 1e3, 3),
+                  util::Table::num(static_cast<uint64_t>(lo.spans)),
+                  util::Table::num(
+                      static_cast<double>(lo.bytes) / 1e6, 2),
+                  flags});
+    }
+    return t;
+}
+
+void
+OccupancyReport::writeJson(util::JsonWriter &j) const
+{
+    j.beginObject();
+    j.key("makespan_seconds").value(makespanSeconds);
+    j.key("busy_sum_seconds").value(busySumSeconds);
+    j.key("overlap_seconds").value(overlapSeconds);
+    j.key("critical_lane").value(criticalLaneName);
+    j.key("rank_busy_median_seconds").value(rankBusyMedianSeconds);
+    j.key("lanes").beginArray();
+    for (const LaneOccupancy &lo : lanes) {
+        j.beginObject();
+        j.key("name").value(lo.name);
+        j.key("busy_seconds").value(lo.busySeconds);
+        j.key("busy_fraction").value(lo.busyFraction);
+        j.key("end_seconds").value(lo.endSeconds);
+        j.key("busy_end_seconds").value(lo.busyEndSeconds);
+        j.key("spans").value(static_cast<uint64_t>(lo.spans));
+        j.key("bytes").value(lo.bytes);
+        j.key("straggler").value(lo.straggler);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+} // namespace pim::trace

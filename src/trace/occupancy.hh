@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Occupancy analysis over a recorded trace: per-lane busy time (the
+ * union of non-idle spans, so overlapping spans are not double
+ * counted), idle/overlap accounting, straggler-rank detection, and
+ * critical-lane attribution — which resource's timeline actually ends
+ * the makespan. This is what turns a queue trace into an answer to
+ * "why is this run slow": a bus-bound scatter shows a ~100% busy bus
+ * lane, a straggler rank shows one rank lane outlasting its peers, and
+ * well-hidden host compute shows host busy time ≫ its share of the
+ * makespan.
+ */
+
+#ifndef PIM_TRACE_OCCUPANCY_HH
+#define PIM_TRACE_OCCUPANCY_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "util/json.hh"
+#include "util/table.hh"
+
+namespace pim::trace {
+
+/** Occupancy of one lane over the trace window [0, makespan]. */
+struct LaneOccupancy
+{
+    int lane = kHostLane;
+    std::string name;
+    /** Union of non-idle span time on this lane. */
+    double busySeconds = 0.0;
+    /** busySeconds / makespan (0 for an empty trace). */
+    double busyFraction = 0.0;
+    /** End of the lane's last span (busy or idle). */
+    double endSeconds = 0.0;
+    /** End of the lane's last non-idle span (0 if never busy). */
+    double busyEndSeconds = 0.0;
+    /** Spans recorded on the lane (including idle spans). */
+    size_t spans = 0;
+    /** Transfer payload carried by the lane's spans. */
+    uint64_t bytes = 0;
+    /** Rank lanes only: busy time exceeds the straggler threshold. */
+    bool straggler = false;
+};
+
+/** Whole-trace occupancy breakdown. */
+struct OccupancyReport
+{
+    /** Max span end over all lanes (the traced makespan). */
+    double makespanSeconds = 0.0;
+    /**
+     * Sum of busy time over the *resource* lanes (host, bus, ranks).
+     * Custom lanes (e.g. per-tasklet spans) mirror work the queue
+     * already charges to a rank, so they are excluded — counting them
+     * would double-count the same physical work.
+     */
+    double busySumSeconds = 0.0;
+    /** Resource-lane work hidden by running lanes concurrently:
+     *  max(0, busySum - makespan). */
+    double overlapSeconds = 0.0;
+    /**
+     * The lane whose *busy* timeline ends last — the resource that
+     * actually constrains the makespan. An idle wait span (a host
+     * blocked on a transfer) ending at the makespan does not qualify;
+     * ties (a copy releases the bus and its ranks simultaneously) go
+     * to the busier lane, then to display order.
+     */
+    int criticalLane = kHostLane;
+    std::string criticalLaneName;
+    /** Median busy time over the rank lanes (straggler baseline). */
+    double rankBusyMedianSeconds = 0.0;
+    /** Lanes in display order (host, bus, ranks, customs). */
+    std::vector<LaneOccupancy> lanes;
+
+    /** Render as a console table. */
+    util::Table toTable(const std::string &title = "Occupancy") const;
+
+    /** Emit as one JSON object value on @p j. */
+    void writeJson(util::JsonWriter &j) const;
+};
+
+/**
+ * Analyze @p rec. A rank lane is flagged as a straggler when its busy
+ * time exceeds @p straggler_factor times the median rank busy time
+ * (with at least two rank lanes present).
+ */
+OccupancyReport analyzeOccupancy(const Recorder &rec,
+                                 double straggler_factor = 1.25);
+
+} // namespace pim::trace
+
+#endif // PIM_TRACE_OCCUPANCY_HH

@@ -62,7 +62,12 @@ Cli::getInt(const std::string &name, int64_t def) const
     auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    return std::strtoll(it->second.c_str(), nullptr, 0);
+    char *end = nullptr;
+    const int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        PIM_FATAL("flag --", name, " expects an integer, got '",
+                  it->second, "'");
+    return v;
 }
 
 double
@@ -71,7 +76,12 @@ Cli::getDouble(const std::string &name, double def) const
     auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    return std::strtod(it->second.c_str(), nullptr);
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        PIM_FATAL("flag --", name, " expects a number, got '",
+                  it->second, "'");
+    return v;
 }
 
 bool
@@ -86,7 +96,7 @@ Cli::getBool(const std::string &name, bool def) const
 std::string
 benchKnobNames(const std::string &extra)
 {
-    std::string names = "dpus,sample,tasklets,threads,json";
+    std::string names = "dpus,sample,tasklets,threads,json,trace,occupancy";
     if (!extra.empty()) {
         names += ',';
         names += extra;
@@ -94,16 +104,42 @@ benchKnobNames(const std::string &extra)
     return names;
 }
 
+namespace {
+
+/** Read an integer knob, enforcing @p min <= value. */
+int64_t
+knobInt(const Cli &cli, const char *name, int64_t def, int64_t min)
+{
+    const int64_t v = cli.getInt(name, def);
+    if (v < min)
+        PIM_FATAL("flag --", name, " must be >= ", min, ", got ", v);
+    return v;
+}
+
+} // namespace
+
 BenchKnobs
 parseBenchKnobs(const Cli &cli, const BenchKnobs &defaults)
 {
     BenchKnobs k = defaults;
-    k.dpus = static_cast<unsigned>(cli.getInt("dpus", k.dpus));
-    k.sample = static_cast<unsigned>(cli.getInt("sample", k.sample));
+    k.dpus = static_cast<unsigned>(knobInt(cli, "dpus", k.dpus, 1));
+    k.sample =
+        static_cast<unsigned>(knobInt(cli, "sample", k.sample, 0));
     k.tasklets =
-        static_cast<unsigned>(cli.getInt("tasklets", k.tasklets));
-    k.threads = static_cast<unsigned>(cli.getInt("threads", k.threads));
+        static_cast<unsigned>(knobInt(cli, "tasklets", k.tasklets, 1));
+    // 0 means "auto" internally, but an *explicit* --threads=0 (or a
+    // negative count) is a config error, not a request for the default.
+    if (cli.has("threads")) {
+        const int64_t t = cli.getInt("threads", 0);
+        if (t <= 0)
+            PIM_FATAL("flag --threads must be a positive integer, got ",
+                      t, " (omit the flag or set PIM_SIM_THREADS for "
+                      "the automatic thread count)");
+        k.threads = static_cast<unsigned>(t);
+    }
     k.jsonPath = cli.get("json", k.jsonPath);
+    k.tracePath = cli.get("trace", k.tracePath);
+    k.occupancy = cli.getBool("occupancy", k.occupancy);
     return k;
 }
 

@@ -30,10 +30,10 @@ class Cli
     /** String flag with default. */
     std::string get(const std::string &name, const std::string &def) const;
 
-    /** Integer flag with default. */
+    /** Integer flag with default; a non-integer value is fatal. */
     int64_t getInt(const std::string &name, int64_t def) const;
 
-    /** Floating-point flag with default. */
+    /** Floating-point flag with default; a non-numeric value is fatal. */
     double getDouble(const std::string &name, double def) const;
 
     /** Boolean flag: present without value, or =true/=false. */
@@ -45,8 +45,9 @@ class Cli
 
 /**
  * The shared experiment knobs the figure benchmarks accept
- * (--dpus/--sample/--tasklets/--threads/--json), so every bench parses
- * them identically instead of hand-rolling its own subset.
+ * (--dpus/--sample/--tasklets/--threads/--json/--trace/--occupancy),
+ * so every bench parses them identically instead of hand-rolling its
+ * own subset.
  */
 struct BenchKnobs
 {
@@ -60,12 +61,29 @@ struct BenchKnobs
     unsigned threads = 0;
     /** Machine-readable output path (--json); empty = none. */
     std::string jsonPath;
+    /** Chrome/Perfetto trace output path (--trace); empty = none. */
+    std::string tracePath;
+    /** Print per-lane occupancy breakdowns (--occupancy). */
+    bool occupancy = false;
+
+    /** True if either tracing output was requested. */
+    bool
+    wantsTrace() const
+    {
+        return !tracePath.empty() || occupancy;
+    }
 };
 
 /** Comma-joined known-flag list: the shared knob names + @p extra. */
 std::string benchKnobNames(const std::string &extra = "");
 
-/** Read the shared knobs from @p cli over per-bench @p defaults. */
+/**
+ * Read the shared knobs from @p cli over per-bench @p defaults.
+ * Validates what it reads: --dpus/--tasklets must be >= 1 and --threads
+ * must be a positive integer (omit it — or set PIM_SIM_THREADS — for
+ * the automatic thread count); violations are fatal, consistent with
+ * the unknown-flag policy.
+ */
 BenchKnobs parseBenchKnobs(const Cli &cli,
                            const BenchKnobs &defaults = {});
 

@@ -100,6 +100,8 @@ runGraphUpdate(const GraphUpdateConfig &cfg)
     scfg.simThreads = cfg.simThreads;
     core::PimSystem sys(scfg);
     core::CommandQueue queue(sys);
+    if (cfg.recorder != nullptr)
+        queue.attachRecorder(cfg.recorder);
 
     const unsigned simulated = sys.sampleCount();
 
@@ -198,7 +200,7 @@ runGraphUpdate(const GraphUpdateConfig &cfg)
         graph.reset();
         allocator.reset();
         dpu.reclaimMemory();
-    });
+    }, core::kNoEvent, "build+update");
     queue.sync();
 
     // Sequential merge in shard order — identical to the former

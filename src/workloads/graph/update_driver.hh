@@ -17,6 +17,10 @@
 #include "sim/types.hh"
 #include "workloads/graph/graph_gen.hh"
 
+namespace pim::trace {
+class Recorder;
+}
+
 namespace pim::workloads::graph {
 
 /** The three representations of Fig 17(a). */
@@ -59,6 +63,8 @@ struct GraphUpdateConfig
     /** Host worker threads simulating shards (0 = PIM_SIM_THREADS env,
      *  else hardware concurrency). Results are thread-count invariant. */
     unsigned simThreads = 0;
+    /** Span recorder fed by the run's command queue (nullptr = off). */
+    trace::Recorder *recorder = nullptr;
 };
 
 /** Aggregated outcome of the update phase. */

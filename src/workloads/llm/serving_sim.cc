@@ -114,6 +114,8 @@ runServing(const ServingScheme &scheme, const ServingConfig &cfg)
     scfg.simThreads = 1;
     core::PimSystem sys(scfg);
     core::CommandQueue clock(sys);
+    if (cfg.recorder != nullptr)
+        clock.attachRecorder(cfg.recorder);
 
     std::deque<unsigned> waiting;
     std::vector<ActiveRequest> active;
@@ -141,7 +143,8 @@ runServing(const ServingScheme &scheme, const ServingConfig &cfg)
         if (active.empty()) {
             // Idle until the next arrival.
             if (next_arrival < cfg.numRequests)
-                clock.hostIdleUntil(arrivals[next_arrival]);
+                clock.hostIdleUntil(arrivals[next_arrival],
+                                    core::kNoEvent, "wait:arrival");
             continue;
         }
 
@@ -158,7 +161,12 @@ runServing(const ServingScheme &scheme, const ServingConfig &cfg)
                              * static_cast<double>(active.size()));
         const double step_sec = cfg.stepOverheadSeconds + cfg.fcStepSeconds
             + attn_sec + alloc_sec;
-        clock.hostBusy(step_sec);
+        if (clock.recorder() != nullptr) {
+            clock.hostBusy(step_sec, core::kNoEvent,
+                           "step b" + std::to_string(active.size()));
+        } else {
+            clock.hostBusy(step_sec);
+        }
 
         res.peakBatchObserved = std::max<unsigned>(
             res.peakBatchObserved, static_cast<unsigned>(active.size()));

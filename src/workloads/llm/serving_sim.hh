@@ -20,6 +20,10 @@
 #include "core/allocator_factory.hh"
 #include "workloads/llm/llm_config.hh"
 
+namespace pim::trace {
+class Recorder;
+}
+
 namespace pim::workloads::llm {
 
 /** KV-cache management scheme of one Fig 18 bar group. */
@@ -66,6 +70,13 @@ struct ServingConfig
 
     /** Trace seed. */
     uint64_t seed = 11;
+
+    /**
+     * Span recorder fed by the serving clock's command queue: decode
+     * steps appear as host spans labeled "step b<batch>", idle gaps as
+     * "wait:arrival" (nullptr = off).
+     */
+    trace::Recorder *recorder = nullptr;
 };
 
 /** Serving outcome. */

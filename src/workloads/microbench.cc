@@ -29,6 +29,11 @@ runMicrobench(const MicrobenchConfig &cfg)
     queue.sync();
     dpu.resetStats();
     allocator->stats().resetCounters();
+    if (cfg.recorder != nullptr) {
+        // Trace only the measured phase, starting at t = 0.
+        queue.resetTimeline();
+        queue.attachRecorder(cfg.recorder);
+    }
 
     queue.launch(sys.all(), cfg.tasklets, [&](sim::Tasklet &t, unsigned) {
         std::vector<sim::MramAddr> live;
@@ -45,7 +50,7 @@ runMicrobench(const MicrobenchConfig &cfg)
                 live.push_back(addr);
             }
         }
-    });
+    }, core::kNoEvent, "alloc loop");
     queue.sync();
 
     MicrobenchResult res;

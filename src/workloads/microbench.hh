@@ -17,6 +17,10 @@
 #include "sim/types.hh"
 #include "util/stats.hh"
 
+namespace pim::trace {
+class Recorder;
+}
+
 namespace pim::workloads {
 
 /** Microbenchmark parameters. */
@@ -41,6 +45,8 @@ struct MicrobenchConfig
     core::AllocatorOverrides overrides{};
     /** DPU hardware configuration (buddy cache size sweeps). */
     sim::DpuConfig dpuCfg{};
+    /** Span recorder fed by the measured launch (nullptr = off). */
+    trace::Recorder *recorder = nullptr;
 };
 
 /** Microbenchmark outcome. */

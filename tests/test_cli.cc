@@ -83,15 +83,16 @@ TEST(CliDeath, PositionalIsFatal)
 TEST(Cli, BenchKnobNamesComposeWithExtras)
 {
     EXPECT_EQ(pim::util::benchKnobNames(),
-              "dpus,sample,tasklets,threads,json");
+              "dpus,sample,tasklets,threads,json,trace,occupancy");
     EXPECT_EQ(pim::util::benchKnobNames("requests,rate"),
-              "dpus,sample,tasklets,threads,json,requests,rate");
+              "dpus,sample,tasklets,threads,json,trace,occupancy,"
+              "requests,rate");
 }
 
 TEST(Cli, ParseBenchKnobsReadsSharedFlags)
 {
     auto c = parse({"--dpus=64", "--sample=0", "--threads=3",
-                    "--json=out.json"},
+                    "--json=out.json", "--trace=t.json", "--occupancy"},
                    pim::util::benchKnobNames());
     pim::util::BenchKnobs defaults;
     defaults.tasklets = 8;
@@ -101,6 +102,9 @@ TEST(Cli, ParseBenchKnobsReadsSharedFlags)
     EXPECT_EQ(k.tasklets, 8u); // per-bench default survives
     EXPECT_EQ(k.threads, 3u);
     EXPECT_EQ(k.jsonPath, "out.json");
+    EXPECT_EQ(k.tracePath, "t.json");
+    EXPECT_TRUE(k.occupancy);
+    EXPECT_TRUE(k.wantsTrace());
 }
 
 TEST(Cli, ParseBenchKnobsDefaults)
@@ -112,4 +116,57 @@ TEST(Cli, ParseBenchKnobsDefaults)
     EXPECT_EQ(k.tasklets, 16u);
     EXPECT_EQ(k.threads, 0u);
     EXPECT_TRUE(k.jsonPath.empty());
+    EXPECT_TRUE(k.tracePath.empty());
+    EXPECT_FALSE(k.occupancy);
+    EXPECT_FALSE(k.wantsTrace());
+}
+
+TEST(CliDeath, GarbageIntegerIsFatal)
+{
+    auto c = parse({"--dpus=abc"});
+    EXPECT_DEATH(c.getInt("dpus", 0), "expects an integer");
+}
+
+TEST(CliDeath, TrailingJunkIntegerIsFatal)
+{
+    auto c = parse({"--dpus=12moo"});
+    EXPECT_DEATH(c.getInt("dpus", 0), "expects an integer");
+}
+
+TEST(CliDeath, GarbageDoubleIsFatal)
+{
+    auto c = parse({"--rate=fast"});
+    EXPECT_DEATH(c.getDouble("rate", 0.0), "expects a number");
+}
+
+TEST(CliDeath, ExplicitZeroThreadsIsFatal)
+{
+    auto c = parse({"--threads=0"}, pim::util::benchKnobNames());
+    EXPECT_DEATH(pim::util::parseBenchKnobs(c),
+                 "--threads must be a positive integer");
+}
+
+TEST(CliDeath, NegativeThreadsIsFatal)
+{
+    auto c = parse({"--threads=-4"}, pim::util::benchKnobNames());
+    EXPECT_DEATH(pim::util::parseBenchKnobs(c),
+                 "--threads must be a positive integer");
+}
+
+TEST(CliDeath, GarbageThreadsIsFatal)
+{
+    auto c = parse({"--threads=many"}, pim::util::benchKnobNames());
+    EXPECT_DEATH(pim::util::parseBenchKnobs(c), "expects an integer");
+}
+
+TEST(CliDeath, ZeroDpusIsFatal)
+{
+    auto c = parse({"--dpus=0"}, pim::util::benchKnobNames());
+    EXPECT_DEATH(pim::util::parseBenchKnobs(c), "--dpus must be >= 1");
+}
+
+TEST(Cli, ThreadsFlagAcceptsPositive)
+{
+    auto c = parse({"--threads=7"}, pim::util::benchKnobNames());
+    EXPECT_EQ(pim::util::parseBenchKnobs(c).threads, 7u);
 }

@@ -73,6 +73,111 @@ TEST(Json, StringEscaping)
               "ctl\\u0001x");
 }
 
+TEST(Json, StringEscapingEdgeCases)
+{
+    // Empty string and strings consisting only of escapes.
+    EXPECT_EQ(JsonWriter::escape(""), "");
+    EXPECT_EQ(JsonWriter::escape("\"\""), "\\\"\\\"");
+    EXPECT_EQ(JsonWriter::escape("\\"), "\\\\");
+    // Carriage return and every sub-0x20 control without a shorthand.
+    EXPECT_EQ(JsonWriter::escape("a\rb"), "a\\rb");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x1f')), "\\u001f");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x0b')), "\\u000b");
+    // NUL embedded in a std::string is a control character too.
+    EXPECT_EQ(JsonWriter::escape(std::string("a\0b", 3)), "a\\u0000b");
+    // Printable ASCII and multi-byte UTF-8 pass through untouched
+    // (JSON allows raw UTF-8; only controls need escaping).
+    EXPECT_EQ(JsonWriter::escape("sol/idus"), "sol/idus");
+    EXPECT_EQ(JsonWriter::escape("\xc3\xa9t\xc3\xa9"), "\xc3\xa9t\xc3\xa9");
+    // Adjacent escapes keep their order.
+    EXPECT_EQ(JsonWriter::escape("\n\t\""), "\\n\\t\\\"");
+}
+
+TEST(Json, EscapedKeysAndValuesRoundTripThroughWriter)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("we\"ird\nkey").value("va\\lue\t");
+    j.endObject();
+    EXPECT_EQ(os.str(), "{\n"
+                        "  \"we\\\"ird\\nkey\": \"va\\\\lue\\t\"\n"
+                        "}\n");
+}
+
+TEST(Json, DeepNestingMixedArraysAndObjects)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginArray();
+    j.beginArray();
+    j.beginArray();
+    j.value(1);
+    j.endArray();
+    j.beginObject();
+    j.key("deep").beginObject();
+    j.key("empty_obj").beginObject().endObject();
+    j.key("empty_arr").beginArray().endArray();
+    j.endObject();
+    j.endObject();
+    j.endArray();
+    j.endArray();
+    EXPECT_TRUE(j.complete());
+    EXPECT_EQ(os.str(), "[\n"
+                        "  [\n"
+                        "    [\n"
+                        "      1\n"
+                        "    ],\n"
+                        "    {\n"
+                        "      \"deep\": {\n"
+                        "        \"empty_obj\": {},\n"
+                        "        \"empty_arr\": []\n"
+                        "      }\n"
+                        "    }\n"
+                        "  ]\n"
+                        "]\n");
+}
+
+TEST(Json, EmptyRootContainers)
+{
+    {
+        std::ostringstream os;
+        JsonWriter j(os);
+        j.beginObject().endObject();
+        EXPECT_TRUE(j.complete());
+        EXPECT_EQ(os.str(), "{}\n");
+    }
+    {
+        std::ostringstream os;
+        JsonWriter j(os);
+        j.beginArray().endArray();
+        EXPECT_TRUE(j.complete());
+        EXPECT_EQ(os.str(), "[]\n");
+    }
+}
+
+TEST(Json, CompleteIsFalseUntilBalanced)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    EXPECT_FALSE(j.complete());
+    j.beginObject();
+    j.key("a").beginArray();
+    EXPECT_FALSE(j.complete());
+    j.endArray();
+    EXPECT_FALSE(j.complete());
+    j.endObject();
+    EXPECT_TRUE(j.complete());
+}
+
+TEST(JsonDeath, MismatchedEndPanics)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginObject();
+    EXPECT_DEATH(j.endArray(), "endArray");
+}
+
 TEST(Json, NonFiniteDoublesBecomeNull)
 {
     std::ostringstream os;

@@ -164,14 +164,40 @@ TEST(ParallelEngine, ResolveThreadsPrecedence)
     EXPECT_EQ(resolveSimThreads(7), 7u);
     EXPECT_EQ(ParallelDpuEngine(0).threadCount(), 3u);
 
-    // Garbage or non-positive values fall through to the hardware.
+    // An empty value counts as unset.
+    ::setenv("PIM_SIM_THREADS", "", 1);
+    EXPECT_GE(resolveSimThreads(0), 1u);
+
+    // An explicit request never consults the environment, so even a
+    // bogus value is ignored when a positive count is passed.
     ::setenv("PIM_SIM_THREADS", "zero", 1);
-    EXPECT_GE(resolveSimThreads(0), 1u);
-    ::setenv("PIM_SIM_THREADS", "-2", 1);
-    EXPECT_GE(resolveSimThreads(0), 1u);
+    EXPECT_EQ(resolveSimThreads(7), 7u);
 
     ::unsetenv("PIM_SIM_THREADS");
     EXPECT_GE(resolveSimThreads(0), 1u);
+}
+
+TEST(ParallelEngineDeath, InvalidEnvThreadCountIsFatal)
+{
+    // Garbage, zero, negative, and trailing-junk values must fail
+    // loudly instead of silently selecting the hardware thread count.
+    EXPECT_DEATH({
+        ::setenv("PIM_SIM_THREADS", "zero", 1);
+        resolveSimThreads(0);
+    }, "PIM_SIM_THREADS must be a positive integer");
+    EXPECT_DEATH({
+        ::setenv("PIM_SIM_THREADS", "0", 1);
+        resolveSimThreads(0);
+    }, "PIM_SIM_THREADS must be a positive integer");
+    EXPECT_DEATH({
+        ::setenv("PIM_SIM_THREADS", "-2", 1);
+        resolveSimThreads(0);
+    }, "PIM_SIM_THREADS must be a positive integer");
+    EXPECT_DEATH({
+        ::setenv("PIM_SIM_THREADS", "4cores", 1);
+        resolveSimThreads(0);
+    }, "PIM_SIM_THREADS must be a positive integer");
+    ::unsetenv("PIM_SIM_THREADS");
 }
 
 TEST(ParallelEngine, ForEachCoversEveryIndexExactlyOnce)
