@@ -3,11 +3,15 @@
  * Reproduces Fig 4(b): maximum LLM batch size achievable under static
  * (PAISE-style worst-case reservation) vs dynamic (PIM-malloc) KV-cache
  * allocation, on a 512-DPU system with Llama-2 7B and ShareGPT-like
- * request lengths.
+ * request lengths. This capacity study is what feeds the serving
+ * simulator's `maxBatchLimit` bound (Fig 18).
  */
 
+#include <fstream>
 #include <iostream>
 
+#include "util/cli.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 #include "workloads/llm/kv_cache.hh"
 #include "workloads/llm/llm_config.hh"
@@ -16,13 +20,24 @@ using namespace pim;
 using namespace pim::workloads::llm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // The capacity probe runs one simulated DPU; of the shared knobs
+    // only --dpus (KV shard width) and --json apply (unknown flags
+    // stay fatal).
+    util::Cli cli(argc, argv, "dpus,json,seed");
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
+    const auto seed = static_cast<uint64_t>(cli.getInt("seed", 3));
+
     const auto r = measureBatchCapacity(LlmModelConfig{},
-                                        RequestLengthConfig{}, 512, 3);
+                                        RequestLengthConfig{},
+                                        knobs.dpus, seed);
+    const double ratio = static_cast<double>(r.dynamicMaxBatch)
+        / static_cast<double>(r.staticMaxBatch);
 
     util::Table table("Fig 4(b): maximum batch size, static vs dynamic "
-                      "KV-cache allocation (512 DPUs, Llama-2 7B)");
+                      "KV-cache allocation (" + std::to_string(knobs.dpus)
+                      + " DPUs, Llama-2 7B)");
     table.setHeader({"Allocation", "Max batch size", "Bytes/request"});
     table.addRow({"Static", util::Table::num(uint64_t{r.staticMaxBatch}),
                   util::Table::num(r.staticReserveBytesPerRequest)});
@@ -31,10 +46,30 @@ main()
     table.print(std::cout);
 
     std::cout << "\nDynamic/static batch ratio: "
-              << util::Table::num(
-                     static_cast<double>(r.dynamicMaxBatch)
-                         / static_cast<double>(r.staticMaxBatch),
-                     2)
+              << util::Table::num(ratio, 2)
               << "x (paper's figure shows ~3-4x)\n";
+
+    if (!knobs.jsonPath.empty()) {
+        std::ofstream out(knobs.jsonPath);
+        if (!out) {
+            std::cerr << "cannot open " << knobs.jsonPath << "\n";
+            return 1;
+        }
+        util::JsonWriter j(out);
+        j.beginObject();
+        j.key("bench").value("fig04_batch_size");
+        j.key("dpus").value(knobs.dpus);
+        j.key("seed").value(seed);
+        j.key("heap_bytes").value(r.heapBytes);
+        j.key("static_max_batch").value(r.staticMaxBatch);
+        j.key("dynamic_max_batch").value(r.dynamicMaxBatch);
+        j.key("static_reserve_bytes_per_request")
+            .value(r.staticReserveBytesPerRequest);
+        j.key("mean_actual_bytes_per_request")
+            .value(r.meanActualBytesPerRequest);
+        j.key("dynamic_static_ratio").value(ratio);
+        j.endObject();
+        std::cout << "\nJSON written to " << knobs.jsonPath << "\n";
+    }
     return 0;
 }

@@ -113,18 +113,51 @@ CommandQueue::memcpyScatter(const DpuSet &set,
 }
 
 Event
-CommandQueue::memcpyScatterAsync(const DpuSet &set,
-                                 std::vector<uint64_t> bytes_per_dpu,
-                                 CopyDirection dir, Event after,
-                                 const std::string &label)
+CommandQueue::enqueueScatter(const DpuSet &set,
+                             const std::vector<uint64_t> &bytes_per_dpu,
+                             CopyDirection dir, Event after,
+                             const std::string &label, bool occupy_ranks)
 {
     PIM_ASSERT(bytes_per_dpu.size() == set.size(),
                "scatter byte counts must match the set size");
     uint64_t total = 0;
     for (const uint64_t b : bytes_per_dpu)
         total += b;
-    return enqueue(
-        makeCopy(set, total, /*blocking=*/false, after, dir, label));
+    Command cmd =
+        makeCopy(set, total, /*blocking=*/false, after, dir, label);
+    cmd.occupyRanks = occupy_ranks;
+    return enqueue(std::move(cmd));
+}
+
+Event
+CommandQueue::memcpyScatterAsync(const DpuSet &set,
+                                 std::vector<uint64_t> bytes_per_dpu,
+                                 CopyDirection dir, Event after,
+                                 const std::string &label)
+{
+    return enqueueScatter(set, bytes_per_dpu, dir, after, label,
+                          /*occupy_ranks=*/true);
+}
+
+Event
+CommandQueue::memcpyBufferedAsync(const DpuSet &set,
+                                  uint64_t bytes_per_dpu,
+                                  CopyDirection dir, Event after,
+                                  const std::string &label)
+{
+    Command cmd = makeCopy(set, bytes_per_dpu * set.size(),
+                           /*blocking=*/false, after, dir, label);
+    cmd.occupyRanks = false;
+    return enqueue(std::move(cmd));
+}
+
+Event
+CommandQueue::memcpyScatterBufferedAsync(
+    const DpuSet &set, std::vector<uint64_t> bytes_per_dpu,
+    CopyDirection dir, Event after, const std::string &label)
+{
+    return enqueueScatter(set, bytes_per_dpu, dir, after, label,
+                          /*occupy_ranks=*/false);
 }
 
 Event
@@ -162,6 +195,21 @@ CommandQueue::launchProgram(
     cmd.ranks = set.ranks();
     cmd.slots = set.slots();
     cmd.slotCycles.assign(cmd.slots.size(), 0);
+    return enqueue(std::move(cmd));
+}
+
+Event
+CommandQueue::launchTimed(const DpuSet &set, double seconds,
+                          Event after, const std::string &label)
+{
+    PIM_ASSERT(seconds >= 0.0, "negative launch duration");
+    Command cmd;
+    cmd.type = Command::Type::Launch;
+    cmd.after = after;
+    if (rec_ != nullptr)
+        cmd.label = label;
+    cmd.launchSeconds = seconds;
+    cmd.ranks = set.ranks();
     return enqueue(std::move(cmd));
 }
 
@@ -277,6 +325,9 @@ CommandQueue::drain()
             // A rank with sampled members is busy for its slowest one;
             // an unsampled rank is charged the slowest sampled member
             // of the whole launch (representative-sample assumption).
+            // Timed launches (launchSeconds >= 0) ran no program: every
+            // rank is charged the analytic duration instead.
+            const bool timed = cmd.launchSeconds >= 0.0;
             uint64_t all_max = 0;
             for (const uint64_t c : cmd.slotCycles)
                 all_max = std::max(all_max, c);
@@ -295,8 +346,9 @@ CommandQueue::drain()
                 }
                 const uint64_t cycles =
                     rank_sampled ? rank_max : all_max;
-                const double dur =
-                    sys_.config().dpuCfg.cyclesToSeconds(cycles);
+                const double dur = timed
+                    ? cmd.launchSeconds
+                    : sys_.config().dpuCfg.cyclesToSeconds(cycles);
                 const double start =
                     std::max({hostT_, rankT_[r], dep});
                 rankT_[r] = start + dur;
@@ -322,13 +374,21 @@ CommandQueue::drain()
           }
           case Command::Type::Copy: {
             const double host_t0 = hostT_;
+            // A double-buffered copy (occupyRanks false) lands in the
+            // inactive buffer: it still serializes on the bus and
+            // cannot start before the host issued it, but the target
+            // ranks neither delay it nor stall on it.
             double start = std::max({hostT_, busT_, dep});
-            for (const unsigned r : cmd.ranks)
-                start = std::max(start, rankT_[r]);
+            if (cmd.occupyRanks) {
+                for (const unsigned r : cmd.ranks)
+                    start = std::max(start, rankT_[r]);
+            }
             const double end = start + cmd.copySeconds;
             busT_ = end;
-            for (const unsigned r : cmd.ranks)
-                rankT_[r] = end;
+            if (cmd.occupyRanks) {
+                for (const unsigned r : cmd.ranks)
+                    rankT_[r] = end;
+            }
             if (cmd.blocking)
                 hostT_ = end;
             transferredBytes_ += cmd.totalBytes;
@@ -340,8 +400,11 @@ CommandQueue::drain()
                                       ? "memcpy:h2p" : "memcpy:p2h")
                     : cmd.label;
                 span(trace::kBusLane, name, start, end, cmd, id);
-                for (const unsigned r : cmd.ranks)
-                    span(trace::rankLane(r), name, start, end, cmd, id);
+                if (cmd.occupyRanks) {
+                    for (const unsigned r : cmd.ranks)
+                        span(trace::rankLane(r), name, start, end, cmd,
+                             id);
+                }
                 if (cmd.blocking && end > host_t0)
                     span(trace::kHostLane, name + " (wait)", host_t0,
                          end, cmd, id, /*idle=*/true);
@@ -374,6 +437,17 @@ CommandQueue::drain()
         resolved_.push_back(cmd.end);
     }
     pending_.clear();
+}
+
+double
+CommandQueue::eventSeconds(Event e)
+{
+    drain();
+    PIM_ASSERT(e >= static_cast<Event>(resolvedBase_),
+               "event ", e, " was compacted by sync()/resetTimeline");
+    PIM_ASSERT(e < static_cast<Event>(resolvedBase_ + resolved_.size()),
+               "unknown event ", e);
+    return resolved_[static_cast<size_t>(e) - resolvedBase_];
 }
 
 double

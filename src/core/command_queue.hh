@@ -110,6 +110,27 @@ class CommandQueue
                              const std::string &label = "");
 
     /**
+     * Double-buffered asynchronous transfer of @p bytes_per_dpu to/from
+     * every DPU of @p set: the DMA lands in the inactive half of a
+     * double-buffered region, so it occupies the bus (serializing with
+     * other transfers) but does NOT stall the target ranks' compute
+     * timeline — in-flight launches on those ranks keep running. The
+     * caller is responsible for only reading the shipped data after the
+     * returned event (the double-buffer swap). @return completion event.
+     */
+    Event memcpyBufferedAsync(const DpuSet &set, uint64_t bytes_per_dpu,
+                              CopyDirection dir, Event after = kNoEvent,
+                              const std::string &label = "");
+
+    /** Double-buffered scatter/gather (per-DPU byte counts); see
+     *  memcpyBufferedAsync. @return completion event. */
+    Event memcpyScatterBufferedAsync(const DpuSet &set,
+                                     std::vector<uint64_t> bytes_per_dpu,
+                                     CopyDirection dir,
+                                     Event after = kNoEvent,
+                                     const std::string &label = "");
+
+    /**
      * Asynchronously launch @p tasklets tasklets running @p body on
      * every DPU of @p set; the body receives the tasklet context and
      * the DPU's global index, and must not touch state shared between
@@ -133,6 +154,20 @@ class CommandQueue
                         std::function<void(sim::Dpu &, unsigned)> program,
                         Event after = kNoEvent,
                         const std::string &label = "");
+
+    /**
+     * Asynchronously occupy every rank of @p set for @p seconds of
+     * modeled kernel time — a bandwidth-costed launch whose duration
+     * the caller computed analytically (e.g. a streaming attention
+     * kernel bounded by MRAM bandwidth) instead of simulating tasklets.
+     * Costed exactly like launchProgram: the host pays the launch-issue
+     * overhead and moves on; each target rank is busy for @p seconds
+     * starting when the issue, the rank, and @p after allow.
+     * @return completion event.
+     */
+    Event launchTimed(const DpuSet &set, double seconds,
+                      Event after = kNoEvent,
+                      const std::string &label = "");
 
     /**
      * Host-side compute of @p tasks independent tasks of
@@ -162,6 +197,17 @@ class CommandQueue
      * all ranks are idle.
      */
     double sync();
+
+    /**
+     * Completion timestamp of event @p e on the timeline: drains
+     * pending commands (without joining the timelines, unlike sync())
+     * and returns the absolute second the command finished at — the
+     * primitive completion-driven drivers (TPOT accounting, admission
+     * control) are built on. Fatal for events compacted away by a
+     * sync()/resetTimeline that happened after the event was enqueued:
+     * query timestamps before syncing.
+     */
+    double eventSeconds(Event e);
 
     /**
      * Host timeline as of the last drain (sync() first for a makespan
@@ -227,10 +273,15 @@ class CommandQueue
 
         // Launch
         std::function<void(sim::Dpu &, unsigned)> program;
+        /** >= 0: analytic launch duration (launchTimed); no program. */
+        double launchSeconds = -1.0;
         // Copy
         uint64_t totalBytes = 0;
         double copySeconds = 0.0;
         bool blocking = false;
+        /** False for double-buffered copies: the transfer holds the bus
+         *  but leaves the target ranks' compute timeline untouched. */
+        bool occupyRanks = true;
         // HostCompute
         double hostSeconds = 0.0;
         /** >= 0: idle the host until this absolute time instead. */
@@ -247,6 +298,10 @@ class CommandQueue
     };
 
     Event enqueue(Command cmd);
+    Event enqueueScatter(const DpuSet &set,
+                         const std::vector<uint64_t> &bytes_per_dpu,
+                         CopyDirection dir, Event after,
+                         const std::string &label, bool occupy_ranks);
     double copyDuration(const DpuSet &set, uint64_t total_bytes) const;
     Command makeCopy(const DpuSet &set, uint64_t total_bytes,
                      bool blocking, Event after, CopyDirection dir,

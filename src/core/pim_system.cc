@@ -1,6 +1,7 @@
 #include "core/pim_system.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.hh"
 
@@ -45,6 +46,19 @@ DpuSet::DpuSet(const PimSystem *sys, Kind kind, unsigned rank,
                 slots_.push_back(s);
         }
         break;
+      case Kind::Ranks:
+        // members_ holds sorted rank ids; DPU membership stays implicit
+        // so a many-rank set costs O(ranks), not O(DPUs).
+        ranks_ = members_;
+        for (const unsigned r : ranks_)
+            size_ += sys_->rankSize(r);
+        for (unsigned s = 0; s < sys_->sampleCount(); ++s) {
+            if (std::binary_search(
+                    ranks_.begin(), ranks_.end(),
+                    sys_->rankOf(sys_->globalIndex(s))))
+                slots_.push_back(s);
+        }
+        break;
       case Kind::Explicit:
         size_ = static_cast<unsigned>(members_.size());
         // members_ is sorted (subset() guarantees it — contains()'s
@@ -64,6 +78,30 @@ DpuSet::DpuSet(const PimSystem *sys, Kind kind, unsigned rank,
     }
 }
 
+DpuSet
+DpuSet::complement() const
+{
+    if (kind_ == Kind::Explicit) {
+        std::vector<unsigned> rest;
+        rest.reserve(sys_->numDpus() - members_.size());
+        for (unsigned g = 0; g < sys_->numDpus(); ++g) {
+            if (!std::binary_search(members_.begin(), members_.end(), g))
+                rest.push_back(g);
+        }
+        PIM_ASSERT(!rest.empty(),
+                   "complement of the full system is empty");
+        return DpuSet(sys_, Kind::Explicit, 0, std::move(rest));
+    }
+    // All / Rank / Ranks are rank-granular: complement over rank ids.
+    std::vector<unsigned> rest;
+    for (unsigned r = 0; r < sys_->numRanks(); ++r) {
+        if (std::find(ranks_.begin(), ranks_.end(), r) == ranks_.end())
+            rest.push_back(r);
+    }
+    PIM_ASSERT(!rest.empty(), "complement of the full system is empty");
+    return DpuSet(sys_, Kind::Ranks, 0, std::move(rest));
+}
+
 bool
 DpuSet::contains(unsigned global) const
 {
@@ -72,6 +110,10 @@ DpuSet::contains(unsigned global) const
         return global < sys_->numDpus();
       case Kind::Rank:
         return global < sys_->numDpus() && sys_->rankOf(global) == rank_;
+      case Kind::Ranks:
+        return global < sys_->numDpus()
+            && std::binary_search(members_.begin(), members_.end(),
+                                  sys_->rankOf(global));
       case Kind::Explicit:
         return std::binary_search(members_.begin(), members_.end(),
                                   global);
@@ -167,6 +209,44 @@ PimSystem::subset(std::vector<unsigned> globals) const
     PIM_ASSERT(globals.back() < cfg_.numDpus,
                "subset member out of range");
     return DpuSet(this, DpuSet::Kind::Explicit, 0, std::move(globals));
+}
+
+DpuSet
+PimSystem::rankRange(unsigned first, unsigned count) const
+{
+    PIM_ASSERT(count > 0, "empty rank range");
+    PIM_ASSERT(first < numRanks_ && count <= numRanks_ - first,
+               "rank range [", first, ", ", first + count,
+               ") out of bounds");
+    std::vector<unsigned> ids(count);
+    for (unsigned i = 0; i < count; ++i)
+        ids[i] = first + i;
+    return DpuSet(this, DpuSet::Kind::Ranks, 0, std::move(ids));
+}
+
+DpuSet
+PimSystem::ranks(std::vector<unsigned> rank_ids) const
+{
+    std::sort(rank_ids.begin(), rank_ids.end());
+    rank_ids.erase(std::unique(rank_ids.begin(), rank_ids.end()),
+                   rank_ids.end());
+    PIM_ASSERT(!rank_ids.empty(), "empty rank set");
+    PIM_ASSERT(rank_ids.back() < numRanks_, "rank id out of range");
+    return DpuSet(this, DpuSet::Kind::Ranks, 0, std::move(rank_ids));
+}
+
+std::pair<DpuSet, DpuSet>
+PimSystem::partitionRanks(double fraction) const
+{
+    PIM_ASSERT(numRanks_ >= 2,
+               "cannot partition a single-rank system");
+    const auto want = static_cast<long>(
+        std::lround(fraction * static_cast<double>(numRanks_)));
+    const unsigned k = static_cast<unsigned>(
+        std::clamp<long>(want, 1, numRanks_ - 1));
+    DpuSet head = rankRange(0, k);
+    DpuSet tail = head.complement();
+    return {std::move(head), std::move(tail)};
 }
 
 } // namespace pim::core

@@ -22,6 +22,7 @@
 #define PIM_CORE_PIM_SYSTEM_HH
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/parallel_engine.hh"
@@ -96,18 +97,31 @@ class DpuSet
     /** Owning system. */
     const PimSystem &system() const { return *sys_; }
 
+    /**
+     * Every DPU of the system that is NOT in this set — the natural way
+     * to split a system between two concurrent workloads (prefill ranks
+     * vs decode ranks) without hand-rolling index lists. Rank-granular
+     * sets complement to rank-granular sets (membership stays implicit,
+     * so the cost is O(ranks), not O(DPUs)); explicit sets complement to
+     * explicit sets. Fatal if the complement is empty (the set covers
+     * the whole system).
+     */
+    DpuSet complement() const;
+
   private:
     friend class PimSystem;
 
-    enum class Kind { All, Rank, Explicit };
+    enum class Kind { All, Rank, Ranks, Explicit };
 
     DpuSet(const PimSystem *sys, Kind kind, unsigned rank,
            std::vector<unsigned> members);
 
     const PimSystem *sys_;
     Kind kind_;
-    unsigned rank_ = 0;             ///< Kind::Rank only
-    std::vector<unsigned> members_; ///< Kind::Explicit only, sorted
+    unsigned rank_ = 0; ///< Kind::Rank only
+    /** Kind::Explicit: sorted global DPU indices.
+     *  Kind::Ranks: sorted rank ids. */
+    std::vector<unsigned> members_;
     unsigned size_ = 0;
     std::vector<unsigned> ranks_;
     std::vector<unsigned> slots_;
@@ -160,6 +174,22 @@ class PimSystem
 
     /** An explicit set of global DPU indices (deduplicated, sorted). */
     DpuSet subset(std::vector<unsigned> globals) const;
+
+    /** The DPUs of ranks [@p first, @p first + @p count). */
+    DpuSet rankRange(unsigned first, unsigned count) const;
+
+    /** The DPUs of an arbitrary set of ranks (deduplicated, sorted). */
+    DpuSet ranks(std::vector<unsigned> rank_ids) const;
+
+    /**
+     * Split the system's ranks into a leading partition of roughly
+     * @p fraction of the ranks and its complement — the standard
+     * prefill/decode split of disaggregated serving. The first member
+     * holds ranks [0, k) with k = round(fraction * numRanks) clamped to
+     * [1, numRanks - 1], so both partitions are always non-empty; fatal
+     * on a single-rank system.
+     */
+    std::pair<DpuSet, DpuSet> partitionRanks(double fraction) const;
 
     /** Shared host thread pool commands execute on. */
     const ParallelDpuEngine &engine() const { return engine_; }

@@ -1,0 +1,540 @@
+#include "workloads/llm/serving_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "alloc/pim_malloc.hh"
+#include "core/command_queue.hh"
+#include "core/pim_system.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "workloads/llm/kv_cache.hh"
+#include "workloads/microbench.hh"
+
+namespace pim::workloads::llm {
+
+double
+calibratedAllocLatency(core::AllocatorKind kind, unsigned tasklets,
+                       uint32_t block_bytes)
+{
+    using Key = std::tuple<core::AllocatorKind, unsigned, uint32_t>;
+    static std::mutex mu;
+    static std::map<Key, double> cache;
+    const Key key{kind, tasklets, block_bytes};
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (const auto it = cache.find(key); it != cache.end())
+            return it->second;
+    }
+    // Run the microbenchmark outside the lock (it is deterministic, so
+    // a racing duplicate run computes the same value).
+    MicrobenchConfig mb;
+    mb.allocator = kind;
+    mb.tasklets = tasklets;
+    mb.allocsPerTasklet = 128;
+    mb.allocSize = block_bytes;
+    mb.freeEachAlloc = false;
+    const MicrobenchResult r = runMicrobench(mb);
+    const double sec = r.avgLatencyUs * 1e-6;
+    std::lock_guard<std::mutex> lock(mu);
+    cache.emplace(key, sec);
+    return sec;
+}
+
+namespace {
+
+/**
+ * Memory-imposed concurrent-batch bound of one scheme when the KV cache
+ * is sharded across @p num_dpus DPUs (the whole system in lockstep
+ * mode, the decode partition in disaggregated mode).
+ */
+unsigned
+batchLimit(const ServingScheme &scheme, const ServingConfig &cfg,
+           unsigned num_dpus)
+{
+    const alloc::PimMallocConfig heap_cfg;
+    const uint64_t heap = heap_cfg.heapBytes;
+    const uint64_t per_token = cfg.model.kvBytesPerTokenPerDpu(num_dpus);
+    if (!scheme.allocator) {
+        // Static: every slot reserves the model's full context window.
+        return static_cast<unsigned>(
+            heap / (per_token * cfg.staticReserveTokens));
+    }
+    // Dynamic: requests occupy only their actual (block-rounded) size;
+    // in this trace every request peaks at prompt+output tokens.
+    const uint64_t per_req_bytes =
+        (per_token * (cfg.promptTokens + cfg.outputTokens)
+         + cfg.kvBlockBytes - 1)
+        / cfg.kvBlockBytes * cfg.kvBlockBytes;
+    // Leave headroom for allocator metadata and pre-populated spans.
+    return static_cast<unsigned>(heap * 95 / 100 / per_req_bytes);
+}
+
+/** The Poisson arrival times of the serving trace. */
+std::vector<double>
+arrivalTimes(const ServingConfig &cfg)
+{
+    util::Rng rng(cfg.seed);
+    std::vector<double> arrivals(cfg.numRequests);
+    double at = 0.0;
+    for (auto &a : arrivals) {
+        at += rng.exponential(cfg.arrivalRatePerSec);
+        a = at;
+    }
+    return arrivals;
+}
+
+struct ActiveRequest
+{
+    unsigned id;
+    unsigned context; ///< tokens currently in the KV cache
+    unsigned generated = 0;
+    /** Completion time of the request's latest token (TPOT base). */
+    double lastTokenSec = 0.0;
+};
+
+/** Per-materialized-DPU prefill state, persistent across waves. Each
+ *  slot is only ever touched by the engine worker simulating it. */
+struct PrefillSlot
+{
+    std::unique_ptr<alloc::Allocator> allocator; ///< dynamic schemes
+    std::unique_ptr<KvCacheManager> kv;
+    /** Requests of the previous wave (their transient prompt KV is
+     *  released at the start of the next wave, post-migration). */
+    unsigned prevWaveRequests = 0;
+};
+
+} // namespace
+
+ServingEngine::ServingEngine(const ServingScheme &scheme,
+                             const ServingEngineConfig &cfg)
+    : scheme_(scheme), cfg_(cfg)
+{
+}
+
+ServingResult
+ServingEngine::run()
+{
+    return cfg_.mode == ServingMode::Disaggregated ? runDisaggregated()
+                                                   : runLockstep();
+}
+
+ServingResult
+ServingEngine::runLockstep()
+{
+    const ServingConfig &cfg = cfg_.base;
+    ServingResult res;
+    res.maxBatchLimit = batchLimit(scheme_, cfg, cfg.numDpus);
+    // A zero batch bound (per-request reservation exceeds the heap)
+    // would spin the admission loop forever once arrivals run out.
+    PIM_ASSERT(res.maxBatchLimit >= 1,
+               "KV heap cannot hold a single request (", cfg.numDpus,
+               " DPUs): shard across more DPUs or shrink the reserve");
+    res.allocSecPerBlock = scheme_.allocator
+        ? calibratedAllocLatency(*scheme_.allocator, cfg.allocTasklets,
+                                 cfg.kvBlockBytes)
+        : 0.0;
+
+    const uint64_t per_token = cfg.model.kvBytesPerTokenPerDpu(cfg.numDpus);
+    const double blocks_per_token =
+        static_cast<double>(per_token) / cfg.kvBlockBytes;
+    // Allocations are spread over the DPU's tasklets; one "wave" of
+    // concurrent allocations costs one calibrated latency.
+    auto allocSeconds = [&](double blocks) {
+        if (!scheme_.allocator || blocks <= 0)
+            return 0.0;
+        const double waves =
+            std::ceil(blocks / static_cast<double>(cfg.allocTasklets));
+        return waves * res.allocSecPerBlock;
+    };
+
+    const std::vector<double> arrivals = arrivalTimes(cfg);
+
+    // The serving clock lives on the unified runtime's host timeline:
+    // each lockstep decode step occupies the host for its composed
+    // step latency, and idle gaps wait on the next Poisson arrival.
+    // (The PIM-side per-block allocation cost feeding each step was
+    // calibrated above by running the real allocator on the runtime.)
+    core::PimSystemConfig scfg;
+    scfg.numDpus = cfg.numDpus;
+    scfg.sampleDpus = 1; // analytic steps: no DPU programs launched
+    scfg.simThreads = 1;
+    core::PimSystem sys(scfg);
+    core::CommandQueue clock(sys);
+    if (cfg.recorder != nullptr)
+        clock.attachRecorder(cfg.recorder);
+
+    std::deque<unsigned> waiting;
+    std::vector<ActiveRequest> active;
+    unsigned next_arrival = 0;
+    unsigned completed = 0;
+    uint64_t tokens_out = 0;
+    util::Percentile tpot;
+
+    while (completed < cfg.numRequests) {
+        const double now = clock.sync();
+        // Admit arrivals that happened before `now`.
+        while (next_arrival < cfg.numRequests
+               && arrivals[next_arrival] <= now) {
+            waiting.push_back(next_arrival);
+            ++next_arrival;
+        }
+        double prefill_blocks = 0.0;
+        while (!waiting.empty() && active.size() < res.maxBatchLimit) {
+            active.push_back({waiting.front(), cfg.promptTokens, 0, 0.0});
+            waiting.pop_front();
+            // Prefill fills the prompt's KV blocks in one burst.
+            prefill_blocks += blocks_per_token * cfg.promptTokens;
+        }
+
+        if (active.empty()) {
+            // Idle until the next arrival.
+            if (next_arrival < cfg.numRequests)
+                clock.hostIdleUntil(arrivals[next_arrival],
+                                    core::kNoEvent, "wait:arrival");
+            continue;
+        }
+
+        // One decode step: every active request reads its whole per-DPU
+        // KV slice (bandwidth-bound attention) and appends one token.
+        uint64_t kv_bytes = 0;
+        for (const auto &r : active)
+            kv_bytes += per_token * r.context;
+        const double attn_sec =
+            static_cast<double>(kv_bytes) / cfg.mramBandwidth;
+        const double alloc_sec =
+            allocSeconds(prefill_blocks
+                         + blocks_per_token
+                             * static_cast<double>(active.size()));
+        const double step_sec = cfg.stepOverheadSeconds + cfg.fcStepSeconds
+            + attn_sec + alloc_sec;
+        if (clock.recorder() != nullptr) {
+            clock.hostBusy(step_sec, core::kNoEvent,
+                           "step b" + std::to_string(active.size()));
+        } else {
+            clock.hostBusy(step_sec);
+        }
+
+        res.peakBatchObserved = std::max<unsigned>(
+            res.peakBatchObserved, static_cast<unsigned>(active.size()));
+
+        for (auto &r : active) {
+            ++r.context;
+            ++r.generated;
+            ++tokens_out;
+            tpot.add(step_sec);
+        }
+        std::erase_if(active, [&](const ActiveRequest &r) {
+            if (r.generated >= cfg.outputTokens) {
+                ++completed;
+                return true;
+            }
+            return false;
+        });
+    }
+
+    res.makespanSec = clock.sync();
+    res.throughputTokensPerSec =
+        static_cast<double>(tokens_out)
+        / std::max(res.makespanSec, 1e-9);
+    res.tpotP50Ms = tpot.p50() * 1e3;
+    res.tpotP95Ms = tpot.p95() * 1e3;
+    res.tpotP99Ms = tpot.p99() * 1e3;
+    return res;
+}
+
+ServingResult
+ServingEngine::runDisaggregated()
+{
+    const ServingConfig &cfg = cfg_.base;
+    ServingResult res;
+
+    // One representative DPU per rank: prefill launches must find a
+    // materialized member in every prefill rank.
+    core::PimSystemConfig scfg;
+    scfg.numDpus = cfg.numDpus;
+    scfg.samplePerRank = true;
+    scfg.simThreads = cfg_.simThreads;
+    core::PimSystem sys(scfg);
+    PIM_ASSERT(sys.numRanks() >= 2,
+               "disaggregated serving needs at least two ranks");
+    core::CommandQueue queue(sys);
+    if (cfg.recorder != nullptr)
+        queue.attachRecorder(cfg.recorder);
+    const bool traced = queue.recorder() != nullptr;
+
+    auto [prefill_set, decode_set] =
+        sys.partitionRanks(cfg_.prefillRankFraction);
+    res.prefillRanks =
+        static_cast<unsigned>(prefill_set.ranks().size());
+    res.decodeRanks = static_cast<unsigned>(decode_set.ranks().size());
+    const unsigned prefill_dpus = prefill_set.size();
+    const unsigned decode_dpus = decode_set.size();
+
+    res.maxBatchLimit = batchLimit(scheme_, cfg, decode_dpus);
+    PIM_ASSERT(res.maxBatchLimit >= 1,
+               "decode partition too small: zero-request batch limit");
+    res.allocSecPerBlock = scheme_.allocator
+        ? calibratedAllocLatency(*scheme_.allocator, cfg.allocTasklets,
+                                 cfg.kvBlockBytes)
+        : 0.0;
+
+    const uint64_t per_token_dec =
+        cfg.model.kvBytesPerTokenPerDpu(decode_dpus);
+    const uint64_t per_token_pre =
+        cfg.model.kvBytesPerTokenPerDpu(prefill_dpus);
+    const double blocks_per_token =
+        static_cast<double>(per_token_dec) / cfg.kvBlockBytes;
+    auto allocSeconds = [&](double blocks) {
+        if (!scheme_.allocator || blocks <= 0)
+            return 0.0;
+        const double waves =
+            std::ceil(blocks / static_cast<double>(cfg.allocTasklets));
+        return waves * res.allocSecPerBlock;
+    };
+
+    // One prefill wave's prompts live transiently in the prefill-rank
+    // heaps until the next wave releases them; bound the wave so a
+    // whole wave fits.
+    const alloc::PimMallocConfig heap_cfg;
+    const uint64_t prompt_bytes_pre =
+        per_token_pre * cfg.promptTokens;
+    const unsigned max_prefill_batch = std::max<unsigned>(
+        1,
+        static_cast<unsigned>(heap_cfg.heapBytes * 95 / 100
+                              / std::max<uint64_t>(prompt_bytes_pre, 1)));
+
+    const std::vector<double> arrivals = arrivalTimes(cfg);
+
+    // Per-slot prefill state (each slot is touched by exactly one
+    // engine worker). Dynamic schemes bring their allocator up in one
+    // deployment-time launch before the trace starts, so the (real,
+    // possibly large) init cost lands visibly on the prefill ranks at
+    // t=0 instead of being dropped as untimed setup inside a wave.
+    std::vector<PrefillSlot> slots(sys.sampleCount());
+    const unsigned tasklets = cfg.allocTasklets;
+    if (scheme_.allocator) {
+        queue.launchProgram(
+            prefill_set,
+            [&sys, &slots, &scheme = scheme_, &cfg,
+             tasklets](sim::Dpu &dpu, unsigned global) {
+                PrefillSlot &st = slots[sys.slotOf(global)];
+                core::AllocatorOverrides ov;
+                ov.numTasklets = tasklets;
+                st.allocator =
+                    core::makeAllocator(dpu, *scheme.allocator, ov);
+                st.kv = std::make_unique<KvCacheManager>(
+                    *st.allocator, cfg.kvBlockBytes);
+                dpu.run(1,
+                        [&](sim::Tasklet &t) { st.allocator->init(t); });
+            },
+            core::kNoEvent, traced ? "alloc init" : "");
+    }
+
+    struct Wave
+    {
+        std::vector<unsigned> reqs;
+        core::Event migrated; ///< prompt KV landed on decode ranks
+    };
+
+    std::deque<unsigned> waiting;
+    std::deque<Wave> inflight;
+    std::vector<ActiveRequest> active;
+    unsigned inflight_reqs = 0;
+    unsigned next_arrival = 0;
+    unsigned completed = 0;
+    uint64_t tokens_out = 0;
+    unsigned step_idx = 0;
+    util::Percentile tpot;
+
+    // Double-buffered KV-append shipping: attention of step n orders
+    // after the append shipped in step n-2, so the step n-1 transfer
+    // genuinely overlaps step n's attention (the appended block is
+    // read one step after it lands — the double-buffer swap).
+    core::Event ship_prev1 = core::kNoEvent;
+    core::Event ship_prev2 = core::kNoEvent;
+    double now = 0.0;
+
+    while (completed < cfg.numRequests) {
+        // Admit arrivals that happened before `now`.
+        while (next_arrival < cfg.numRequests
+               && arrivals[next_arrival] <= now) {
+            waiting.push_back(next_arrival);
+            ++next_arrival;
+        }
+
+        // Launch a prefill wave on the prefill ranks if there is work
+        // and both the decode batch bound and the prefill heap allow.
+        const unsigned in_pipe =
+            static_cast<unsigned>(active.size()) + inflight_reqs;
+        if (!waiting.empty() && in_pipe < res.maxBatchLimit) {
+            const unsigned room = std::min(
+                res.maxBatchLimit - in_pipe, max_prefill_batch);
+            Wave w;
+            while (!waiting.empty() && w.reqs.size() < room) {
+                w.reqs.push_back(waiting.front());
+                waiting.pop_front();
+            }
+            const unsigned k = static_cast<unsigned>(w.reqs.size());
+            // The host dispatches the wave no earlier than its newest
+            // member's arrival (the host timeline lags `now` when the
+            // decode ranks pace the pipeline, and a prefill must not
+            // start before its request exists). Arrivals are sorted,
+            // so the last member is the newest.
+            queue.hostIdleUntil(arrivals[w.reqs.back()],
+                                core::kNoEvent, "wait:arrival");
+            const core::Event pf = queue.launchProgram(
+                prefill_set,
+                [&sys, &slots, k, prompt_bytes_pre,
+                 tasklets](sim::Dpu &dpu, unsigned global) {
+                    PrefillSlot &st = slots[sys.slotOf(global)];
+                    if (st.kv != nullptr) {
+                        // Recycle the previous wave's transient prompt
+                        // KV (it migrated long ago), then allocate and
+                        // fill this wave's blocks with the real
+                        // allocator under tasklet concurrency.
+                        const unsigned prev = st.prevWaveRequests;
+                        dpu.run(tasklets, [&](sim::Tasklet &t) {
+                            for (unsigned r = t.id(); r < prev;
+                                 r += tasklets)
+                                st.kv->releaseRequest(t, r);
+                            for (unsigned r = t.id(); r < k;
+                                 r += tasklets) {
+                                if (!st.kv->appendBytes(
+                                        t, r, prompt_bytes_pre))
+                                    break; // heap exhausted: keep rest
+                            }
+                        });
+                        st.prevWaveRequests = k;
+                    } else {
+                        // Static: stream the prompts into the
+                        // pre-reserved slabs (pure DMA cost).
+                        const uint64_t total = prompt_bytes_pre * k;
+                        dpu.run(tasklets, [&](sim::Tasklet &t) {
+                            constexpr uint64_t chunk = 2048;
+                            for (uint64_t off = t.id() * chunk;
+                                 off < total; off += chunk * tasklets)
+                                t.dmaWrite(
+                                    0, static_cast<uint32_t>(
+                                           std::min(chunk, total - off)));
+                        });
+                    }
+                },
+                core::kNoEvent,
+                traced ? "prefill b" + std::to_string(k) : "");
+            // Ship the wave's prompt KV: gather off the prefill ranks,
+            // then land it (double-buffered) on the decode ranks.
+            const core::Event gather = queue.memcpyAsync(
+                prefill_set, prompt_bytes_pre * k,
+                core::CopyDirection::PimToHost, pf,
+                traced ? "kv gather b" + std::to_string(k) : "");
+            w.migrated = queue.memcpyBufferedAsync(
+                decode_set, per_token_dec * cfg.promptTokens * k,
+                core::CopyDirection::HostToPim, gather,
+                traced ? "kv migrate b" + std::to_string(k) : "");
+            inflight_reqs += k;
+            inflight.push_back(std::move(w));
+            ++res.prefillWaves;
+        }
+
+        // Activate waves whose prompt KV has landed by `now` (their
+        // first decodable step starts at or after `now`, so the
+        // migration is complete before attention reads it).
+        while (!inflight.empty()
+               && queue.eventSeconds(inflight.front().migrated) <= now) {
+            const double ready =
+                queue.eventSeconds(inflight.front().migrated);
+            for (const unsigned id : inflight.front().reqs)
+                active.push_back({id, cfg.promptTokens, 0, ready});
+            inflight_reqs -=
+                static_cast<unsigned>(inflight.front().reqs.size());
+            inflight.pop_front();
+        }
+
+        if (active.empty()) {
+            if (!inflight.empty()) {
+                // Wait for the next wave's migration to land.
+                const double ready =
+                    queue.eventSeconds(inflight.front().migrated);
+                queue.hostIdleUntil(ready, inflight.front().migrated,
+                                    "wait:prefill");
+                now = std::max(now, ready);
+            } else if (next_arrival < cfg.numRequests) {
+                queue.hostIdleUntil(arrivals[next_arrival],
+                                    core::kNoEvent, "wait:arrival");
+                now = std::max(now, arrivals[next_arrival]);
+            }
+            continue;
+        }
+
+        // One pipelined decode step: the host runs the xPU-side FC and
+        // step bookkeeping, the decode ranks run bandwidth-bound
+        // attention plus this step's KV-block allocations, and the
+        // appended KV blocks ship over the bus without stalling the
+        // ranks. Consecutive steps overlap across all three resources.
+        uint64_t kv_bytes = 0;
+        for (const auto &r : active)
+            kv_bytes += per_token_dec * r.context;
+        const double attn_sec =
+            static_cast<double>(kv_bytes) / cfg.mramBandwidth;
+        const double alloc_sec = allocSeconds(
+            blocks_per_token * static_cast<double>(active.size()));
+        const std::string step_tag = traced
+            ? " s" + std::to_string(step_idx) + " b"
+                + std::to_string(active.size())
+            : std::string();
+        queue.hostBusy(cfg.stepOverheadSeconds + cfg.fcStepSeconds,
+                       core::kNoEvent, traced ? "fc" + step_tag : "");
+        const core::Event attn = queue.launchTimed(
+            decode_set, attn_sec + alloc_sec, ship_prev2,
+            traced ? "attn" + step_tag : "");
+        const core::Event ship = queue.memcpyBufferedAsync(
+            decode_set,
+            per_token_dec * static_cast<uint64_t>(active.size()),
+            core::CopyDirection::HostToPim, attn,
+            traced ? "kv append" + step_tag : "");
+        ship_prev2 = ship_prev1;
+        ship_prev1 = ship;
+        ++step_idx;
+
+        const double t_end = queue.eventSeconds(attn);
+        res.peakBatchObserved = std::max<unsigned>(
+            res.peakBatchObserved, static_cast<unsigned>(active.size()));
+        for (auto &r : active) {
+            ++r.context;
+            ++r.generated;
+            ++tokens_out;
+            tpot.add(t_end - r.lastTokenSec);
+            r.lastTokenSec = t_end;
+        }
+        std::erase_if(active, [&](const ActiveRequest &r) {
+            if (r.generated >= cfg.outputTokens) {
+                ++completed;
+                return true;
+            }
+            return false;
+        });
+        now = std::max(now, t_end);
+    }
+
+    res.makespanSec = queue.sync();
+    res.throughputTokensPerSec = static_cast<double>(tokens_out)
+        / std::max(res.makespanSec, 1e-9);
+    res.tpotP50Ms = tpot.p50() * 1e3;
+    res.tpotP95Ms = tpot.p95() * 1e3;
+    res.tpotP99Ms = tpot.p99() * 1e3;
+    res.kvShippedBytes = queue.transferredBytes();
+    res.overlapSeconds = std::max(
+        0.0,
+        queue.launchWorkSeconds() + queue.copyWorkSeconds()
+            + queue.hostWorkSeconds() - res.makespanSec);
+    return res;
+}
+
+} // namespace pim::workloads::llm

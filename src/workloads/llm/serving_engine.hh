@@ -1,0 +1,97 @@
+/**
+ * @file
+ * LLM serving engine on the command-queue runtime. One engine, two
+ * execution modes:
+ *
+ *   Lockstep      — the analytic Fig 18 reproduction: every decode step
+ *                   is one composed host-clock charge (FC + attention +
+ *                   allocation), requests march in lockstep. Numerically
+ *                   identical to the historical runServing() loop.
+ *
+ *   Disaggregated — prefill/decode disaggregation as a real pipeline on
+ *                   core::CommandQueue (the DistServe/LLMServingSim-style
+ *                   setup): prefill runs as launchProgram on a leading
+ *                   rank partition (the real KV allocator + prompt KV
+ *                   fill on the simulated DPUs), decode attention runs
+ *                   as bandwidth-costed launchTimed commands on the
+ *                   complementary ranks, prompt KV migrates prefill →
+ *                   decode over the bus, and each step's KV-block append
+ *                   ships via double-buffered memcpyScatterBufferedAsync
+ *                   chained with Events so the transfer overlaps the
+ *                   next step's attention. Admission and TPOT accounting
+ *                   are driven off Event completion timestamps
+ *                   (CommandQueue::eventSeconds), not a lumped clock.
+ *
+ * Attach a trace::Recorder (ServingConfig::recorder) to see the
+ * pipeline: prefill-rank lanes, decode-rank lanes, and the KV bus lane
+ * genuinely overlap, and `--occupancy` quantifies the hidden work.
+ */
+
+#ifndef PIM_WORKLOADS_LLM_SERVING_ENGINE_HH
+#define PIM_WORKLOADS_LLM_SERVING_ENGINE_HH
+
+#include "workloads/llm/serving_sim.hh"
+
+namespace pim::workloads::llm {
+
+/** How the engine schedules the serving trace. */
+enum class ServingMode {
+    Lockstep,      ///< analytic host-clock loop (Fig 18 reproduction)
+    Disaggregated, ///< rank-partitioned prefill/decode pipeline
+};
+
+/** Engine parameters on top of the shared serving trace config. */
+struct ServingEngineConfig
+{
+    /** Trace, model, and system parameters (shared with runServing). */
+    ServingConfig base{};
+
+    ServingMode mode = ServingMode::Lockstep;
+
+    /**
+     * Disaggregated mode: fraction of the system's ranks dedicated to
+     * prefill; the complement decodes. Rounded to whole ranks and
+     * clamped so both partitions are non-empty.
+     */
+    double prefillRankFraction = 0.25;
+
+    /**
+     * Worker threads simulating prefill DPUs (0 = PIM_SIM_THREADS env,
+     * else hardware concurrency). Results are thread-count invariant.
+     */
+    unsigned simThreads = 1;
+};
+
+/**
+ * Mean per-block KV allocation latency of @p kind under the serving
+ * access pattern (@p tasklets concurrent tasklets, @p block_bytes
+ * requests, no frees), calibrated by running the real allocator
+ * microbenchmark on the DPU simulator. Memoized on
+ * (kind, tasklets, block_bytes): sweeps re-running the serving engine
+ * pay the microbenchmark once per distinct key, not once per run.
+ * Thread-safe.
+ */
+double calibratedAllocLatency(core::AllocatorKind kind, unsigned tasklets,
+                              uint32_t block_bytes);
+
+/** The serving pipeline of one scheme/config (single-shot: run() once). */
+class ServingEngine
+{
+  public:
+    ServingEngine(const ServingScheme &scheme,
+                  const ServingEngineConfig &cfg);
+
+    /** Execute the serving trace to completion. */
+    ServingResult run();
+
+  private:
+    ServingResult runLockstep();
+    ServingResult runDisaggregated();
+
+    ServingScheme scheme_;
+    ServingEngineConfig cfg_;
+};
+
+} // namespace pim::workloads::llm
+
+#endif // PIM_WORKLOADS_LLM_SERVING_ENGINE_HH

@@ -1,15 +1,7 @@
 #include "workloads/llm/serving_sim.hh"
 
-#include <algorithm>
-#include <cmath>
-#include <deque>
-#include <vector>
-
-#include "alloc/pim_malloc.hh"
-#include "core/command_queue.hh"
-#include "core/pim_system.hh"
-#include "util/stats.hh"
-#include "workloads/microbench.hh"
+#include "core/allocator_factory.hh"
+#include "workloads/llm/serving_engine.hh"
 
 namespace pim::workloads::llm {
 
@@ -21,179 +13,15 @@ ServingScheme::name() const
     return core::allocatorKindName(*allocator);
 }
 
-namespace {
-
-/**
- * Calibrate the mean per-block KV allocation latency by running the
- * real allocator on the DPU simulator under the serving access pattern
- * (allocTasklets tasklets, kvBlockBytes requests, no frees — the cache
- * only grows during decode).
- */
-double
-calibrateAllocLatency(core::AllocatorKind kind, const ServingConfig &cfg)
-{
-    MicrobenchConfig mb;
-    mb.allocator = kind;
-    mb.tasklets = cfg.allocTasklets;
-    mb.allocsPerTasklet = 128;
-    mb.allocSize = cfg.kvBlockBytes;
-    mb.freeEachAlloc = false;
-    const MicrobenchResult r = runMicrobench(mb);
-    return r.avgLatencyUs * 1e-6;
-}
-
-/** Memory-imposed concurrent-batch bound of one scheme. */
-unsigned
-batchLimit(const ServingScheme &scheme, const ServingConfig &cfg)
-{
-    const alloc::PimMallocConfig heap_cfg;
-    const uint64_t heap = heap_cfg.heapBytes;
-    const uint64_t per_token = cfg.model.kvBytesPerTokenPerDpu(cfg.numDpus);
-    if (!scheme.allocator) {
-        // Static: every slot reserves the model's full context window.
-        return static_cast<unsigned>(
-            heap / (per_token * cfg.staticReserveTokens));
-    }
-    // Dynamic: requests occupy only their actual (block-rounded) size;
-    // in this trace every request peaks at prompt+output tokens.
-    const uint64_t per_req_bytes =
-        (per_token * (cfg.promptTokens + cfg.outputTokens)
-         + cfg.kvBlockBytes - 1)
-        / cfg.kvBlockBytes * cfg.kvBlockBytes;
-    // Leave headroom for allocator metadata and pre-populated spans.
-    return static_cast<unsigned>(heap * 95 / 100 / per_req_bytes);
-}
-
-struct ActiveRequest
-{
-    unsigned id;
-    unsigned context; ///< tokens currently in the KV cache
-    unsigned generated = 0;
-};
-
-} // namespace
-
 ServingResult
 runServing(const ServingScheme &scheme, const ServingConfig &cfg)
 {
-    ServingResult res;
-    res.maxBatchLimit = batchLimit(scheme, cfg);
-    res.allocSecPerBlock = scheme.allocator
-        ? calibrateAllocLatency(*scheme.allocator, cfg) : 0.0;
-
-    const uint64_t per_token = cfg.model.kvBytesPerTokenPerDpu(cfg.numDpus);
-    const double blocks_per_token =
-        static_cast<double>(per_token) / cfg.kvBlockBytes;
-    // Allocations are spread over the DPU's tasklets; one "wave" of
-    // concurrent allocations costs one calibrated latency.
-    auto allocSeconds = [&](double blocks) {
-        if (!scheme.allocator || blocks <= 0)
-            return 0.0;
-        const double waves =
-            std::ceil(blocks / static_cast<double>(cfg.allocTasklets));
-        return waves * res.allocSecPerBlock;
-    };
-
-    // Poisson arrivals.
-    util::Rng rng(cfg.seed);
-    std::vector<double> arrivals(cfg.numRequests);
-    double at = 0.0;
-    for (auto &a : arrivals) {
-        at += rng.exponential(cfg.arrivalRatePerSec);
-        a = at;
-    }
-
-    // The serving clock lives on the unified runtime's host timeline:
-    // each lockstep decode step occupies the host for its composed
-    // step latency, and idle gaps wait on the next Poisson arrival.
-    // (The PIM-side per-block allocation cost feeding each step was
-    // calibrated above by running the real allocator on the runtime.)
-    core::PimSystemConfig scfg;
-    scfg.numDpus = cfg.numDpus;
-    scfg.sampleDpus = 1; // analytic steps: no DPU programs launched
-    scfg.simThreads = 1;
-    core::PimSystem sys(scfg);
-    core::CommandQueue clock(sys);
-    if (cfg.recorder != nullptr)
-        clock.attachRecorder(cfg.recorder);
-
-    std::deque<unsigned> waiting;
-    std::vector<ActiveRequest> active;
-    unsigned next_arrival = 0;
-    unsigned completed = 0;
-    uint64_t tokens_out = 0;
-    util::Percentile tpot;
-
-    while (completed < cfg.numRequests) {
-        const double now = clock.sync();
-        // Admit arrivals that happened before `now`.
-        while (next_arrival < cfg.numRequests
-               && arrivals[next_arrival] <= now) {
-            waiting.push_back(next_arrival);
-            ++next_arrival;
-        }
-        double prefill_blocks = 0.0;
-        while (!waiting.empty() && active.size() < res.maxBatchLimit) {
-            active.push_back({waiting.front(), cfg.promptTokens, 0});
-            waiting.pop_front();
-            // Prefill fills the prompt's KV blocks in one burst.
-            prefill_blocks += blocks_per_token * cfg.promptTokens;
-        }
-
-        if (active.empty()) {
-            // Idle until the next arrival.
-            if (next_arrival < cfg.numRequests)
-                clock.hostIdleUntil(arrivals[next_arrival],
-                                    core::kNoEvent, "wait:arrival");
-            continue;
-        }
-
-        // One decode step: every active request reads its whole per-DPU
-        // KV slice (bandwidth-bound attention) and appends one token.
-        uint64_t kv_bytes = 0;
-        for (const auto &r : active)
-            kv_bytes += per_token * r.context;
-        const double attn_sec =
-            static_cast<double>(kv_bytes) / cfg.mramBandwidth;
-        const double alloc_sec =
-            allocSeconds(prefill_blocks
-                         + blocks_per_token
-                             * static_cast<double>(active.size()));
-        const double step_sec = cfg.stepOverheadSeconds + cfg.fcStepSeconds
-            + attn_sec + alloc_sec;
-        if (clock.recorder() != nullptr) {
-            clock.hostBusy(step_sec, core::kNoEvent,
-                           "step b" + std::to_string(active.size()));
-        } else {
-            clock.hostBusy(step_sec);
-        }
-
-        res.peakBatchObserved = std::max<unsigned>(
-            res.peakBatchObserved, static_cast<unsigned>(active.size()));
-
-        for (auto &r : active) {
-            ++r.context;
-            ++r.generated;
-            ++tokens_out;
-            tpot.add(step_sec);
-        }
-        std::erase_if(active, [&](const ActiveRequest &r) {
-            if (r.generated >= cfg.outputTokens) {
-                ++completed;
-                return true;
-            }
-            return false;
-        });
-    }
-
-    res.makespanSec = clock.sync();
-    res.throughputTokensPerSec =
-        static_cast<double>(tokens_out)
-        / std::max(res.makespanSec, 1e-9);
-    res.tpotP50Ms = tpot.p50() * 1e3;
-    res.tpotP95Ms = tpot.p95() * 1e3;
-    res.tpotP99Ms = tpot.p99() * 1e3;
-    return res;
+    // The historical lockstep simulator is now a mode of ServingEngine;
+    // this facade pins that mode so the Fig 18 reproduction stays put.
+    ServingEngineConfig ecfg;
+    ecfg.base = cfg;
+    ecfg.mode = ServingMode::Lockstep;
+    return ServingEngine(scheme, ecfg).run();
 }
 
 } // namespace pim::workloads::llm

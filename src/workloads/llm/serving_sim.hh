@@ -6,10 +6,16 @@
  * xPU-side FC time, the PIM-side attention time (bandwidth-bound on the
  * per-DPU KV slices), and the KV-cache allocation overhead of the
  * scheme under test. Allocation latency per 512 B block is calibrated
- * by running the actual allocator microbenchmark on the DPU simulator.
+ * by running the actual allocator microbenchmark on the DPU simulator
+ * (memoized — see calibratedAllocLatency in serving_engine.hh).
  *
  * Reported metrics match the paper: token throughput and TPOT
  * (time-per-output-token) percentiles.
+ *
+ * runServing() is a thin facade pinning the Lockstep mode of
+ * workloads::llm::ServingEngine, which also offers a Disaggregated
+ * mode: a rank-partitioned prefill/decode pipeline on the command
+ * queue with double-buffered KV shipping (see serving_engine.hh).
  */
 
 #ifndef PIM_WORKLOADS_LLM_SERVING_SIM_HH
@@ -90,6 +96,15 @@ struct ServingResult
     unsigned maxBatchLimit = 0;    ///< memory-imposed batch bound
     unsigned peakBatchObserved = 0;
     double allocSecPerBlock = 0.0; ///< calibrated allocator latency
+
+    /** Disaggregated mode only (all zero in lockstep mode). */
+    unsigned prefillRanks = 0;   ///< ranks running prefill launches
+    unsigned decodeRanks = 0;    ///< ranks running decode attention
+    unsigned prefillWaves = 0;   ///< prefill launches issued
+    uint64_t kvShippedBytes = 0; ///< KV bytes moved over the bus
+    /** Resource work (host + bus + ranks) hidden by pipelining:
+     *  max(0, work sum - makespan). */
+    double overlapSeconds = 0.0;
 };
 
 /** Run the serving simulation for one scheme. */

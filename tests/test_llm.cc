@@ -135,6 +135,66 @@ TEST(KvCache, OomLeavesExistingBlocksIntact)
     });
 }
 
+TEST(KvCache, ZeroLengthRequestHoldsNoBlocks)
+{
+    KvFixture f;
+    KvCacheManager kv(*f.allocator, 512);
+    f.dpu.run(1, [&](sim::Tasklet &t) {
+        // A zero-byte append admits the request without allocating.
+        EXPECT_TRUE(kv.appendBytes(t, 7, 0));
+        EXPECT_EQ(kv.blockCount(7), 0u);
+        EXPECT_EQ(kv.bytesStored(), 0u);
+        EXPECT_EQ(kv.activeRequests(), 1u);
+        // Growing it later works, and release reclaims everything.
+        EXPECT_TRUE(kv.appendBytes(t, 7, 1));
+        EXPECT_EQ(kv.blockCount(7), 1u);
+        kv.releaseRequest(t, 7);
+        EXPECT_EQ(kv.activeRequests(), 0u);
+        EXPECT_EQ(kv.totalBlocks(), 0u);
+    });
+}
+
+TEST(KvCache, ReleaseOfUnknownRequestIsANoop)
+{
+    KvFixture f;
+    KvCacheManager kv(*f.allocator, 512);
+    f.dpu.run(1, [&](sim::Tasklet &t) {
+        kv.appendBytes(t, 0, 100);
+        kv.releaseRequest(t, 42); // never admitted
+        EXPECT_EQ(kv.activeRequests(), 1u);
+        EXPECT_EQ(kv.bytesStored(), 100u);
+    });
+}
+
+TEST(KvCache, HeapExhaustionAdmissionRecovers)
+{
+    // Admission control under heap exhaustion: an over-committing
+    // request fails cleanly, its partial growth can be released, and
+    // the freed space admits a smaller request afterwards.
+    sim::Dpu dpu;
+    alloc::PimMallocConfig cfg;
+    cfg.heapBytes = 64 * 1024;
+    cfg.numTasklets = 1;
+    cfg.prePopulate = false;
+    alloc::PimMallocAllocator a(dpu, cfg);
+    dpu.run(1, [&](sim::Tasklet &t) { a.init(t); });
+    KvCacheManager kv(a, 512);
+    dpu.run(1, [&](sim::Tasklet &t) {
+        EXPECT_TRUE(kv.appendBytes(t, 0, 16 * 1024));
+        EXPECT_FALSE(kv.appendBytes(t, 1, 1u << 20)); // cannot fit
+        // The failed request keeps its partial blocks until released.
+        EXPECT_GT(kv.blockCount(1), 0u);
+        kv.releaseRequest(t, 1);
+        EXPECT_EQ(kv.blockCount(1), 0u);
+        // The heap is intact: a fitting request is admitted.
+        EXPECT_TRUE(kv.appendBytes(t, 2, 8 * 1024));
+        EXPECT_EQ(kv.activeRequests(), 2u);
+        kv.releaseRequest(t, 0);
+        kv.releaseRequest(t, 2);
+        EXPECT_EQ(kv.totalBlocks(), 0u);
+    });
+}
+
 TEST(BatchCapacity, DynamicBeatsStatic)
 {
     // Fig 4(b): dynamic allocation admits a much larger batch than

@@ -390,3 +390,122 @@ TEST(CommandQueue, HostIdleUntilAdvancesButNeverRewinds)
     EXPECT_DOUBLE_EQ(q.sync(), 1.5);
     EXPECT_DOUBLE_EQ(q.hostWorkSeconds(), 0.0); // idling is not work
 }
+
+TEST(PimSystem, RankRangeAndArbitraryRankSets)
+{
+    PimSystem sys(smallSystem(512, 64)); // 8 ranks
+    const DpuSet head = sys.rankRange(0, 2);
+    EXPECT_EQ(head.size(), 128u);
+    EXPECT_EQ(head.ranks(), (std::vector<unsigned>{0, 1}));
+    EXPECT_TRUE(head.contains(0));
+    EXPECT_TRUE(head.contains(127));
+    EXPECT_FALSE(head.contains(128));
+
+    const DpuSet odd = sys.ranks({5, 3, 5, 1});
+    EXPECT_EQ(odd.ranks(), (std::vector<unsigned>{1, 3, 5}));
+    EXPECT_EQ(odd.size(), 192u);
+    EXPECT_TRUE(odd.contains(64));
+    EXPECT_FALSE(odd.contains(0));
+    EXPECT_FALSE(odd.contains(128)); // rank 2
+}
+
+TEST(PimSystem, RankRangeCoversRaggedTail)
+{
+    PimSystem sys(smallSystem(10, 4)); // ranks of 4, 4, 2
+    const DpuSet tail = sys.rankRange(2, 1);
+    EXPECT_EQ(tail.size(), 2u);
+    EXPECT_TRUE(tail.contains(9));
+    EXPECT_EQ(sys.rankRange(0, 3).size(), 10u);
+}
+
+TEST(PimSystem, ComplementSplitsTheSystem)
+{
+    PimSystem sys(smallSystem(512, 64));
+    const DpuSet head = sys.rankRange(0, 3);
+    const DpuSet rest = head.complement();
+    EXPECT_EQ(rest.ranks(), (std::vector<unsigned>{3, 4, 5, 6, 7}));
+    EXPECT_EQ(head.size() + rest.size(), sys.numDpus());
+    for (unsigned g = 0; g < sys.numDpus(); g += 37)
+        EXPECT_NE(head.contains(g), rest.contains(g)) << g;
+    // Every materialized slot lands in exactly one side.
+    EXPECT_EQ(head.slots().size() + rest.slots().size(),
+              static_cast<size_t>(sys.sampleCount()));
+
+    const DpuSet not3 = sys.rank(3).complement();
+    EXPECT_EQ(not3.ranks().size(), 7u);
+    EXPECT_FALSE(not3.contains(192));
+    EXPECT_TRUE(not3.contains(191));
+}
+
+TEST(PimSystem, ComplementOfExplicitSubsetIsExplicit)
+{
+    PimSystem sys(smallSystem(8, 4));
+    const DpuSet rest = sys.subset({0, 2, 4, 6}).complement();
+    EXPECT_EQ(rest.size(), 4u);
+    EXPECT_TRUE(rest.contains(1));
+    EXPECT_TRUE(rest.contains(7));
+    EXPECT_FALSE(rest.contains(0));
+}
+
+TEST(PimSystem, PartitionRanksRespectsFractionAndClamps)
+{
+    PimSystem sys(smallSystem(512, 64));
+    const auto [pre, dec] = sys.partitionRanks(0.25);
+    EXPECT_EQ(pre.ranks().size(), 2u);
+    EXPECT_EQ(dec.ranks().size(), 6u);
+    // Both partitions stay non-empty at the extremes.
+    EXPECT_EQ(sys.partitionRanks(0.0).first.ranks().size(), 1u);
+    EXPECT_EQ(sys.partitionRanks(1.0).first.ranks().size(), 7u);
+}
+
+TEST(CommandQueue, LaunchTimedOccupiesExactlyTheTargetRanks)
+{
+    PimSystem sys(smallSystem(512, 64));
+    CommandQueue q(sys);
+    const Event e = q.launchTimed(sys.rankRange(0, 2), 2e-3);
+    EXPECT_NEAR(q.eventSeconds(e), kLaunchOverhead + 2e-3, 1e-12);
+    EXPECT_NEAR(q.rankReadySeconds(0), kLaunchOverhead + 2e-3, 1e-12);
+    EXPECT_NEAR(q.rankReadySeconds(1), kLaunchOverhead + 2e-3, 1e-12);
+    EXPECT_DOUBLE_EQ(q.rankReadySeconds(2), 0.0);
+    // Back-to-back timed launches on disjoint partitions overlap.
+    q.launchTimed(sys.rankRange(2, 6), 5e-3);
+    const double makespan = q.sync();
+    EXPECT_NEAR(makespan, 2 * kLaunchOverhead + 5e-3, 1e-12);
+}
+
+TEST(CommandQueue, BufferedScatterDoesNotStallTargetRanks)
+{
+    PimSystem sys(smallSystem(512, 64));
+    CommandQueue q(sys);
+    const DpuSet dec = sys.rankRange(4, 4);
+    const Event attn = q.launchTimed(dec, 10e-3);
+    // A double-buffered append lands while the ranks keep computing...
+    const Event ship = q.memcpyScatterBufferedAsync(
+        dec, std::vector<uint64_t>(dec.size(), 4096),
+        CopyDirection::HostToPim);
+    const double ship_end = q.eventSeconds(ship);
+    EXPECT_LT(ship_end, q.eventSeconds(attn));
+    EXPECT_NEAR(q.rankReadySeconds(4), kLaunchOverhead + 10e-3, 1e-12);
+    // ...whereas a rank-occupying scatter serializes behind the launch.
+    const Event full = q.memcpyScatterAsync(
+        dec, std::vector<uint64_t>(dec.size(), 4096),
+        CopyDirection::HostToPim);
+    EXPECT_GT(q.eventSeconds(full), q.eventSeconds(attn));
+    EXPECT_NEAR(q.rankReadySeconds(4), q.eventSeconds(full), 1e-12);
+}
+
+TEST(CommandQueue, EventSecondsOrdersDependentTimedLaunches)
+{
+    PimSystem sys(smallSystem(512, 64));
+    CommandQueue q(sys);
+    const DpuSet a = sys.rankRange(0, 1);
+    const DpuSet b = sys.rankRange(1, 1);
+    const Event first = q.launchTimed(a, 1e-3);
+    // Dependent launch on a different rank starts only after `first`.
+    const Event second = q.launchTimed(b, 1e-3, first);
+    EXPECT_NEAR(q.eventSeconds(second),
+                q.eventSeconds(first) + 1e-3, 1e-12);
+    // eventSeconds drains but does not join: the host is still at the
+    // issue point, not the makespan.
+    EXPECT_LT(q.elapsedSeconds(), q.eventSeconds(second));
+}
