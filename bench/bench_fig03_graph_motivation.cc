@@ -7,9 +7,12 @@
  * normalized to Static/Small, as in the paper.
  */
 
+#include <fstream>
 #include <iostream>
 
+#include "trace/chrome_trace.hh"
 #include "util/cli.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 #include "workloads/graph/update_driver.hh"
 
@@ -19,19 +22,21 @@ using namespace pim::workloads::graph;
 namespace {
 
 double
-updateSeconds(StructureKind structure, unsigned scale, unsigned threads)
+updateSeconds(StructureKind structure, unsigned scale,
+              const util::BenchKnobs &knobs, trace::Recorder *rec)
 {
     GraphUpdateConfig cfg;
     cfg.structure = structure;
     cfg.allocator = core::AllocatorKind::PimMallocSw;
-    cfg.numDpus = 32;
-    cfg.sampleDpus = 32;
-    cfg.tasklets = 16;
+    cfg.numDpus = knobs.dpus;
+    cfg.sampleDpus = knobs.sample;
+    cfg.tasklets = knobs.tasklets;
     cfg.gen.numNodes = 12000 * scale;
     cfg.gen.numEdges = 60000ull * scale;
     cfg.gen.seed = 42;
     cfg.maxUpdateEdges = 2000; // fixed #new edges across sizes
-    cfg.simThreads = threads;
+    cfg.simThreads = knobs.threads;
+    cfg.recorder = rec;
     return runGraphUpdate(cfg).updateSeconds;
 }
 
@@ -40,23 +45,30 @@ updateSeconds(StructureKind structure, unsigned scale, unsigned threads)
 int
 main(int argc, char **argv)
 {
-    util::Cli cli(argc, argv, "threads");
-    const unsigned threads =
-        static_cast<unsigned>(cli.getInt("threads", 0));
+    util::Cli cli(argc, argv, util::benchKnobNames());
+    util::BenchKnobs defs;
+    defs.dpus = 32;
+    defs.sample = 32;
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli, defs);
+
+    trace::RecorderSet recorders(knobs.wantsTrace());
     const std::pair<const char *, unsigned> sizes[] = {
         {"Small", 1}, {"Medium", 2}, {"Large", 4}};
 
-    const double base = updateSeconds(StructureKind::StaticCsr, 1, threads);
+    const double base = updateSeconds(StructureKind::StaticCsr, 1, knobs,
+                                      recorders.add("Static/Small base"));
 
     util::Table table("Fig 3(c): update slowdown vs pre-update graph size "
                       "(normalized to Static/Small)");
     table.setHeader({"Pre-update size", "Static (CSR)",
                      "Dynamic (linked list)"});
     for (const auto &[name, scale] : sizes) {
-        const double stat =
-            updateSeconds(StructureKind::StaticCsr, scale, threads);
-        const double dyn =
-            updateSeconds(StructureKind::LinkedList, scale, threads);
+        const double stat = updateSeconds(
+            StructureKind::StaticCsr, scale, knobs,
+            recorders.add(std::string("Static/") + name));
+        const double dyn = updateSeconds(
+            StructureKind::LinkedList, scale, knobs,
+            recorders.add(std::string("Dynamic/") + name));
         table.addRow({name, util::Table::num(stat / base, 2),
                       util::Table::num(dyn / base, 2)});
     }
@@ -64,5 +76,27 @@ main(int argc, char **argv)
     std::cout << "\nExpected shape: Static grows with the pre-update "
                  "graph; Dynamic stays flat (paper: static reaches ~2-3x "
                  "while dynamic is size-independent).\n";
+
+    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+                            knobs.tracePath))
+        return 1;
+
+    if (!knobs.jsonPath.empty()) {
+        std::ofstream out(knobs.jsonPath);
+        if (!out) {
+            std::cerr << "cannot open " << knobs.jsonPath << "\n";
+            return 1;
+        }
+        util::JsonWriter j(out);
+        j.beginObject();
+        j.key("bench").value("fig03_graph_motivation");
+        j.key("dpus").value(knobs.dpus);
+        j.key("sample").value(knobs.sample);
+        j.key("tasklets").value(knobs.tasklets);
+        j.key("table");
+        table.writeJson(j);
+        j.endObject();
+        out << "\n";
+    }
     return 0;
 }

@@ -7,10 +7,14 @@
  * alloc 2 KB), exactly like the paper's heat map.
  */
 
+#include <fstream>
 #include <iostream>
 #include <iterator>
 #include <vector>
 
+#include "trace/chrome_trace.hh"
+#include "util/cli.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 #include "workloads/microbench.hh"
 
@@ -20,28 +24,40 @@ using namespace pim::workloads;
 namespace {
 
 double
-avgLatencyUs(uint32_t heap_bytes, uint32_t alloc_size)
+avgLatencyUs(uint32_t heap_bytes, uint32_t alloc_size, unsigned tasklets,
+             trace::Recorder *rec)
 {
     MicrobenchConfig cfg;
     cfg.allocator = core::AllocatorKind::StrawMan;
-    cfg.tasklets = 1;
+    cfg.tasklets = tasklets;
     cfg.allocsPerTasklet = 64;
     cfg.allocSize = alloc_size;
     cfg.freeEachAlloc = true;
     cfg.overrides.heapBytes = heap_bytes;
+    cfg.recorder = rec;
     return runMicrobench(cfg).avgLatencyUs;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    util::Cli cli(argc, argv, util::benchKnobNames());
+    util::BenchKnobs defs;
+    defs.dpus = 1;
+    defs.sample = 1;
+    defs.tasklets = 1; // the paper's single-tasklet sweep
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli, defs);
+
     const uint32_t heaps[] = {32u << 10, 128u << 10, 512u << 10,
                               2u << 20, 8u << 20, 32u << 20};
     const uint32_t sizes[] = {32, 128, 512, 1024, 2048};
 
-    const double base = avgLatencyUs(32u << 10, 2048);
+    trace::RecorderSet recorders(knobs.wantsTrace());
+    const double base =
+        avgLatencyUs(32u << 10, 2048, knobs.tasklets,
+                     recorders.add("heap 32KB / alloc 2KB base"));
 
     util::Table table("Fig 7: straw-man slowdown vs heap size x "
                       "(de)allocation size (normalized to 32KB/2KB)");
@@ -50,9 +66,14 @@ main()
     for (auto it = std::rbegin(sizes); it != std::rend(sizes); ++it) {
         const uint32_t size = *it;
         std::vector<std::string> row{std::to_string(size) + " B"};
-        for (uint32_t heap : heaps)
-            row.push_back(
-                util::Table::num(avgLatencyUs(heap, size) / base, 1));
+        for (uint32_t heap : heaps) {
+            trace::Recorder *rec = recorders.add(
+                "heap " + std::to_string(heap >> 10) + "KB / alloc "
+                + std::to_string(size) + "B");
+            row.push_back(util::Table::num(
+                avgLatencyUs(heap, size, knobs.tasklets, rec) / base,
+                1));
+        }
         table.addRow(std::move(row));
     }
     table.print(std::cout);
@@ -60,5 +81,25 @@ main()
                  "bottom-right of the paper's heat map (deeper trees: "
                  "larger heap, smaller blocks); the paper reports up to "
                  "12x at 32B/32MB.\n";
+
+    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+                            knobs.tracePath))
+        return 1;
+
+    if (!knobs.jsonPath.empty()) {
+        std::ofstream out(knobs.jsonPath);
+        if (!out) {
+            std::cerr << "cannot open " << knobs.jsonPath << "\n";
+            return 1;
+        }
+        util::JsonWriter j(out);
+        j.beginObject();
+        j.key("bench").value("fig07_strawman_sweep");
+        j.key("tasklets").value(knobs.tasklets);
+        j.key("table");
+        table.writeJson(j);
+        j.endObject();
+        out << "\n";
+    }
     return 0;
 }

@@ -7,9 +7,13 @@
  */
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
+#include "trace/chrome_trace.hh"
+#include "util/cli.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 #include "workloads/microbench.hh"
 
@@ -19,7 +23,7 @@ using namespace pim::workloads;
 namespace {
 
 MicrobenchResult
-run(unsigned tasklets)
+run(unsigned tasklets, trace::Recorder *rec)
 {
     MicrobenchConfig cfg;
     cfg.allocator = core::AllocatorKind::StrawMan;
@@ -27,16 +31,26 @@ run(unsigned tasklets)
     cfg.allocsPerTasklet = tasklets == 1 ? 320 : 20; // ~320 events total
     cfg.allocSize = 32;
     cfg.traceEvents = true;
+    cfg.recorder = rec;
     return runMicrobench(cfg);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto one = run(1);
-    const auto sixteen = run(16);
+    // The 1-vs-16 tasklet contrast IS the figure, so --tasklets is
+    // accepted (uniform knob set) but not applied to the two runs.
+    util::Cli cli(argc, argv, util::benchKnobNames());
+    util::BenchKnobs defs;
+    defs.dpus = 1;
+    defs.sample = 1;
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli, defs);
+
+    trace::RecorderSet recorders(knobs.wantsTrace());
+    const auto one = run(1, recorders.add("1 tasklet"));
+    const auto sixteen = run(16, recorders.add("16 tasklets"));
 
     // (a) Latency over the allocation sequence, ordered by start time.
     auto series = [](const MicrobenchResult &r) {
@@ -103,5 +117,26 @@ main()
     bd.print(std::cout);
     std::cout << "\nExpected shape: the 16-thread run is dominated by "
                  "busy-waiting on the allocator mutex (paper Fig 8(b)).\n";
+
+    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+                            knobs.tracePath))
+        return 1;
+
+    if (!knobs.jsonPath.empty()) {
+        std::ofstream out(knobs.jsonPath);
+        if (!out) {
+            std::cerr << "cannot open " << knobs.jsonPath << "\n";
+            return 1;
+        }
+        util::JsonWriter j(out);
+        j.beginObject();
+        j.key("bench").value("fig08_contention");
+        j.key("latencySeries");
+        seq.writeJson(j);
+        j.key("breakdown");
+        bd.writeJson(j);
+        j.endObject();
+        out << "\n";
+    }
     return 0;
 }

@@ -5,8 +5,12 @@
  * 256 B (16 tasklets, 4 KB requests — the backend-bound microbenchmark).
  */
 
+#include <fstream>
 #include <iostream>
 
+#include "trace/chrome_trace.hh"
+#include "util/cli.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 #include "workloads/microbench.hh"
 
@@ -16,31 +20,43 @@ using namespace pim::workloads;
 namespace {
 
 MicrobenchResult
-run(core::AllocatorKind kind, unsigned cache_entries)
+run(core::AllocatorKind kind, unsigned cache_entries, unsigned tasklets,
+    trace::Recorder *rec)
 {
     MicrobenchConfig cfg;
     cfg.allocator = kind;
-    cfg.tasklets = 16;
+    cfg.tasklets = tasklets;
     cfg.allocsPerTasklet = 128;
     cfg.allocSize = 4096;
     cfg.dpuCfg.buddyCache.entries = cache_entries;
+    cfg.recorder = rec;
     return runMicrobench(cfg);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const double sw =
-        run(core::AllocatorKind::PimMallocSw, 16).avgLatencyUs;
+    util::Cli cli(argc, argv, util::benchKnobNames());
+    util::BenchKnobs defs;
+    defs.dpus = 1;
+    defs.sample = 1;
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli, defs);
+
+    trace::RecorderSet recorders(knobs.wantsTrace());
+    const double sw = run(core::AllocatorKind::PimMallocSw, 16,
+                          knobs.tasklets, recorders.add("SW baseline"))
+                          .avgLatencyUs;
 
     util::Table table("Fig 16: HW/SW speedup over SW and buddy-cache hit "
                       "rate vs cache size (16 tasklets, 4 KB requests)");
     table.setHeader({"Buddy cache size", "Speedup over SW", "Hit rate %"});
     for (unsigned bytes : {16u, 32u, 64u, 128u, 256u}) {
-        const auto r =
-            run(core::AllocatorKind::PimMallocHwSw, bytes / 4);
+        const auto r = run(core::AllocatorKind::PimMallocHwSw, bytes / 4,
+                           knobs.tasklets,
+                           recorders.add("HW/SW " + std::to_string(bytes)
+                                         + " B"));
         table.addRow({std::to_string(bytes) + " B",
                       util::Table::num(sw / r.avgLatencyUs, 2) + "x",
                       util::Table::num(r.cacheStats.hitRate() * 100, 1)});
@@ -49,5 +65,25 @@ main()
     std::cout << "\nExpected shape: both speedup and hit rate saturate at "
                  "64 B — enough to hold the metadata of the frequently "
                  "traversed tree path (paper Fig 16; 99% hit rate).\n";
+
+    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+                            knobs.tracePath))
+        return 1;
+
+    if (!knobs.jsonPath.empty()) {
+        std::ofstream out(knobs.jsonPath);
+        if (!out) {
+            std::cerr << "cannot open " << knobs.jsonPath << "\n";
+            return 1;
+        }
+        util::JsonWriter j(out);
+        j.beginObject();
+        j.key("bench").value("fig16_cache_sweep");
+        j.key("tasklets").value(knobs.tasklets);
+        j.key("table");
+        table.writeJson(j);
+        j.endObject();
+        out << "\n";
+    }
     return 0;
 }

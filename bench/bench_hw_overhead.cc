@@ -6,17 +6,25 @@
  * capacity sweep matching the Fig 16 design points.
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "sim/area_model.hh"
+#include "util/cli.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 
 using namespace pim;
 using namespace pim::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Analytic model: no system knobs apply, but the shared flag set is
+    // accepted so scripted sweeps can drive every bench identically.
+    util::Cli cli(argc, argv, util::benchKnobNames());
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
+
     AreaModel model;
 
     util::Table table("Section VI-F: buddy cache hardware overheads "
@@ -37,5 +45,20 @@ main()
     table.print(std::cout);
     std::cout << "\nPaper (64 B default): 0.019 mm^2, 5 mW, < 1 PIM core "
                  "cycle.\n";
+
+    if (!knobs.jsonPath.empty()) {
+        std::ofstream out(knobs.jsonPath);
+        if (!out) {
+            std::cerr << "cannot open " << knobs.jsonPath << "\n";
+            return 1;
+        }
+        util::JsonWriter j(out);
+        j.beginObject();
+        j.key("bench").value("hw_overhead");
+        j.key("table");
+        table.writeJson(j);
+        j.endObject();
+        out << "\n";
+    }
     return 0;
 }

@@ -6,12 +6,15 @@
  * the thread caches' bitmap records stay small across the workloads.
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "alloc/pim_malloc.hh"
 #include "alloc/straw_man.hh"
 #include "sim/dpu.hh"
+#include "trace/chrome_trace.hh"
 #include "util/cli.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 #include "workloads/graph/update_driver.hh"
 
@@ -21,9 +24,10 @@ using namespace pim::workloads;
 int
 main(int argc, char **argv)
 {
-    util::Cli cli(argc, argv, "threads");
-    const unsigned threads =
-        static_cast<unsigned>(cli.getInt("threads", 0));
+    util::Cli cli(argc, argv, util::benchKnobNames());
+    util::BenchKnobs defs;
+    defs.sample = 1;
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli, defs);
 
     util::Table fixed("Section VI-E: fixed allocator metadata per DRAM "
                       "bank");
@@ -44,6 +48,7 @@ main(int argc, char **argv)
     fixed.print(std::cout);
     std::cout << "\n";
 
+    trace::RecorderSet recorders(knobs.wantsTrace());
     util::Table per_wl("Section VI-E: PIM-malloc metadata per DPU under "
                        "the paper's workloads");
     per_wl.setHeader({"Workload", "Backend (KB)", "Thread-cache records "
@@ -57,11 +62,12 @@ main(int argc, char **argv)
         graph::GraphUpdateConfig cfg;
         cfg.structure = structure;
         cfg.allocator = core::AllocatorKind::PimMallocSw;
-        cfg.numDpus = 512;
-        cfg.sampleDpus = 1;
+        cfg.numDpus = knobs.dpus;
+        cfg.sampleDpus = knobs.sample;
         cfg.gen.numNodes = 196591;
         cfg.gen.numEdges = 950327;
-        cfg.simThreads = threads;
+        cfg.simThreads = knobs.threads;
+        cfg.recorder = recorders.add(name);
         const auto r = graph::runGraphUpdate(cfg);
         const double total_kb =
             static_cast<double>(r.metadataBytes) / 1024.0;
@@ -72,5 +78,28 @@ main(int argc, char **argv)
     per_wl.print(std::cout);
     std::cout << "\nPaper: 4 KB of buddy metadata per bank; ~5.1 KB / "
                  "5 KB / 5.2 KB total for the three workloads.\n";
+
+    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+                            knobs.tracePath))
+        return 1;
+
+    if (!knobs.jsonPath.empty()) {
+        std::ofstream out(knobs.jsonPath);
+        if (!out) {
+            std::cerr << "cannot open " << knobs.jsonPath << "\n";
+            return 1;
+        }
+        util::JsonWriter j(out);
+        j.beginObject();
+        j.key("bench").value("metadata_overhead");
+        j.key("dpus").value(knobs.dpus);
+        j.key("sample").value(knobs.sample);
+        j.key("fixedMetadata");
+        fixed.writeJson(j);
+        j.key("perWorkload");
+        per_wl.writeJson(j);
+        j.endObject();
+        out << "\n";
+    }
     return 0;
 }

@@ -64,7 +64,7 @@ main(int argc, char **argv)
     // Table II: initAllocator() runs once, on a designated tasklet.
     queue.launch(sys.all(), 1,
                  [&](sim::Tasklet &t, unsigned) { allocator->init(t); },
-                 core::kNoEvent, "initAllocator");
+                 {.label = "initAllocator"});
 
     // pimMalloc()/pimFree() from every tasklet, no explicit locking.
     queue.launch(sys.all(), tasklets, [&](sim::Tasklet &t, unsigned) {
@@ -79,7 +79,7 @@ main(int argc, char **argv)
         }
         for (sim::MramAddr p : mine)
             allocator->free(t, p);
-    }, core::kNoEvent, "alloc+free");
+    }, {.label = "alloc+free"});
     queue.sync();
 
     const auto &st = allocator->stats();

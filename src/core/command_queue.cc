@@ -13,6 +13,16 @@ CommandQueue::CommandQueue(PimSystem &sys)
 {
 }
 
+TenantId
+CommandQueue::addTenant(const std::string &name)
+{
+    PIM_ASSERT(!name.empty(), "tenant needs a display name");
+    const TenantId id = static_cast<TenantId>(hostT_.size());
+    hostT_.push_back(0.0);
+    tenantNames_.push_back(name);
+    return id;
+}
+
 void
 CommandQueue::attachRecorder(trace::Recorder *rec)
 {
@@ -21,6 +31,23 @@ CommandQueue::attachRecorder(trace::Recorder *rec)
     traceEpoch_ = 0.0;
     if (rec_ != nullptr)
         rec_->setRankCount(sys_.numRanks());
+}
+
+int
+CommandQueue::hostLane(TenantId t) const
+{
+    // Tenant 0 keeps the classic host lane; registered tenants issue on
+    // their own resource lane so co-tenant traces stay readable.
+    if (t == kDefaultTenant)
+        return trace::kHostLane;
+    return rec_->resourceLane("host:" + tenantNames_[t]);
+}
+
+double
+CommandQueue::hostSeconds(TenantId t) const
+{
+    PIM_ASSERT(t < hostT_.size(), "unknown tenant ", t);
+    return hostT_[t];
 }
 
 double
@@ -36,6 +63,9 @@ CommandQueue::enqueue(Command cmd)
     const Event id = static_cast<Event>(
         resolvedBase_ + resolved_.size() + pending_.size());
     PIM_ASSERT(cmd.after < id, "dependency on a future command");
+    PIM_ASSERT(cmd.tenant < hostT_.size(),
+               "unknown tenant ", cmd.tenant,
+               " (register it with addTenant first)");
     pending_.push_back(std::move(cmd));
     return id;
 }
@@ -57,15 +87,16 @@ CommandQueue::copyDuration(const DpuSet &set, uint64_t total_bytes) const
 
 CommandQueue::Command
 CommandQueue::makeCopy(const DpuSet &set, uint64_t total_bytes,
-                       bool blocking, Event after, CopyDirection dir,
-                       const std::string &label) const
+                       bool blocking, const CommandOptions &opts,
+                       CopyDirection dir) const
 {
     Command cmd;
     cmd.type = Command::Type::Copy;
-    cmd.after = after;
+    cmd.after = opts.after;
+    cmd.tenant = opts.tenant;
     cmd.dir = dir;
     if (rec_ != nullptr)
-        cmd.label = label;
+        cmd.label = opts.label;
     cmd.totalBytes = total_bytes;
     cmd.copySeconds = copyDuration(set, total_bytes);
     cmd.blocking = blocking;
@@ -75,10 +106,10 @@ CommandQueue::makeCopy(const DpuSet &set, uint64_t total_bytes,
 
 double
 CommandQueue::memcpy(const DpuSet &set, uint64_t bytes_per_dpu,
-                     CopyDirection dir, const std::string &label)
+                     CopyDirection dir, const CommandOptions &opts)
 {
     Command cmd = makeCopy(set, bytes_per_dpu * set.size(),
-                           /*blocking=*/true, kNoEvent, dir, label);
+                           /*blocking=*/true, opts, dir);
     const double sec = cmd.copySeconds;
     enqueue(std::move(cmd));
     drain();
@@ -87,25 +118,23 @@ CommandQueue::memcpy(const DpuSet &set, uint64_t bytes_per_dpu,
 
 Event
 CommandQueue::memcpyAsync(const DpuSet &set, uint64_t bytes_per_dpu,
-                          CopyDirection dir, Event after,
-                          const std::string &label)
+                          CopyDirection dir, const CommandOptions &opts)
 {
     return enqueue(makeCopy(set, bytes_per_dpu * set.size(),
-                            /*blocking=*/false, after, dir, label));
+                            /*blocking=*/false, opts, dir));
 }
 
 double
 CommandQueue::memcpyScatter(const DpuSet &set,
                             const std::vector<uint64_t> &bytes_per_dpu,
-                            CopyDirection dir, const std::string &label)
+                            CopyDirection dir, const CommandOptions &opts)
 {
     PIM_ASSERT(bytes_per_dpu.size() == set.size(),
                "scatter byte counts must match the set size");
     uint64_t total = 0;
     for (const uint64_t b : bytes_per_dpu)
         total += b;
-    Command cmd =
-        makeCopy(set, total, /*blocking=*/true, kNoEvent, dir, label);
+    Command cmd = makeCopy(set, total, /*blocking=*/true, opts, dir);
     const double sec = cmd.copySeconds;
     enqueue(std::move(cmd));
     drain();
@@ -115,16 +144,16 @@ CommandQueue::memcpyScatter(const DpuSet &set,
 Event
 CommandQueue::enqueueScatter(const DpuSet &set,
                              const std::vector<uint64_t> &bytes_per_dpu,
-                             CopyDirection dir, Event after,
-                             const std::string &label, bool occupy_ranks)
+                             CopyDirection dir,
+                             const CommandOptions &opts,
+                             bool occupy_ranks)
 {
     PIM_ASSERT(bytes_per_dpu.size() == set.size(),
                "scatter byte counts must match the set size");
     uint64_t total = 0;
     for (const uint64_t b : bytes_per_dpu)
         total += b;
-    Command cmd =
-        makeCopy(set, total, /*blocking=*/false, after, dir, label);
+    Command cmd = makeCopy(set, total, /*blocking=*/false, opts, dir);
     cmd.occupyRanks = occupy_ranks;
     return enqueue(std::move(cmd));
 }
@@ -132,21 +161,21 @@ CommandQueue::enqueueScatter(const DpuSet &set,
 Event
 CommandQueue::memcpyScatterAsync(const DpuSet &set,
                                  std::vector<uint64_t> bytes_per_dpu,
-                                 CopyDirection dir, Event after,
-                                 const std::string &label)
+                                 CopyDirection dir,
+                                 const CommandOptions &opts)
 {
-    return enqueueScatter(set, bytes_per_dpu, dir, after, label,
+    return enqueueScatter(set, bytes_per_dpu, dir, opts,
                           /*occupy_ranks=*/true);
 }
 
 Event
 CommandQueue::memcpyBufferedAsync(const DpuSet &set,
                                   uint64_t bytes_per_dpu,
-                                  CopyDirection dir, Event after,
-                                  const std::string &label)
+                                  CopyDirection dir,
+                                  const CommandOptions &opts)
 {
     Command cmd = makeCopy(set, bytes_per_dpu * set.size(),
-                           /*blocking=*/false, after, dir, label);
+                           /*blocking=*/false, opts, dir);
     cmd.occupyRanks = false;
     return enqueue(std::move(cmd));
 }
@@ -154,16 +183,16 @@ CommandQueue::memcpyBufferedAsync(const DpuSet &set,
 Event
 CommandQueue::memcpyScatterBufferedAsync(
     const DpuSet &set, std::vector<uint64_t> bytes_per_dpu,
-    CopyDirection dir, Event after, const std::string &label)
+    CopyDirection dir, const CommandOptions &opts)
 {
-    return enqueueScatter(set, bytes_per_dpu, dir, after, label,
+    return enqueueScatter(set, bytes_per_dpu, dir, opts,
                           /*occupy_ranks=*/false);
 }
 
 Event
 CommandQueue::launch(const DpuSet &set, unsigned tasklets,
                      std::function<void(sim::Tasklet &, unsigned)> body,
-                     Event after, const std::string &label)
+                     const CommandOptions &opts)
 {
     return launchProgram(
         set,
@@ -172,14 +201,14 @@ CommandQueue::launch(const DpuSet &set, unsigned tasklets,
             dpu.run(tasklets,
                     [&](sim::Tasklet &t) { body(t, global); });
         },
-        after, label);
+        opts);
 }
 
 Event
 CommandQueue::launchProgram(
     const DpuSet &set,
-    std::function<void(sim::Dpu &, unsigned)> program, Event after,
-    const std::string &label)
+    std::function<void(sim::Dpu &, unsigned)> program,
+    const CommandOptions &opts)
 {
     // A launch with no materialized member would silently run nothing
     // and cost nothing — an experiment bug, not a zero-work launch
@@ -188,9 +217,10 @@ CommandQueue::launchProgram(
                "launch target contains no materialized DPU");
     Command cmd;
     cmd.type = Command::Type::Launch;
-    cmd.after = after;
+    cmd.after = opts.after;
+    cmd.tenant = opts.tenant;
     if (rec_ != nullptr)
-        cmd.label = label;
+        cmd.label = opts.label;
     cmd.program = std::move(program);
     cmd.ranks = set.ranks();
     cmd.slots = set.slots();
@@ -200,14 +230,15 @@ CommandQueue::launchProgram(
 
 Event
 CommandQueue::launchTimed(const DpuSet &set, double seconds,
-                          Event after, const std::string &label)
+                          const CommandOptions &opts)
 {
     PIM_ASSERT(seconds >= 0.0, "negative launch duration");
     Command cmd;
     cmd.type = Command::Type::Launch;
-    cmd.after = after;
+    cmd.after = opts.after;
+    cmd.tenant = opts.tenant;
     if (rec_ != nullptr)
-        cmd.label = label;
+        cmd.label = opts.label;
     cmd.launchSeconds = seconds;
     cmd.ranks = set.ranks();
     return enqueue(std::move(cmd));
@@ -215,37 +246,55 @@ CommandQueue::launchTimed(const DpuSet &set, double seconds,
 
 double
 CommandQueue::hostCompute(uint64_t tasks, uint64_t instrs_per_task,
-                          Event after, const std::string &label)
+                          const CommandOptions &opts)
 {
     return hostBusy(sys_.hostModel().seconds(tasks, instrs_per_task),
-                    after, label);
+                    opts);
 }
 
 double
-CommandQueue::hostBusy(double seconds, Event after,
-                       const std::string &label)
+CommandQueue::hostBusy(double seconds, const CommandOptions &opts)
 {
     Command cmd;
     cmd.type = Command::Type::HostCompute;
-    cmd.after = after;
+    cmd.after = opts.after;
+    cmd.tenant = opts.tenant;
     if (rec_ != nullptr)
-        cmd.label = label;
+        cmd.label = opts.label;
     cmd.hostSeconds = seconds;
     enqueue(std::move(cmd));
     return seconds;
 }
 
 void
-CommandQueue::hostIdleUntil(double seconds, Event after,
-                            const std::string &label)
+CommandQueue::hostIdleUntil(double seconds, const CommandOptions &opts)
 {
     Command cmd;
     cmd.type = Command::Type::HostCompute;
-    cmd.after = after;
+    cmd.after = opts.after;
+    cmd.tenant = opts.tenant;
     if (rec_ != nullptr)
-        cmd.label = label;
+        cmd.label = opts.label;
     cmd.hostUntil = seconds;
     enqueue(std::move(cmd));
+}
+
+void
+CommandQueue::onComplete(Event e,
+                         std::function<void(Event, double)> fn)
+{
+    const Event first_pending =
+        static_cast<Event>(resolvedBase_ + resolved_.size());
+    const Event next =
+        static_cast<Event>(first_pending
+                           + static_cast<Event>(pending_.size()));
+    PIM_ASSERT(e != kNoEvent,
+               "onComplete(kNoEvent): the event was never enqueued");
+    PIM_ASSERT(e >= first_pending && e < next,
+               "onComplete needs a pending event, got ", e,
+               " (pending range [", first_pending, ", ", next,
+               ")): register callbacks right after enqueuing");
+    callbacks_.emplace_back(e, std::move(fn));
 }
 
 void
@@ -253,6 +302,9 @@ CommandQueue::drain()
 {
     if (pending_.empty())
         return;
+    PIM_ASSERT(!inCallbacks_,
+               "completion callbacks may enqueue commands but must not "
+               "force a drain (no sync/eventSeconds/blocking transfers)");
 
     // Phase 1: execute launch bodies. Each materialized slot runs its
     // launches in enqueue order (one ordered chain per slot), and the
@@ -286,8 +338,11 @@ CommandQueue::drain()
 
     // Phase 2: fold the commands into the timelines, sequentially and
     // in enqueue order — bit-identical for any worker-thread count.
-    // With a recorder attached, each command also emits one span per
-    // lane it occupied, at exactly the interval the fold computed.
+    // Host-side charges land on the issuing tenant's host lane; the bus
+    // and the ranks are shared across tenants. With a recorder
+    // attached, each command also emits one span per lane it occupied,
+    // at exactly the interval the fold computed, tagged with its
+    // tenant's name.
     const double launch_overhead =
         sys_.config().xferCfg.launchLatencySec;
     auto span = [this](int lane, const std::string &name, double t0,
@@ -296,6 +351,7 @@ CommandQueue::drain()
         trace::Span s;
         s.lane = lane;
         s.name = name;
+        s.tenant = tenantTag(cmd.tenant);
         s.t0 = traceEpoch_ + t0;
         s.t1 = traceEpoch_ + t1;
         s.bytes = cmd.type == Command::Type::Copy
@@ -311,16 +367,17 @@ CommandQueue::drain()
             resolvedBase_ + resolved_.size());
         const double dep =
             cmd.after == kNoEvent ? 0.0 : eventTime(cmd.after);
+        double &host_t = hostT_[cmd.tenant];
         switch (cmd.type) {
           case Command::Type::Launch: {
             // The host pays the driver-issue overhead, then moves on.
-            const double issue_t0 = hostT_;
-            hostT_ += launch_overhead;
+            const double issue_t0 = host_t;
+            host_t += launch_overhead;
             std::string name; // only materialized when tracing
             if (rec_ != nullptr) {
                 name = cmd.label.empty() ? "launch" : cmd.label;
-                span(trace::kHostLane, name + " (issue)", issue_t0,
-                     hostT_, cmd, id);
+                span(hostLane(cmd.tenant), name + " (issue)", issue_t0,
+                     host_t, cmd, id);
             }
             // A rank with sampled members is busy for its slowest one;
             // an unsampled rank is charged the slowest sampled member
@@ -331,7 +388,7 @@ CommandQueue::drain()
             uint64_t all_max = 0;
             for (const uint64_t c : cmd.slotCycles)
                 all_max = std::max(all_max, c);
-            double launch_end = hostT_;
+            double launch_end = host_t;
             double launch_work = 0.0;
             for (const unsigned r : cmd.ranks) {
                 uint64_t rank_max = 0;
@@ -350,7 +407,7 @@ CommandQueue::drain()
                     ? cmd.launchSeconds
                     : sys_.config().dpuCfg.cyclesToSeconds(cycles);
                 const double start =
-                    std::max({hostT_, rankT_[r], dep});
+                    std::max({host_t, rankT_[r], dep});
                 rankT_[r] = start + dur;
                 launch_end = std::max(launch_end, rankT_[r]);
                 launch_work = std::max(launch_work, dur);
@@ -358,6 +415,7 @@ CommandQueue::drain()
                     trace::Span s;
                     s.lane = trace::rankLane(r);
                     s.name = name;
+                    s.tenant = tenantTag(cmd.tenant);
                     s.t0 = traceEpoch_ + start;
                     s.t1 = traceEpoch_ + rankT_[r];
                     s.cycles = cycles;
@@ -373,12 +431,12 @@ CommandQueue::drain()
             break;
           }
           case Command::Type::Copy: {
-            const double host_t0 = hostT_;
+            const double host_t0 = host_t;
             // A double-buffered copy (occupyRanks false) lands in the
             // inactive buffer: it still serializes on the bus and
             // cannot start before the host issued it, but the target
             // ranks neither delay it nor stall on it.
-            double start = std::max({hostT_, busT_, dep});
+            double start = std::max({host_t, busT_, dep});
             if (cmd.occupyRanks) {
                 for (const unsigned r : cmd.ranks)
                     start = std::max(start, rankT_[r]);
@@ -390,7 +448,7 @@ CommandQueue::drain()
                     rankT_[r] = end;
             }
             if (cmd.blocking)
-                hostT_ = end;
+                host_t = end;
             transferredBytes_ += cmd.totalBytes;
             copyWork_ += cmd.copySeconds;
             cmd.end = end;
@@ -406,54 +464,87 @@ CommandQueue::drain()
                              id);
                 }
                 if (cmd.blocking && end > host_t0)
-                    span(trace::kHostLane, name + " (wait)", host_t0,
-                         end, cmd, id, /*idle=*/true);
+                    span(hostLane(cmd.tenant), name + " (wait)",
+                         host_t0, end, cmd, id, /*idle=*/true);
             }
             break;
           }
           case Command::Type::HostCompute: {
-            const double host_t0 = hostT_;
+            const double host_t0 = host_t;
             if (cmd.hostUntil >= 0.0) {
-                hostT_ = std::max({hostT_, cmd.hostUntil, dep});
-                if (rec_ != nullptr && hostT_ > host_t0)
-                    span(trace::kHostLane,
+                host_t = std::max({host_t, cmd.hostUntil, dep});
+                if (rec_ != nullptr && host_t > host_t0)
+                    span(hostLane(cmd.tenant),
                          cmd.label.empty() ? std::string("idle-until")
                                            : cmd.label,
-                         host_t0, hostT_, cmd, id, /*idle=*/true);
+                         host_t0, host_t, cmd, id, /*idle=*/true);
             } else {
-                const double start = std::max(hostT_, dep);
-                hostT_ = start + cmd.hostSeconds;
+                const double start = std::max(host_t0, dep);
+                host_t = start + cmd.hostSeconds;
                 hostWork_ += cmd.hostSeconds;
                 if (rec_ != nullptr)
-                    span(trace::kHostLane,
+                    span(hostLane(cmd.tenant),
                          cmd.label.empty() ? std::string("host")
                                            : cmd.label,
-                         start, hostT_, cmd, id);
+                         start, host_t, cmd, id);
             }
-            cmd.end = hostT_;
+            cmd.end = host_t;
             break;
           }
         }
         resolved_.push_back(cmd.end);
     }
     pending_.clear();
+
+    // Phase 3: dispatch due completion callbacks. Every registered
+    // callback targeted a pending event, and the fold above resolved
+    // all of them — sort by (completion time, event id) so dispatch is
+    // timeline-ordered and independent of registration order. Swap the
+    // list out first: callbacks may enqueue follow-up commands and
+    // register new callbacks, which belong to the next drain.
+    if (!callbacks_.empty()) {
+        std::vector<std::pair<Event, std::function<void(Event, double)>>>
+            due;
+        due.swap(callbacks_);
+        std::stable_sort(due.begin(), due.end(),
+                         [this](const auto &a, const auto &b) {
+                             const double ta = eventTime(a.first);
+                             const double tb = eventTime(b.first);
+                             return ta != tb ? ta < tb
+                                             : a.first < b.first;
+                         });
+        inCallbacks_ = true;
+        for (auto &[e, fn] : due)
+            fn(e, eventTime(e));
+        inCallbacks_ = false;
+    }
 }
 
 double
 CommandQueue::eventSeconds(Event e)
 {
+    // Fail fast on handles that never named a command: kNoEvent (a
+    // default-initialized Event) and ids beyond everything enqueued.
+    PIM_ASSERT(e != kNoEvent,
+               "eventSeconds(kNoEvent): the event was never enqueued "
+               "(default Event handle)");
+    PIM_ASSERT(e >= 0
+                   && e < static_cast<Event>(resolvedBase_
+                                             + resolved_.size()
+                                             + pending_.size()),
+               "eventSeconds(", e, "): the event was never enqueued");
     drain();
     PIM_ASSERT(e >= static_cast<Event>(resolvedBase_),
                "event ", e, " was compacted by sync()/resetTimeline");
-    PIM_ASSERT(e < static_cast<Event>(resolvedBase_ + resolved_.size()),
-               "unknown event ", e);
     return resolved_[static_cast<size_t>(e) - resolvedBase_];
 }
 
 double
 CommandQueue::joinedTime() const
 {
-    double t = std::max(hostT_, busT_);
+    double t = busT_;
+    for (const double h : hostT_)
+        t = std::max(t, h);
     for (const double r : rankT_)
         t = std::max(t, r);
     return t;
@@ -464,7 +555,7 @@ CommandQueue::sync()
 {
     drain();
     const double t = joinedTime();
-    hostT_ = t;
+    std::fill(hostT_.begin(), hostT_.end(), t);
     // Every resolved completion is now <= the joined host time, so the
     // event history can be compacted (eventTime answers 0.0, which is
     // exact inside the start-time max()). Keeps memory bounded for
@@ -486,7 +577,7 @@ CommandQueue::resetTimeline()
     // new epoch start where the old epoch's timelines ended.
     if (rec_ != nullptr)
         traceEpoch_ += joinedTime();
-    hostT_ = 0.0;
+    std::fill(hostT_.begin(), hostT_.end(), 0.0);
     busT_ = 0.0;
     std::fill(rankT_.begin(), rankT_.end(), 0.0);
     transferredBytes_ = 0;

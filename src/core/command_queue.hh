@@ -6,13 +6,36 @@
  * through this queue: commands are enqueued against a DpuSet and
  * resolved against three kinds of timelines:
  *
- *   host      — the single host thread issuing commands (hostCompute,
- *               blocking transfers, launch-issue overhead);
+ *   host      — one issue timeline per *tenant* (see below; a single-
+ *               tenant queue has exactly one, the classic host thread)
+ *               carrying hostCompute, blocking transfers, and
+ *               launch-issue overhead;
  *   bus       — the shared host<->PIM transfer engine (memcpy commands
  *               serialize here, costed by the transfer model);
  *   per-rank  — each rank executes launches and receives transfers
  *               independently, so launches on disjoint ranks overlap,
  *               and host compute overlaps in-flight launches.
+ *
+ * Multi-tenancy: addTenant() registers an independent host issue
+ * timeline, and every command names its tenant via CommandOptions. Two
+ * drivers (e.g. an LLM serving engine and a graph update driver) can
+ * then share one queue and one PimSystem: each tenant's commands
+ * serialize on its own host lane and on the ranks it targets (rank
+ * ownership is arbitrated by core::RankScheduler), while the bus stays
+ * the single shared resource both contend on — exactly the interference
+ * structure of a shared PIM serving host. With zero registered tenants
+ * the fold is identical to the historical single-host queue.
+ *
+ * Submission API: every command takes a trailing CommandOptions{after,
+ * label, tenant}. The historical positional tails (`after`, `label`)
+ * survive as thin deprecated overloads so old call sites compile
+ * unchanged, but new code should pass CommandOptions.
+ *
+ * Completion callbacks: onComplete(event, fn) registers a host-side
+ * callback on a pending event; the next drain dispatches due callbacks
+ * deterministically in timeline order (completion time, then event id),
+ * after the fold. Callbacks may enqueue follow-up commands (they resolve
+ * at the next drain) but must not force a drain themselves.
  *
  * Launch bodies run on the ParallelDpuEngine host pool when the queue
  * drains (sync(), a blocking transfer, or elapsed-time queries force a
@@ -32,8 +55,10 @@
  * occupied (host, bus, per rank), carrying bytes/cycles and its Event
  * id/dependency, so the exact interval arithmetic above becomes
  * visible in chrome://tracing and analyzable as per-lane occupancy.
- * Every command accepts an optional label naming its span. With no
- * recorder attached the cost is one pointer test per resolved command.
+ * Spans of a registered tenant carry the tenant's name (the hook for
+ * trace::analyzeOccupancy's per-tenant attribution), and a tenant's
+ * host lane appears as a dedicated "host:<name>" lane. With no recorder
+ * attached the cost is one pointer test per resolved command.
  */
 
 #ifndef PIM_CORE_COMMAND_QUEUE_HH
@@ -61,12 +86,40 @@ enum class CopyDirection {
 /**
  * Completion handle of an enqueued command; pass as `after` to order a
  * later command behind it explicitly (program order already serializes
- * the host and each rank).
+ * each tenant's host lane and each rank).
  */
 using Event = int;
 
 /** "No dependency" — the command orders only by its timelines. */
 inline constexpr Event kNoEvent = -1;
+
+/**
+ * Tenant handle: index of a host issue timeline. Tenant 0 is the
+ * default (anonymous) host every queue starts with; addTenant()
+ * registers further ones.
+ */
+using TenantId = unsigned;
+
+/** The implicit host timeline of a single-tenant queue. */
+inline constexpr TenantId kDefaultTenant = 0;
+
+/**
+ * Per-command submission options — the v2 form of the positional
+ * `after`/`label` tails every command used to take. Designated
+ * initializers read best at call sites:
+ *
+ *   queue.launchTimed(ranks, sec, {.after = ev, .label = "attn"});
+ *   queue.memcpyAsync(set, bytes, dir, {.tenant = serving});
+ */
+struct CommandOptions
+{
+    /** Explicit dependency (kNoEvent = timeline order only). */
+    Event after = kNoEvent;
+    /** Trace span name (used only while a recorder is attached). */
+    std::string label;
+    /** Host issue timeline the command runs on (see addTenant). */
+    TenantId tenant = kDefaultTenant;
+};
 
 /** The co-processor command queue of one PimSystem. */
 class CommandQueue
@@ -75,13 +128,28 @@ class CommandQueue
     explicit CommandQueue(PimSystem &sys);
 
     /**
+     * Register a tenant: an independent host issue timeline named
+     * @p name (shown as lane "host:<name>" in traces, and the key of
+     * per-tenant occupancy attribution). Register tenants before
+     * issuing their commands; the new timeline starts at 0.
+     */
+    TenantId addTenant(const std::string &name);
+
+    /** Registered tenants, including the implicit tenant 0. */
+    unsigned tenantCount() const
+    {
+        return static_cast<unsigned>(hostT_.size());
+    }
+
+    /**
      * Blocking bulk transfer of @p bytes_per_dpu to/from every DPU of
      * @p set in one batched call: drains the queue, then occupies the
-     * host, the bus, and the target ranks. @return seconds of the copy
-     * itself (the modeled duration, excluding any wait).
+     * issuing tenant's host lane, the bus, and the target ranks.
+     * @return seconds of the copy itself (the modeled duration,
+     * excluding any wait).
      */
     double memcpy(const DpuSet &set, uint64_t bytes_per_dpu,
-                  CopyDirection dir, const std::string &label = "");
+                  CopyDirection dir, const CommandOptions &opts = {});
 
     /**
      * Asynchronous bulk transfer: enqueues the copy and returns
@@ -89,8 +157,7 @@ class CommandQueue
      * not the host. @return completion event.
      */
     Event memcpyAsync(const DpuSet &set, uint64_t bytes_per_dpu,
-                      CopyDirection dir, Event after = kNoEvent,
-                      const std::string &label = "");
+                      CopyDirection dir, const CommandOptions &opts = {});
 
     /**
      * Blocking scatter/gather transfer with one byte count per DPU of
@@ -101,13 +168,13 @@ class CommandQueue
     double memcpyScatter(const DpuSet &set,
                          const std::vector<uint64_t> &bytes_per_dpu,
                          CopyDirection dir,
-                         const std::string &label = "");
+                         const CommandOptions &opts = {});
 
     /** Asynchronous scatter/gather transfer. @return completion event. */
     Event memcpyScatterAsync(const DpuSet &set,
                              std::vector<uint64_t> bytes_per_dpu,
-                             CopyDirection dir, Event after = kNoEvent,
-                             const std::string &label = "");
+                             CopyDirection dir,
+                             const CommandOptions &opts = {});
 
     /**
      * Double-buffered asynchronous transfer of @p bytes_per_dpu to/from
@@ -119,16 +186,15 @@ class CommandQueue
      * returned event (the double-buffer swap). @return completion event.
      */
     Event memcpyBufferedAsync(const DpuSet &set, uint64_t bytes_per_dpu,
-                              CopyDirection dir, Event after = kNoEvent,
-                              const std::string &label = "");
+                              CopyDirection dir,
+                              const CommandOptions &opts = {});
 
     /** Double-buffered scatter/gather (per-DPU byte counts); see
      *  memcpyBufferedAsync. @return completion event. */
     Event memcpyScatterBufferedAsync(const DpuSet &set,
                                      std::vector<uint64_t> bytes_per_dpu,
                                      CopyDirection dir,
-                                     Event after = kNoEvent,
-                                     const std::string &label = "");
+                                     const CommandOptions &opts = {});
 
     /**
      * Asynchronously launch @p tasklets tasklets running @p body on
@@ -140,7 +206,7 @@ class CommandQueue
      */
     Event launch(const DpuSet &set, unsigned tasklets,
                  std::function<void(sim::Tasklet &, unsigned)> body,
-                 Event after = kNoEvent, const std::string &label = "");
+                 const CommandOptions &opts = {});
 
     /**
      * Asynchronously launch heterogeneous per-DPU work: @p program
@@ -152,8 +218,7 @@ class CommandQueue
      */
     Event launchProgram(const DpuSet &set,
                         std::function<void(sim::Dpu &, unsigned)> program,
-                        Event after = kNoEvent,
-                        const std::string &label = "");
+                        const CommandOptions &opts = {});
 
     /**
      * Asynchronously occupy every rank of @p set for @p seconds of
@@ -162,39 +227,161 @@ class CommandQueue
      * kernel bounded by MRAM bandwidth) instead of simulating tasklets.
      * Costed exactly like launchProgram: the host pays the launch-issue
      * overhead and moves on; each target rank is busy for @p seconds
-     * starting when the issue, the rank, and @p after allow.
+     * starting when the issue, the rank, and the dependency allow.
      * @return completion event.
      */
     Event launchTimed(const DpuSet &set, double seconds,
-                      Event after = kNoEvent,
-                      const std::string &label = "");
+                      const CommandOptions &opts = {});
 
     /**
      * Host-side compute of @p tasks independent tasks of
      * @p instrs_per_task instructions (the pthreads parallel-for of
-     * Fig 5); occupies only the host timeline, overlapping in-flight
-     * launches and async transfers. @return modeled seconds.
+     * Fig 5); occupies only the issuing tenant's host timeline,
+     * overlapping in-flight launches and async transfers.
+     * @return modeled seconds.
      */
     double hostCompute(uint64_t tasks, uint64_t instrs_per_task,
-                       Event after = kNoEvent,
-                       const std::string &label = "");
+                       const CommandOptions &opts = {});
 
     /** Occupy the host for a fixed @p seconds (driver bookkeeping). */
-    double hostBusy(double seconds, Event after = kNoEvent,
-                    const std::string &label = "");
+    double hostBusy(double seconds, const CommandOptions &opts = {});
 
     /**
      * Idle the host until at least absolute time @p seconds on the
      * timeline (wait for an external event such as a request arrival);
      * no-op if the host is already past it.
      */
-    void hostIdleUntil(double seconds, Event after = kNoEvent,
-                       const std::string &label = "");
+    void hostIdleUntil(double seconds, const CommandOptions &opts = {});
+
+    // ------------------------------------------------------------------
+    // Deprecated positional-tail overloads (the v1 submission API).
+    // They forward to the CommandOptions form and exist only so
+    // pre-CommandOptions call sites compile unchanged; new code should
+    // pass CommandOptions. The `after` parameter is deliberately
+    // defaultless: tail-less calls resolve to the canonical overloads.
+    // ------------------------------------------------------------------
+
+    /** @deprecated Use the CommandOptions overload. */
+    double memcpy(const DpuSet &set, uint64_t bytes_per_dpu,
+                  CopyDirection dir, const std::string &label)
+    {
+        return memcpy(set, bytes_per_dpu, dir,
+                      CommandOptions{kNoEvent, label});
+    }
+
+    /** @deprecated Use the CommandOptions overload. */
+    Event memcpyAsync(const DpuSet &set, uint64_t bytes_per_dpu,
+                      CopyDirection dir, Event after,
+                      const std::string &label = "")
+    {
+        return memcpyAsync(set, bytes_per_dpu, dir,
+                           CommandOptions{after, label});
+    }
+
+    /** @deprecated Use the CommandOptions overload. */
+    double memcpyScatter(const DpuSet &set,
+                         const std::vector<uint64_t> &bytes_per_dpu,
+                         CopyDirection dir, const std::string &label)
+    {
+        return memcpyScatter(set, bytes_per_dpu, dir,
+                             CommandOptions{kNoEvent, label});
+    }
+
+    /** @deprecated Use the CommandOptions overload. */
+    Event memcpyScatterAsync(const DpuSet &set,
+                             std::vector<uint64_t> bytes_per_dpu,
+                             CopyDirection dir, Event after,
+                             const std::string &label = "")
+    {
+        return memcpyScatterAsync(set, std::move(bytes_per_dpu), dir,
+                                  CommandOptions{after, label});
+    }
+
+    /** @deprecated Use the CommandOptions overload. */
+    Event memcpyBufferedAsync(const DpuSet &set, uint64_t bytes_per_dpu,
+                              CopyDirection dir, Event after,
+                              const std::string &label = "")
+    {
+        return memcpyBufferedAsync(set, bytes_per_dpu, dir,
+                                   CommandOptions{after, label});
+    }
+
+    /** @deprecated Use the CommandOptions overload. */
+    Event memcpyScatterBufferedAsync(const DpuSet &set,
+                                     std::vector<uint64_t> bytes_per_dpu,
+                                     CopyDirection dir, Event after,
+                                     const std::string &label = "")
+    {
+        return memcpyScatterBufferedAsync(set, std::move(bytes_per_dpu),
+                                          dir,
+                                          CommandOptions{after, label});
+    }
+
+    /** @deprecated Use the CommandOptions overload. */
+    Event launch(const DpuSet &set, unsigned tasklets,
+                 std::function<void(sim::Tasklet &, unsigned)> body,
+                 Event after, const std::string &label = "")
+    {
+        return launch(set, tasklets, std::move(body),
+                      CommandOptions{after, label});
+    }
+
+    /** @deprecated Use the CommandOptions overload. */
+    Event launchProgram(const DpuSet &set,
+                        std::function<void(sim::Dpu &, unsigned)> program,
+                        Event after, const std::string &label = "")
+    {
+        return launchProgram(set, std::move(program),
+                             CommandOptions{after, label});
+    }
+
+    /** @deprecated Use the CommandOptions overload. */
+    Event launchTimed(const DpuSet &set, double seconds, Event after,
+                      const std::string &label = "")
+    {
+        return launchTimed(set, seconds, CommandOptions{after, label});
+    }
+
+    /** @deprecated Use the CommandOptions overload. */
+    double hostCompute(uint64_t tasks, uint64_t instrs_per_task,
+                       Event after, const std::string &label = "")
+    {
+        return hostCompute(tasks, instrs_per_task,
+                           CommandOptions{after, label});
+    }
+
+    /** @deprecated Use the CommandOptions overload. */
+    double hostBusy(double seconds, Event after,
+                    const std::string &label = "")
+    {
+        return hostBusy(seconds, CommandOptions{after, label});
+    }
+
+    /** @deprecated Use the CommandOptions overload. */
+    void hostIdleUntil(double seconds, Event after,
+                       const std::string &label = "")
+    {
+        hostIdleUntil(seconds, CommandOptions{after, label});
+    }
+
+    /**
+     * Register a host-side completion callback on pending event @p e:
+     * the drain that resolves @p e invokes fn(e, completion_seconds)
+     * after the timeline fold. Dispatch is deterministic — due
+     * callbacks run in timeline order (completion time, ties by event
+     * id) regardless of registration order or worker-thread count.
+     * Callbacks may enqueue follow-up commands on the queue (resolved
+     * at the next drain) but must not force a drain themselves
+     * (sync()/eventSeconds/blocking transfers are fatal inside one).
+     * Fatal if @p e is not pending (kNoEvent, already resolved, or
+     * never enqueued): register immediately after enqueuing.
+     */
+    void onComplete(Event e, std::function<void(Event, double)> fn);
 
     /**
      * Drain the queue and join every timeline. @return the makespan:
-     * wall-clock seconds from the timeline origin until host, bus, and
-     * all ranks are idle.
+     * wall-clock seconds from the timeline origin until every host
+     * lane, the bus, and all ranks are idle.
      */
     double sync();
 
@@ -203,17 +390,21 @@ class CommandQueue
      * pending commands (without joining the timelines, unlike sync())
      * and returns the absolute second the command finished at — the
      * primitive completion-driven drivers (TPOT accounting, admission
-     * control) are built on. Fatal for events compacted away by a
-     * sync()/resetTimeline that happened after the event was enqueued:
-     * query timestamps before syncing.
+     * control) are built on. Fatal for kNoEvent / never-enqueued
+     * events, and for events compacted away by a sync()/resetTimeline
+     * that happened after the event was enqueued: query timestamps
+     * before syncing.
      */
     double eventSeconds(Event e);
 
     /**
-     * Host timeline as of the last drain (sync() first for a makespan
-     * that includes pending commands).
+     * Tenant 0's host timeline as of the last drain (sync() first for
+     * a makespan that includes pending commands).
      */
-    double elapsedSeconds() const { return hostT_; }
+    double elapsedSeconds() const { return hostT_[0]; }
+
+    /** Tenant @p t's host timeline as of the last drain. */
+    double hostSeconds(TenantId t) const;
 
     /** Rank @p r's timeline as of the last drain. */
     double rankReadySeconds(unsigned r) const;
@@ -236,14 +427,18 @@ class CommandQueue
     /** Commands enqueued but not yet resolved. */
     size_t pendingCommands() const { return pending_.size(); }
 
+    /** The system this queue executes against. */
+    PimSystem &system() const { return sys_; }
+
     /**
-     * Zero every timeline and work/traffic counter (DPU state is kept).
-     * Pending commands are drained first so simulation state stays
-     * consistent. An attached recorder is NOT cleared: its trace origin
-     * advances past everything recorded so far, so spans resolved after
-     * the reset land strictly later on the trace timeline and pre-reset
-     * history stays readable (mirroring how pre-reset Events are rebased
-     * to resolve at the new epoch's origin).
+     * Zero every timeline and work/traffic counter (DPU state and
+     * registered tenants are kept). Pending commands are drained first
+     * so simulation state stays consistent. An attached recorder is NOT
+     * cleared: its trace origin advances past everything recorded so
+     * far, so spans resolved after the reset land strictly later on the
+     * trace timeline and pre-reset history stays readable (mirroring
+     * how pre-reset Events are rebased to resolve at the new epoch's
+     * origin).
      */
     void resetTimeline();
 
@@ -265,6 +460,8 @@ class CommandQueue
 
         Type type;
         Event after = kNoEvent;
+        /** Host issue timeline the command runs on. */
+        TenantId tenant = kDefaultTenant;
         /** Trace span name; empty = the command-kind default. Only
          *  populated while a recorder is attached. */
         std::string label;
@@ -300,14 +497,15 @@ class CommandQueue
     Event enqueue(Command cmd);
     Event enqueueScatter(const DpuSet &set,
                          const std::vector<uint64_t> &bytes_per_dpu,
-                         CopyDirection dir, Event after,
-                         const std::string &label, bool occupy_ranks);
+                         CopyDirection dir, const CommandOptions &opts,
+                         bool occupy_ranks);
     double copyDuration(const DpuSet &set, uint64_t total_bytes) const;
     Command makeCopy(const DpuSet &set, uint64_t total_bytes,
-                     bool blocking, Event after, CopyDirection dir,
-                     const std::string &label) const;
+                     bool blocking, const CommandOptions &opts,
+                     CopyDirection dir) const;
     /** Execute pending launch bodies and fold every pending command
-     *  into the timelines, in enqueue order. */
+     *  into the timelines, in enqueue order; then dispatch due
+     *  completion callbacks in timeline order. */
     void drain();
 
     /** The joined time of all timelines (no drain). */
@@ -315,6 +513,15 @@ class CommandQueue
 
     /** Completion time of event @p e (0.0 for compacted history). */
     double eventTime(Event e) const;
+
+    /** Trace lane of tenant @p t's host timeline. */
+    int hostLane(TenantId t) const;
+
+    /** The tenant's display name for span tagging ("" for tenant 0). */
+    const std::string &tenantTag(TenantId t) const
+    {
+        return tenantNames_[t];
+    }
 
     PimSystem &sys_;
     std::vector<Command> pending_;
@@ -327,13 +534,21 @@ class CommandQueue
      */
     std::vector<double> resolved_;
     size_t resolvedBase_ = 0;
-    double hostT_ = 0.0;
+    /** Host issue timelines, one per tenant (index = TenantId). */
+    std::vector<double> hostT_{0.0};
+    /** Tenant display names; tenant 0's is empty (untagged spans). */
+    std::vector<std::string> tenantNames_{std::string()};
     double busT_ = 0.0;
     std::vector<double> rankT_;
     uint64_t transferredBytes_ = 0;
     double launchWork_ = 0.0;
     double copyWork_ = 0.0;
     double hostWork_ = 0.0;
+    /** Registered completion callbacks (pending events only). */
+    std::vector<std::pair<Event, std::function<void(Event, double)>>>
+        callbacks_;
+    /** True while completion callbacks run (drain re-entry guard). */
+    bool inCallbacks_ = false;
     /** Span sink; nullptr = tracing off. */
     trace::Recorder *rec_ = nullptr;
     /** Trace-time origin of the current timeline epoch: resetTimeline

@@ -216,7 +216,7 @@ evalOverlapped(DesignStrategy s, const DesignSpaceParams &p)
                      for (unsigned i = 0; i < per_tasklet; ++i)
                          allocOnce(t, global);
                  },
-                 kNoEvent, "alloc rounds");
+                 {.label = "alloc rounds"});
         break;
       }
 
@@ -229,12 +229,12 @@ evalOverlapped(DesignStrategy s, const DesignSpaceParams &p)
             for (unsigned k = 0; k < sys.numRanks(); ++k) {
                 const DpuSet target = sys.rank(k);
                 q.memcpyAsync(target, meta_bytes,
-                              CopyDirection::HostToPim, kNoEvent,
-                              "meta:h2p");
-                q.launch(target, 1, allocOnce, kNoEvent, "alloc");
+                              CopyDirection::HostToPim,
+                              {.label = "meta:h2p"});
+                q.launch(target, 1, allocOnce, {.label = "alloc"});
                 q.memcpyAsync(target, meta_bytes,
-                              CopyDirection::PimToHost, kNoEvent,
-                              "meta:p2h");
+                              CopyDirection::PimToHost,
+                              {.label = "meta:p2h"});
             }
         }
         break;
@@ -250,17 +250,18 @@ evalOverlapped(DesignStrategy s, const DesignSpaceParams &p)
                 const DpuSet target = sys.rank(k);
                 const Event up = q.memcpyAsync(
                     target, meta_bytes, CopyDirection::PimToHost,
-                    kNoEvent, "meta:p2h");
-                q.hostCompute(sys.rankSize(k), instrs, up, "buddy");
+                    {.label = "meta:p2h"});
+                q.hostCompute(sys.rankSize(k), instrs,
+                              {.after = up, .label = "buddy"});
                 q.hostBusy(static_cast<double>(sys.rankSize(k))
                                * p.driverCallSec / p.hostCfg.threads,
-                           kNoEvent, "driver");
+                           {.label = "driver"});
                 q.memcpyAsync(target, meta_bytes,
-                              CopyDirection::HostToPim, kNoEvent,
-                              "meta:h2p");
+                              CopyDirection::HostToPim,
+                              {.label = "meta:h2p"});
                 q.memcpyAsync(target, ptr_bytes,
-                              CopyDirection::HostToPim, kNoEvent,
-                              "ptrs:h2p");
+                              CopyDirection::HostToPim,
+                              {.label = "ptrs:h2p"});
             }
         }
         break;
@@ -272,14 +273,14 @@ evalOverlapped(DesignStrategy s, const DesignSpaceParams &p)
         const uint64_t instrs = hostInstrsPerAlloc(p);
         for (unsigned round = 0; round < p.allocsPerDpu; ++round) {
             for (unsigned k = 0; k < sys.numRanks(); ++k) {
-                q.hostCompute(sys.rankSize(k), instrs, kNoEvent,
-                              "buddy");
+                q.hostCompute(sys.rankSize(k), instrs,
+                              {.label = "buddy"});
                 q.hostBusy(static_cast<double>(sys.rankSize(k))
                                * p.driverCallSec / p.hostCfg.threads,
-                           kNoEvent, "driver");
+                           {.label = "driver"});
                 q.memcpyAsync(sys.rank(k), ptr_bytes,
-                              CopyDirection::HostToPim, kNoEvent,
-                              "ptrs:h2p");
+                              CopyDirection::HostToPim,
+                              {.label = "ptrs:h2p"});
             }
         }
         break;

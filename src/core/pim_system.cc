@@ -102,6 +102,79 @@ DpuSet::complement() const
     return DpuSet(sys_, Kind::Ranks, 0, std::move(rest));
 }
 
+unsigned
+DpuSet::indexOf(unsigned global) const
+{
+    PIM_ASSERT(contains(global), "DPU ", global,
+               " is not a member of this set");
+    switch (kind_) {
+      case Kind::All:
+        return global;
+      case Kind::Rank:
+        return global - rank_ * sys_->config().dpusPerRank;
+      case Kind::Ranks: {
+        // Members are implicit: sum the sizes of earlier member ranks,
+        // then add the offset inside the owning rank.
+        const unsigned r = sys_->rankOf(global);
+        unsigned before = 0;
+        for (const unsigned m : ranks_) {
+            if (m == r)
+                break;
+            before += sys_->rankSize(m);
+        }
+        return before + (global - r * sys_->config().dpusPerRank);
+      }
+      case Kind::Explicit:
+        return static_cast<unsigned>(
+            std::lower_bound(members_.begin(), members_.end(), global)
+            - members_.begin());
+    }
+    return 0;
+}
+
+unsigned
+DpuSet::memberAt(unsigned idx) const
+{
+    PIM_ASSERT(idx < size_, "member index ", idx,
+               " out of range for a set of ", size_, " DPUs");
+    switch (kind_) {
+      case Kind::All:
+        return idx;
+      case Kind::Rank:
+        return rank_ * sys_->config().dpusPerRank + idx;
+      case Kind::Ranks: {
+        unsigned rest = idx;
+        for (const unsigned r : ranks_) {
+            const unsigned n = sys_->rankSize(r);
+            if (rest < n)
+                return r * sys_->config().dpusPerRank + rest;
+            rest -= n;
+        }
+        break;
+      }
+      case Kind::Explicit:
+        return members_[idx];
+    }
+    return 0; // unreachable: idx < size_
+}
+
+std::pair<DpuSet, DpuSet>
+DpuSet::partitionRanks(double fraction) const
+{
+    PIM_ASSERT(kind_ != Kind::Explicit,
+               "partitionRanks needs a rank-granular set");
+    const unsigned n = static_cast<unsigned>(ranks_.size());
+    PIM_ASSERT(n >= 2, "cannot partition a set of ", n, " rank(s)");
+    const auto want = static_cast<long>(
+        std::lround(fraction * static_cast<double>(n)));
+    const unsigned k = static_cast<unsigned>(
+        std::clamp<long>(want, 1, n - 1));
+    std::vector<unsigned> head(ranks_.begin(), ranks_.begin() + k);
+    std::vector<unsigned> tail(ranks_.begin() + k, ranks_.end());
+    return {DpuSet(sys_, Kind::Ranks, 0, std::move(head)),
+            DpuSet(sys_, Kind::Ranks, 0, std::move(tail))};
+}
+
 bool
 DpuSet::contains(unsigned global) const
 {

@@ -88,6 +88,30 @@ class DpuSet
     /** True if global DPU index @p global is a member. */
     bool contains(unsigned global) const;
 
+    /**
+     * Position of member @p global within the set, counting members in
+     * ascending global order — the dense zero-based id workloads shard
+     * by when they run on a partition instead of the whole system.
+     * Fatal if @p global is not a member.
+     */
+    unsigned indexOf(unsigned global) const;
+
+    /** Global index of the set's @p idx-th member (ascending order);
+     *  the inverse of indexOf. Fatal if idx >= size(). */
+    unsigned memberAt(unsigned idx) const;
+
+    /**
+     * Split this set's ranks into a leading partition of roughly
+     * @p fraction of them and the rest — partitionRanks relative to an
+     * owned rank set instead of the whole system (what a tenant does
+     * with the ranks a RankScheduler granted it). Requires a
+     * rank-granular set (All/Rank/Ranks) with at least two ranks; the
+     * first member holds the k lowest rank ids with
+     * k = round(fraction * ranks) clamped to [1, ranks - 1], so both
+     * halves are always non-empty.
+     */
+    std::pair<DpuSet, DpuSet> partitionRanks(double fraction) const;
+
     /** Rank ids the set touches, ascending. */
     const std::vector<unsigned> &ranks() const { return ranks_; }
 

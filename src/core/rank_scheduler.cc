@@ -1,0 +1,76 @@
+#include "core/rank_scheduler.hh"
+
+#include "util/logging.hh"
+
+namespace pim::core {
+
+RankScheduler::RankScheduler(const PimSystem &sys)
+    : sys_(sys), owner_(sys.numRanks())
+{
+}
+
+std::optional<DpuSet>
+RankScheduler::tryAcquireRanks(unsigned n, const std::string &tenant)
+{
+    PIM_ASSERT(!tenant.empty(), "rank acquisition needs a tenant name");
+    PIM_ASSERT(n >= 1, "cannot acquire zero ranks");
+    std::vector<unsigned> grant;
+    grant.reserve(n);
+    for (unsigned r = 0; r < owner_.size() && grant.size() < n; ++r) {
+        if (owner_[r].empty())
+            grant.push_back(r);
+    }
+    if (grant.size() < n)
+        return std::nullopt;
+    for (const unsigned r : grant)
+        owner_[r] = tenant;
+    return sys_.ranks(std::move(grant));
+}
+
+DpuSet
+RankScheduler::acquireRanks(unsigned n, const std::string &tenant)
+{
+    std::optional<DpuSet> set = tryAcquireRanks(n, tenant);
+    if (!set) {
+        PIM_FATAL("tenant '", tenant, "' asked for ", n, " ranks but ",
+                  freeRankCount(), " of ", owner_.size(), " are free");
+    }
+    return *std::move(set);
+}
+
+void
+RankScheduler::releaseRanks(const DpuSet &set)
+{
+    // Rank-granular sets cover every DPU of the ranks they touch; a
+    // partial-rank (explicit) set must not release its whole rank.
+    unsigned full = 0;
+    for (const unsigned r : set.ranks())
+        full += sys_.rankSize(r);
+    PIM_ASSERT(set.size() == full,
+               "releaseRanks needs a rank-granular set");
+    for (const unsigned r : set.ranks()) {
+        PIM_ASSERT(!owner_[r].empty(), "rank ", r,
+                   " is already free (double release?)");
+        owner_[r].clear();
+    }
+}
+
+unsigned
+RankScheduler::freeRankCount() const
+{
+    unsigned n = 0;
+    for (const std::string &o : owner_) {
+        if (o.empty())
+            ++n;
+    }
+    return n;
+}
+
+const std::string &
+RankScheduler::ownerOf(unsigned r) const
+{
+    PIM_ASSERT(r < owner_.size(), "rank out of range");
+    return owner_[r];
+}
+
+} // namespace pim::core

@@ -74,6 +74,8 @@ writeProcess(util::JsonWriter &j, const TraceProcess &proc, int pid)
             j.key("event").value(s.event);
         if (s.after != kNoSpanEvent)
             j.key("after").value(s.after);
+        if (!s.tenant.empty())
+            j.key("tenant").value(s.tenant);
         j.endObject();
         j.endObject();
     }
@@ -148,9 +150,13 @@ emitReports(std::ostream &out,
     if (print_occupancy) {
         for (const TraceProcess &p : processes) {
             out << "\n";
-            analyzeOccupancy(*p.recorder)
-                .toTable(title_prefix + p.name)
-                .print(out);
+            const OccupancyReport rep = analyzeOccupancy(*p.recorder);
+            rep.toTable(title_prefix + p.name).print(out);
+            if (!rep.tenants.empty()) {
+                out << "\n";
+                rep.tenantsTable("Tenant occupancy: " + p.name)
+                    .print(out);
+            }
         }
     }
     if (!trace_path.empty())

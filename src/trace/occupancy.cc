@@ -70,9 +70,67 @@ analyzeOccupancy(const Recorder &rec, double straggler_factor)
         rep.lanes.push_back(std::move(lo));
     }
 
+    // Per-tenant attribution: group non-idle resource-lane spans by
+    // their tenant tag and union them per (tenant, lane), so a
+    // co-tenant trace answers "how much of the machine did each tenant
+    // actually hold". Skipped entirely (tenants stays empty) for the
+    // ordinary single-tenant trace where no span carries a tag.
+    bool tagged = false;
+    for (const Span &s : rec.spans()) {
+        if (!s.tenant.empty()) {
+            tagged = true;
+            break;
+        }
+    }
+    if (tagged) {
+        struct TenantAccum
+        {
+            std::map<int, std::vector<std::pair<double, double>>> busy;
+            double busyEnd = 0.0;
+            size_t spans = 0;
+            uint64_t bytes = 0;
+        };
+        std::map<std::string, TenantAccum> per_tenant;
+        std::vector<std::string> order;
+        for (const Span &s : rec.spans()) {
+            if (!rec.isResourceLane(s.lane))
+                continue;
+            const std::string key =
+                s.tenant.empty() ? std::string("(default)") : s.tenant;
+            if (per_tenant.find(key) == per_tenant.end())
+                order.push_back(key);
+            TenantAccum &a = per_tenant[key];
+            ++a.spans;
+            a.bytes += s.bytes;
+            if (!s.idle && s.t1 > s.t0) {
+                a.busy[s.lane].emplace_back(s.t0, s.t1);
+                a.busyEnd = std::max(a.busyEnd, s.t1);
+            }
+        }
+        for (const std::string &key : order) {
+            TenantAccum &a = per_tenant[key];
+            TenantOccupancy to;
+            to.name = key;
+            to.busyEndSeconds = a.busyEnd;
+            to.spans = a.spans;
+            to.bytes = a.bytes;
+            for (auto &[lane, iv] : a.busy) {
+                const double busy = unionSeconds(iv);
+                to.busySeconds += busy;
+                if (isRankLane(lane)) {
+                    to.rankBusySeconds += busy;
+                    ++to.rankLanes;
+                }
+            }
+            rep.tenants.push_back(std::move(to));
+        }
+    }
+
     // Makespan covers every lane; the busy-time sum (and therefore the
-    // overlap figure) covers only the resource lanes — custom lanes
-    // carry work the queue already charged to a rank.
+    // overlap figure) covers only the resource lanes — host, bus,
+    // ranks, and resource-flagged customs (per-tenant host lanes);
+    // other custom lanes carry work the queue already charged to a
+    // rank.
     // The critical lane is the one whose busy timeline ends last (an
     // idle wait reaching the makespan does not constrain anything);
     // ties go to the busier lane, then to display order. A trace with
@@ -83,7 +141,7 @@ analyzeOccupancy(const Recorder &rec, double straggler_factor)
     for (const LaneOccupancy &lo : rep.lanes) {
         rep.makespanSeconds =
             std::max(rep.makespanSeconds, lo.endSeconds);
-        if (!isCustomLane(lo.lane))
+        if (rec.isResourceLane(lo.lane))
             rep.busySumSeconds += lo.busySeconds;
         if (lo.busySeconds > 0.0
             && (lo.busyEndSeconds > best_busy_end
@@ -112,6 +170,12 @@ analyzeOccupancy(const Recorder &rec, double straggler_factor)
     if (rep.makespanSeconds > 0.0) {
         for (LaneOccupancy &lo : rep.lanes)
             lo.busyFraction = lo.busySeconds / rep.makespanSeconds;
+        for (TenantOccupancy &to : rep.tenants) {
+            // Normalize by the window only: a tenant's busy time spans
+            // several lanes, so the fraction reads as "machine-lane
+            // seconds held per second of wall clock".
+            to.busyFraction = to.busySeconds / rep.makespanSeconds;
+        }
     }
 
     // Straggler ranks: busy time well above the median rank's.
@@ -163,6 +227,26 @@ OccupancyReport::toTable(const std::string &title) const
     return t;
 }
 
+util::Table
+OccupancyReport::tenantsTable(const std::string &title) const
+{
+    util::Table t(title + " — makespan "
+                  + util::Table::num(makespanSeconds * 1e3, 3) + " ms");
+    t.setHeader({"Tenant", "Busy (ms)", "Lanes/s", "Rank busy (ms)",
+                 "Ranks", "Busy end (ms)", "Spans", "MB moved"});
+    for (const TenantOccupancy &to : tenants) {
+        t.addRow({to.name, util::Table::num(to.busySeconds * 1e3, 3),
+                  util::Table::num(to.busyFraction, 2),
+                  util::Table::num(to.rankBusySeconds * 1e3, 3),
+                  util::Table::num(static_cast<uint64_t>(to.rankLanes)),
+                  util::Table::num(to.busyEndSeconds * 1e3, 3),
+                  util::Table::num(static_cast<uint64_t>(to.spans)),
+                  util::Table::num(
+                      static_cast<double>(to.bytes) / 1e6, 2)});
+    }
+    return t;
+}
+
 void
 OccupancyReport::writeJson(util::JsonWriter &j) const
 {
@@ -186,6 +270,25 @@ OccupancyReport::writeJson(util::JsonWriter &j) const
         j.endObject();
     }
     j.endArray();
+    // Only co-tenant traces carry the attribution array; single-tenant
+    // reports keep their historical JSON shape byte-for-byte.
+    if (!tenants.empty()) {
+        j.key("tenants").beginArray();
+        for (const TenantOccupancy &to : tenants) {
+            j.beginObject();
+            j.key("name").value(to.name);
+            j.key("busy_seconds").value(to.busySeconds);
+            j.key("busy_fraction").value(to.busyFraction);
+            j.key("rank_busy_seconds").value(to.rankBusySeconds);
+            j.key("rank_lanes")
+                .value(static_cast<uint64_t>(to.rankLanes));
+            j.key("busy_end_seconds").value(to.busyEndSeconds);
+            j.key("spans").value(static_cast<uint64_t>(to.spans));
+            j.key("bytes").value(to.bytes);
+            j.endObject();
+        }
+        j.endArray();
+    }
     j.endObject();
 }
 

@@ -44,16 +44,44 @@ struct LaneOccupancy
     bool straggler = false;
 };
 
+/**
+ * Busy-time attribution of one tenant (spans carrying the same
+ * Span::tenant tag) across all resource lanes it touched.
+ */
+struct TenantOccupancy
+{
+    /** Tenant display name ("(default)" for untagged spans when they
+     *  coexist with tagged ones). */
+    std::string name;
+    /** Per-lane union of the tenant's non-idle resource-lane spans,
+     *  summed over lanes. */
+    double busySeconds = 0.0;
+    /** busySeconds / makespan: resource-lane seconds the tenant held
+     *  per second of wall clock (>1 = more than one lane on average). */
+    double busyFraction = 0.0;
+    /** Busy time restricted to rank lanes (the tenant's PIM share). */
+    double rankBusySeconds = 0.0;
+    /** Rank lanes the tenant's spans touched. */
+    unsigned rankLanes = 0;
+    /** End of the tenant's last non-idle span. */
+    double busyEndSeconds = 0.0;
+    /** Spans recorded for the tenant (including idle spans). */
+    size_t spans = 0;
+    /** Transfer payload carried by the tenant's bus spans. */
+    uint64_t bytes = 0;
+};
+
 /** Whole-trace occupancy breakdown. */
 struct OccupancyReport
 {
     /** Max span end over all lanes (the traced makespan). */
     double makespanSeconds = 0.0;
     /**
-     * Sum of busy time over the *resource* lanes (host, bus, ranks).
-     * Custom lanes (e.g. per-tasklet spans) mirror work the queue
-     * already charges to a rank, so they are excluded — counting them
-     * would double-count the same physical work.
+     * Sum of busy time over the *resource* lanes: host, bus, ranks,
+     * and custom lanes flagged as resources (per-tenant host lanes).
+     * Other custom lanes (e.g. per-tasklet spans) mirror work the
+     * queue already charges to a rank, so they are excluded — counting
+     * them would double-count the same physical work.
      */
     double busySumSeconds = 0.0;
     /** Resource-lane work hidden by running lanes concurrently:
@@ -73,8 +101,20 @@ struct OccupancyReport
     /** Lanes in display order (host, bus, ranks, customs). */
     std::vector<LaneOccupancy> lanes;
 
+    /**
+     * Per-tenant busy-time attribution, in first-appearance order.
+     * Empty unless the trace carries tenant-tagged spans (a co-tenant
+     * queue); untagged spans coexisting with tagged ones appear as the
+     * "(default)" tenant.
+     */
+    std::vector<TenantOccupancy> tenants;
+
     /** Render as a console table. */
     util::Table toTable(const std::string &title = "Occupancy") const;
+
+    /** Render the per-tenant attribution (tenants must be non-empty). */
+    util::Table tenantsTable(
+        const std::string &title = "Tenant occupancy") const;
 
     /** Emit as one JSON object value on @p j. */
     void writeJson(util::JsonWriter &j) const;

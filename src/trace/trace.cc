@@ -16,15 +16,44 @@ Recorder::record(Span s)
 }
 
 int
+Recorder::customLaneLocked(const std::string &name, bool resource)
+{
+    for (size_t i = 0; i < customNames_.size(); ++i) {
+        if (customNames_[i] == name) {
+            if (resource)
+                customResource_[i] = true;
+            return -1 - static_cast<int>(i);
+        }
+    }
+    customNames_.push_back(name);
+    customResource_.push_back(resource);
+    return -static_cast<int>(customNames_.size());
+}
+
+int
 Recorder::customLane(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    for (size_t i = 0; i < customNames_.size(); ++i) {
-        if (customNames_[i] == name)
-            return -1 - static_cast<int>(i);
-    }
-    customNames_.push_back(name);
-    return -static_cast<int>(customNames_.size());
+    return customLaneLocked(name, /*resource=*/false);
+}
+
+int
+Recorder::resourceLane(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return customLaneLocked(name, /*resource=*/true);
+}
+
+bool
+Recorder::isResourceLane(int lane) const
+{
+    if (!isCustomLane(lane))
+        return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t idx = static_cast<size_t>(-1 - lane);
+    PIM_ASSERT(idx < customResource_.size(), "unknown custom lane ",
+               lane);
+    return customResource_[idx];
 }
 
 void

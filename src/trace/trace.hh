@@ -75,6 +75,10 @@ struct Span
     int lane = kHostLane;
     /** What ran (command label, or a kind name like "memcpy:h2p"). */
     std::string name;
+    /** Owning tenant's display name ("" = the default/anonymous
+     *  tenant). The key trace::analyzeOccupancy groups per-tenant
+     *  busy-time attribution by. */
+    std::string tenant;
     /** Start/end in seconds on the trace timeline. */
     double t0 = 0.0;
     double t1 = 0.0;
@@ -111,6 +115,23 @@ class Recorder
      */
     int customLane(const std::string &name);
 
+    /**
+     * Like customLane, but the lane is a *resource* lane: it carries
+     * real work of its own (e.g. a tenant's host issue timeline) rather
+     * than mirroring work already charged to a rank, so occupancy
+     * analysis counts it into the busy-time sum. Allocating the same
+     * name through both entry points keeps the stronger (resource)
+     * classification. Safe from any thread.
+     */
+    int resourceLane(const std::string &name);
+
+    /**
+     * True if @p lane contributes to the resource busy-time sum: the
+     * built-in host/bus/rank lanes always do, custom lanes only when
+     * allocated through resourceLane.
+     */
+    bool isResourceLane(int lane) const;
+
     /** Rank lanes the producer may use (for display; grows monotonically). */
     void setRankCount(unsigned n);
     unsigned rankCount() const;
@@ -142,9 +163,13 @@ class Recorder
     static uint64_t laneOrderKey(int lane);
 
   private:
+    int customLaneLocked(const std::string &name, bool resource);
+
     mutable std::mutex mu_;
     std::vector<Span> spans_;
     std::vector<std::string> customNames_;
+    /** Parallel to customNames_: true = counts as a resource lane. */
+    std::vector<bool> customResource_;
     unsigned rankCount_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace pim::util {
@@ -98,6 +99,26 @@ Table::printCsv(std::ostream &os) const
         emit(header_);
     for (const auto &r : rows_)
         emit(r);
+}
+
+void
+Table::writeJson(JsonWriter &j) const
+{
+    j.beginObject();
+    j.key("title").value(title_);
+    j.key("header").beginArray();
+    for (const auto &h : header_)
+        j.value(h);
+    j.endArray();
+    j.key("rows").beginArray();
+    for (const auto &row : rows_) {
+        j.beginArray();
+        for (const auto &cell : row)
+            j.value(cell);
+        j.endArray();
+    }
+    j.endArray();
+    j.endObject();
 }
 
 } // namespace pim::util

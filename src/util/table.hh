@@ -14,6 +14,8 @@
 
 namespace pim::util {
 
+class JsonWriter;
+
 /**
  * Column-aligned text table with an optional title, built row by row.
  * Cells are strings; helpers format numbers with sensible precision.
@@ -43,6 +45,15 @@ class Table
 
     /** Render the table as CSV (header + rows, no title). */
     void printCsv(std::ostream &os) const;
+
+    /**
+     * Emit the table as one JSON value:
+     * {"title": ..., "header": [...], "rows": [[...], ...]} (cells stay
+     * strings, exactly as printed). Used by the bench binaries' --json
+     * output so every figure's numbers are machine-readable in the same
+     * shape they appear on the console.
+     */
+    void writeJson(JsonWriter &j) const;
 
   private:
     std::string title_;

@@ -5,7 +5,6 @@
 #include <unordered_map>
 
 #include "alloc/allocator.hh"
-#include "core/command_queue.hh"
 #include "core/pim_system.hh"
 #include "sim/dpu.hh"
 #include "util/logging.hh"
@@ -76,47 +75,378 @@ buildShard(const UpdateWorkload &w, unsigned dpu, unsigned num_dpus)
     return s;
 }
 
+/** The truncated update split of @p cfg's dataset. */
+UpdateWorkload
+buildWorkload(const GraphUpdateConfig &cfg)
+{
+    const GraphDataset dataset = generateGraph(cfg.gen);
+    UpdateWorkload w = splitForUpdate(dataset, cfg.newFraction, cfg.seed);
+    if (cfg.maxUpdateEdges > 0 && w.updateEdges.size() > cfg.maxUpdateEdges)
+        w.updateEdges.resize(cfg.maxUpdateEdges);
+    return w;
+}
+
+/** Per-shard outcome, filled by its worker and merged in shard order
+ *  afterwards so the result is thread-count invariant. */
+struct ShardOutcome
+{
+    bool simulated = false;
+    uint64_t cycles = 0;
+    sim::CycleBreakdown breakdown{};
+    sim::TrafficStats traffic{};
+    bool hasAllocator = false;
+    alloc::AllocStats stats;
+    uint64_t metadataBytes = 0;
+};
+
+/** Sequential merge in shard order — identical to the former
+ *  single-threaded loop, for any worker count. */
+void
+mergeOutcomes(GraphUpdateResult &out, const GraphUpdateConfig &cfg,
+              const std::vector<ShardOutcome> &outcomes)
+{
+    uint64_t max_cycles = 0;
+    for (const ShardOutcome &oc : outcomes) {
+        if (!oc.simulated)
+            continue;
+        max_cycles = std::max(max_cycles, oc.cycles);
+        out.breakdown.merge(oc.breakdown);
+        out.traffic.merge(oc.traffic);
+        if (oc.hasAllocator) {
+            const auto &st = oc.stats;
+            out.allocStats.mallocCalls += st.mallocCalls;
+            out.allocStats.freeCalls += st.freeCalls;
+            out.allocStats.failures += st.failures;
+            for (size_t l = 0; l < 3; ++l) {
+                out.allocStats.serviced[l] += st.serviced[l];
+                out.allocStats.cyclesByLevel[l] += st.cyclesByLevel[l];
+            }
+            for (double x : st.latency.samples())
+                out.allocStats.latency.add(x);
+            out.allocStats.events.insert(out.allocStats.events.end(),
+                                         st.events.begin(),
+                                         st.events.end());
+            out.fragmentation =
+                std::max(out.fragmentation, st.peakFragmentation);
+            out.metadataBytes = oc.metadataBytes;
+        }
+    }
+
+    out.updateSeconds = cfg.dpuCfg.cyclesToSeconds(max_cycles);
+    if (out.updateSeconds > 0) {
+        out.millionEdgesPerSec =
+            static_cast<double>(out.updateEdgesTotal)
+            / out.updateSeconds / 1e6;
+    }
+    out.avgAllocLatencyUs = cfg.dpuCfg.cyclesToMicros(
+        static_cast<uint64_t>(out.allocStats.latency.mean()));
+}
+
 } // namespace
+
+/**
+ * The full state of one streaming graph-update experiment between
+ * step() calls: the per-slot shard/allocator/graph built by the untimed
+ * launch, the per-shard round-slice bookkeeping, and the accumulated
+ * per-shard outcomes.
+ */
+struct GraphUpdateTask::Impl
+{
+    Impl(const GraphUpdateConfig &cfg_in, core::CommandQueue &q,
+         const core::DpuSet &partition, core::TenantId tenant_in);
+
+    void step();
+
+    /** Persistent per-sample-slot shard state across rounds. */
+    struct SlotState
+    {
+        bool active = false;
+        Shard shard;
+        std::unique_ptr<alloc::Allocator> allocator;
+        std::unique_ptr<GraphStructure> graph;
+    };
+
+    GraphUpdateConfig cfg;
+    core::CommandQueue &queue;
+    core::PimSystem &sys;
+    core::TenantId tenant;
+    bool traced;
+    core::DpuSet part;
+    unsigned numShards;   ///< = part.size(): logical dataset shards
+    unsigned rounds;      ///< total update rounds (>= 1)
+    unsigned round = 0;   ///< rounds enqueued so far
+    UpdateWorkload w;     ///< owned: launch bodies run at drain time
+    /** Update edges owned by each logical shard (scatter byte counts
+     *  of shipped rounds derive from the per-round slice of these). */
+    std::vector<uint64_t> shardEdgeCounts;
+    std::vector<SlotState> slots;
+    std::vector<ShardOutcome> outcomes;
+    core::Event buildEvt = core::kNoEvent;
+    core::Event lastRoundEvt = core::kNoEvent;
+    double buildDoneSec = 0.0;
+    double now = 0.0;
+    GraphUpdateResult res; ///< updateEdgesTotal filled up front
+};
+
+GraphUpdateTask::Impl::Impl(const GraphUpdateConfig &cfg_in,
+                            core::CommandQueue &q,
+                            const core::DpuSet &partition,
+                            core::TenantId tenant_in)
+    : cfg(cfg_in), queue(q), sys(q.system()), tenant(tenant_in),
+      traced(q.recorder() != nullptr), part(partition),
+      numShards(partition.size()),
+      rounds(std::max(1u, cfg_in.updateRounds)), w(buildWorkload(cfg_in))
+{
+    PIM_ASSERT(numShards >= 1, "need at least one DPU in the partition");
+    res.updateEdgesTotal = w.updateEdges.size();
+
+    shardEdgeCounts.assign(numShards, 0);
+    for (const auto &e : w.updateEdges)
+        ++shardEdgeCounts[shardOf(e.src, numShards)];
+
+    slots.resize(sys.sampleCount());
+    outcomes.resize(sys.sampleCount());
+
+    // Untimed deployment launch: every sampled partition DPU builds its
+    // shard's pre-update graph (allocator init + parallel build), then
+    // arms the measured-phase counters. Shard ids are the partition's
+    // dense indexOf order, so a partition run shards the dataset over
+    // its own DPUs exactly like a whole-system run over all of them.
+    buildEvt = queue.launchProgram(
+        part,
+        [this](sim::Dpu &dpu, unsigned dpu_idx) {
+            const unsigned slot = sys.slotOf(dpu_idx);
+            SlotState &st = slots[slot];
+            st.shard = buildShard(w, part.indexOf(dpu_idx), numShards);
+            if (st.shard.numLocalNodes == 0)
+                return;
+            st.active = true;
+
+            if (cfg.structure == StructureKind::StaticCsr) {
+                const uint32_t max_edges = static_cast<uint32_t>(
+                    st.shard.baseEdges.size()
+                    + st.shard.updateEdges.size());
+                st.graph = std::make_unique<CsrGraph>(
+                    dpu, kTableBase, st.shard.numLocalNodes, max_edges);
+            } else {
+                core::AllocatorOverrides ov;
+                ov.numTasklets = cfg.tasklets;
+                st.allocator =
+                    core::makeAllocator(dpu, cfg.allocator, ov);
+                if (cfg.structure == StructureKind::LinkedList) {
+                    st.graph = std::make_unique<LinkedListGraph>(
+                        dpu, *st.allocator, kTableBase,
+                        st.shard.numLocalNodes);
+                } else {
+                    st.graph = std::make_unique<VarArrayGraph>(
+                        dpu, *st.allocator, kTableBase,
+                        st.shard.numLocalNodes);
+                }
+            }
+
+            if (st.allocator)
+                dpu.run(1,
+                        [&](sim::Tasklet &t) { st.allocator->init(t); });
+            dpu.run(cfg.tasklets, [&](sim::Tasklet &t) {
+                if (cfg.structure == StructureKind::StaticCsr) {
+                    if (t.id() == 0)
+                        st.graph->build(t, st.shard.baseEdges);
+                    return;
+                }
+                // Node-partitioned parallel build: tasklet k owns
+                // local nodes with id % tasklets == k, so no two
+                // tasklets ever touch the same adjacency list.
+                std::vector<Edge> mine;
+                for (const auto &e : st.shard.baseEdges) {
+                    if (e.src % cfg.tasklets == t.id())
+                        mine.push_back(e);
+                }
+                st.graph->build(t, mine);
+            });
+
+            // Measured phase starts at the first update round.
+            dpu.resetStats();
+            if (st.allocator) {
+                st.allocator->stats().resetCounters();
+                st.allocator->stats().traceEvents = cfg.traceEvents;
+            }
+        },
+        {.label = traced ? "graph build" : "", .tenant = tenant});
+}
+
+void
+GraphUpdateTask::Impl::step()
+{
+    const unsigned r = round;
+
+    if (r == 0)
+        buildDoneSec = queue.eventSeconds(buildEvt);
+
+    // Ingest pacing: the stream's round r arrives r intervals after
+    // the build; idle the tenant's host lane until then so the
+    // round's commands are not issued early.
+    if (cfg.roundIntervalSec > 0 && r > 0) {
+        queue.hostIdleUntil(
+            buildDoneSec + r * cfg.roundIntervalSec,
+            {.label = traced ? "wait:ingest" : std::string(),
+             .tenant = tenant});
+    }
+
+    // Optionally ship this round's update edges (8 B each) to their
+    // owning DPUs; the round's launch orders after the shipment so the
+    // data has landed, while the double-buffered transfer leaves the
+    // previous round's compute running.
+    core::Event ship = core::kNoEvent;
+    if (cfg.shipUpdates) {
+        std::vector<uint64_t> bytes(numShards, 0);
+        for (unsigned j = 0; j < numShards; ++j) {
+            const uint64_t c = shardEdgeCounts[j];
+            const uint64_t lo = r * c / rounds;
+            const uint64_t hi = (r + 1) * c / rounds;
+            bytes[j] = (hi - lo) * sizeof(Edge);
+        }
+        ship = queue.memcpyScatterBufferedAsync(
+            part, std::move(bytes), core::CopyDirection::HostToPim,
+            {.label = traced ? "updates r" + std::to_string(r)
+                             : std::string(),
+             .tenant = tenant});
+    }
+
+    const bool last = (r + 1 == rounds);
+    lastRoundEvt = queue.launchProgram(
+        part,
+        [this, r, last](sim::Dpu &dpu, unsigned dpu_idx) {
+            const unsigned slot = sys.slotOf(dpu_idx);
+            SlotState &st = slots[slot];
+            if (!st.active)
+                return;
+
+            // This shard's slice of the round: consecutive slices
+            // cover its update stream exactly once.
+            const uint64_t c = st.shard.updateEdges.size();
+            const uint64_t lo = r * c / rounds;
+            const uint64_t hi = (r + 1) * c / rounds;
+
+            dpu.resetStats();
+            dpu.run(cfg.tasklets, [&](sim::Tasklet &t) {
+                for (uint64_t i = lo; i < hi; ++i) {
+                    const Edge &e = st.shard.updateEdges[i];
+                    if (e.src % cfg.tasklets != t.id())
+                        continue;
+                    const bool ok = st.graph->insertEdge(t, e.src, e.dst);
+                    PIM_ASSERT(ok, "update insertion failed (capacity)");
+                }
+            });
+
+            ShardOutcome &oc = outcomes[slot];
+            oc.simulated = true;
+            oc.cycles += dpu.lastElapsedCycles();
+            oc.breakdown.merge(dpu.lastBreakdown());
+            oc.traffic.merge(dpu.traffic());
+            if (!last)
+                return;
+            // Final round: harvest the run-wide allocator stats, then
+            // return this shard's pages so full-system runs don't hold
+            // every shard resident at once.
+            if (st.allocator) {
+                oc.hasAllocator = true;
+                oc.stats = st.allocator->stats();
+                oc.metadataBytes = st.allocator->metadataBytes();
+            }
+            st.graph.reset();
+            st.allocator.reset();
+            st.active = false;
+            dpu.reclaimMemory();
+        },
+        {.after = ship,
+         .label = traced ? "update r" + std::to_string(r)
+                         : std::string(),
+         .tenant = tenant});
+    ++round;
+
+    now = std::max(now, queue.eventSeconds(lastRoundEvt));
+}
+
+GraphUpdateTask::GraphUpdateTask(const GraphUpdateConfig &cfg,
+                                 core::CommandQueue &queue,
+                                 const core::DpuSet &partition,
+                                 core::TenantId tenant)
+    : impl_(std::make_unique<Impl>(cfg, queue, partition, tenant))
+{
+}
+
+GraphUpdateTask::~GraphUpdateTask() = default;
+
+bool
+GraphUpdateTask::done() const
+{
+    return impl_->round >= impl_->rounds;
+}
+
+double
+GraphUpdateTask::clockSeconds() const
+{
+    return impl_->now;
+}
+
+void
+GraphUpdateTask::step()
+{
+    PIM_ASSERT(!done(), "step() after the last update round");
+    impl_->step();
+}
+
+GraphUpdateResult
+GraphUpdateTask::result() const
+{
+    PIM_ASSERT(done(), "result() before the last update round");
+    GraphUpdateResult out = impl_->res;
+    mergeOutcomes(out, impl_->cfg, impl_->outcomes);
+    out.wallSeconds = std::max(0.0, impl_->now - impl_->buildDoneSec);
+    return out;
+}
 
 GraphUpdateResult
 runGraphUpdate(const GraphUpdateConfig &cfg)
 {
     PIM_ASSERT(cfg.numDpus >= 1, "need at least one DPU");
-    const GraphDataset dataset = generateGraph(cfg.gen);
-    UpdateWorkload w = splitForUpdate(dataset, cfg.newFraction, cfg.seed);
-    if (cfg.maxUpdateEdges > 0 && w.updateEdges.size() > cfg.maxUpdateEdges)
-        w.updateEdges.resize(cfg.maxUpdateEdges);
-
-    GraphUpdateResult out;
-    out.updateEdgesTotal = w.updateEdges.size();
 
     // The dataset is sharded across the whole system; the unified
-    // runtime materializes the sampled shards and executes the one
-    // heterogeneous launch below on its host pool.
+    // runtime materializes the sampled shards and executes the
+    // launches below on its host pool.
     core::PimSystemConfig scfg;
     scfg.numDpus = cfg.numDpus;
     scfg.sampleDpus = cfg.sampleDpus;
     scfg.dpuCfg = cfg.dpuCfg;
     scfg.simThreads = cfg.simThreads;
+
+    if (cfg.updateRounds > 1 || cfg.shipUpdates) {
+        // Streaming-ingest mode: the round-driven stepper on a private
+        // queue (the co-tenant form runs the same task on a shared
+        // queue instead).
+        core::PimSystem sys(scfg);
+        core::CommandQueue queue(sys);
+        if (cfg.recorder != nullptr)
+            queue.attachRecorder(cfg.recorder);
+        GraphUpdateTask task(cfg, queue, sys.all());
+        while (!task.done())
+            task.step();
+        GraphUpdateResult out = task.result();
+        queue.sync();
+        return out;
+    }
+
+    const UpdateWorkload w = buildWorkload(cfg);
+
+    GraphUpdateResult out;
+    out.updateEdgesTotal = w.updateEdges.size();
+
     core::PimSystem sys(scfg);
     core::CommandQueue queue(sys);
     if (cfg.recorder != nullptr)
         queue.attachRecorder(cfg.recorder);
 
     const unsigned simulated = sys.sampleCount();
-
-    /* Per-shard outcome, filled by its worker and merged in shard order
-     * afterwards so the result is thread-count invariant. */
-    struct ShardOutcome
-    {
-        bool simulated = false;
-        uint64_t cycles = 0;
-        sim::CycleBreakdown breakdown{};
-        sim::TrafficStats traffic{};
-        bool hasAllocator = false;
-        alloc::AllocStats stats;
-        uint64_t metadataBytes = 0;
-    };
     std::vector<ShardOutcome> outcomes(simulated);
 
     // One launch, heterogeneous per-DPU work: every sampled DPU builds
@@ -200,46 +530,10 @@ runGraphUpdate(const GraphUpdateConfig &cfg)
         graph.reset();
         allocator.reset();
         dpu.reclaimMemory();
-    }, core::kNoEvent, "build+update");
+    }, {.label = "build+update"});
     queue.sync();
 
-    // Sequential merge in shard order — identical to the former
-    // single-threaded loop, for any worker count.
-    uint64_t max_cycles = 0;
-    for (const ShardOutcome &oc : outcomes) {
-        if (!oc.simulated)
-            continue;
-        max_cycles = std::max(max_cycles, oc.cycles);
-        out.breakdown.merge(oc.breakdown);
-        out.traffic.merge(oc.traffic);
-        if (oc.hasAllocator) {
-            const auto &st = oc.stats;
-            out.allocStats.mallocCalls += st.mallocCalls;
-            out.allocStats.freeCalls += st.freeCalls;
-            out.allocStats.failures += st.failures;
-            for (size_t l = 0; l < 3; ++l) {
-                out.allocStats.serviced[l] += st.serviced[l];
-                out.allocStats.cyclesByLevel[l] += st.cyclesByLevel[l];
-            }
-            for (double x : st.latency.samples())
-                out.allocStats.latency.add(x);
-            out.allocStats.events.insert(out.allocStats.events.end(),
-                                         st.events.begin(),
-                                         st.events.end());
-            out.fragmentation =
-                std::max(out.fragmentation, st.peakFragmentation);
-            out.metadataBytes = oc.metadataBytes;
-        }
-    }
-
-    out.updateSeconds = cfg.dpuCfg.cyclesToSeconds(max_cycles);
-    if (out.updateSeconds > 0) {
-        out.millionEdgesPerSec =
-            static_cast<double>(out.updateEdgesTotal)
-            / out.updateSeconds / 1e6;
-    }
-    out.avgAllocLatencyUs = cfg.dpuCfg.cyclesToMicros(
-        static_cast<uint64_t>(out.allocStats.latency.mean()));
+    mergeOutcomes(out, cfg, outcomes);
     return out;
 }
 

@@ -10,9 +10,11 @@
 #define PIM_WORKLOADS_GRAPH_UPDATE_DRIVER_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "alloc/alloc_stats.hh"
 #include "core/allocator_factory.hh"
+#include "core/command_queue.hh"
 #include "sim/config.hh"
 #include "sim/types.hh"
 #include "workloads/graph/graph_gen.hh"
@@ -58,6 +60,30 @@ struct GraphUpdateConfig
     bool traceEvents = false;
     /** DPU hardware parameters. */
     sim::DpuConfig dpuCfg{};
+    /**
+     * Number of batched update rounds the stream is split into
+     * (streaming-ingest mode). 1 = the historical single measured
+     * launch. With R > 1 every shard inserts its edges in R slices,
+     * each slice a separate launch on the command queue, so a co-tenant
+     * run interleaves with other tenants at round granularity.
+     */
+    unsigned updateRounds = 1;
+    /**
+     * Ship each round's update edges (8 B/edge) to the owning DPUs over
+     * the bus (double-buffered scatter) before the round's launch,
+     * instead of assuming the stream is resident. Implies the
+     * round-driven path even when updateRounds == 1.
+     */
+    bool shipUpdates = false;
+    /**
+     * Ingest cadence of the round-driven path: round r is not issued
+     * before r * roundIntervalSec after the build completes (the
+     * tenant's host lane idles until then), modeling an update stream
+     * that arrives over time instead of being fully buffered. 0 =
+     * back-to-back rounds. Only meaningful with updateRounds > 1 or
+     * shipUpdates.
+     */
+    double roundIntervalSec = 0.0;
     /** Workload split seed. */
     uint64_t seed = 7;
     /** Host worker threads simulating shards (0 = PIM_SIM_THREADS env,
@@ -89,10 +115,68 @@ struct GraphUpdateResult
     uint64_t metadataBytes = 0;
     /** Mean pimMalloc() latency during updates, microseconds. */
     double avgAllocLatencyUs = 0.0;
+    /**
+     * Queue-timeline wall time of the update rounds (completion of the
+     * last round minus completion of the build launch) — the metric a
+     * co-tenant run compares against its solo baseline. 0 in the
+     * historical single-launch path, where no round boundary exists.
+     */
+    double wallSeconds = 0.0;
 };
 
 /** Run the experiment. Deterministic in the config. */
 GraphUpdateResult runGraphUpdate(const GraphUpdateConfig &cfg);
+
+/**
+ * The graph-update experiment as a *resumable stepper* on an externally
+ * owned CommandQueue and rank partition — the co-tenant form of
+ * runGraphUpdate. Construction shards the dataset across the
+ * partition's logical DPUs (dense DpuSet::indexOf order) and enqueues
+ * the untimed build launch; each step() enqueues one update round
+ * (optionally preceded by its double-buffered edge shipment) and
+ * advances the task clock to the round's completion. A standalone run
+ * ("construct over all ranks of a fresh system, step() until done()")
+ * reproduces runGraphUpdate's round-driven path exactly.
+ *
+ * The task never joins the queue's timelines (no sync()); co-resident
+ * tenants keep issuing while it runs.
+ */
+class GraphUpdateTask
+{
+  public:
+    /**
+     * @param partition rank-granular DpuSet this tenant owns; the
+     *        dataset is sharded across its size() logical DPUs.
+     * @param tenant the queue tenant commands are issued as (register
+     *        with CommandQueue::addTenant; 0 = the default host).
+     */
+    GraphUpdateTask(const GraphUpdateConfig &cfg,
+                    core::CommandQueue &queue,
+                    const core::DpuSet &partition,
+                    core::TenantId tenant = core::kDefaultTenant);
+    ~GraphUpdateTask();
+
+    GraphUpdateTask(const GraphUpdateTask &) = delete;
+    GraphUpdateTask &operator=(const GraphUpdateTask &) = delete;
+
+    /** True once every update round has completed. */
+    bool done() const;
+
+    /** Completion time of the task's latest round on the queue
+     *  timeline (the co-scheduler's ordering key). */
+    double clockSeconds() const;
+
+    /** Enqueue the next update round and wait for it (event-driven).
+     *  Must not be called after done(). */
+    void step();
+
+    /** Metrics of the completed experiment (valid once done()). */
+    GraphUpdateResult result() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 /** DPU shard owning @p node (multiplicative hash, uniform). */
 unsigned shardOf(uint32_t node, unsigned num_dpus);

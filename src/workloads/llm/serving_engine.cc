@@ -10,7 +10,6 @@
 #include <vector>
 
 #include "alloc/pim_malloc.hh"
-#include "core/command_queue.hh"
 #include "core/pim_system.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -197,7 +196,7 @@ ServingEngine::runLockstep()
             // Idle until the next arrival.
             if (next_arrival < cfg.numRequests)
                 clock.hostIdleUntil(arrivals[next_arrival],
-                                    core::kNoEvent, "wait:arrival");
+                                    {.label = "wait:arrival"});
             continue;
         }
 
@@ -215,8 +214,9 @@ ServingEngine::runLockstep()
         const double step_sec = cfg.stepOverheadSeconds + cfg.fcStepSeconds
             + attn_sec + alloc_sec;
         if (clock.recorder() != nullptr) {
-            clock.hostBusy(step_sec, core::kNoEvent,
-                           "step b" + std::to_string(active.size()));
+            clock.hostBusy(step_sec,
+                           {.label = "step b"
+                                + std::to_string(active.size())});
         } else {
             clock.hostBusy(step_sec);
         }
@@ -249,11 +249,383 @@ ServingEngine::runLockstep()
     return res;
 }
 
+/**
+ * The full state of one disaggregated serving pipeline between step()
+ * calls: the per-slot prefill heaps, the admission queues, the active
+ * batch, and the double-buffered shipping events. One step() is exactly
+ * one iteration of the historical runDisaggregated loop, so a
+ * standalone run of the task reproduces it number for number.
+ */
+struct DisaggServingTask::Impl
+{
+    Impl(const ServingScheme &scheme_in,
+         const ServingEngineConfig &ecfg, core::CommandQueue &q,
+         const core::DpuSet &partition, core::TenantId tenant_in);
+
+    void step();
+
+    struct Wave
+    {
+        std::vector<unsigned> reqs;
+        core::Event migrated; ///< prompt KV landed on decode ranks
+    };
+
+    ServingScheme scheme;
+    ServingConfig cfg;
+    core::CommandQueue &queue;
+    core::PimSystem &sys;
+    core::TenantId tenant;
+    bool traced;
+    /** Prefill / decode split of the owned partition. */
+    std::pair<core::DpuSet, core::DpuSet> parts;
+
+    // Derived constants.
+    uint64_t perTokenDec = 0;
+    uint64_t perTokenPre = 0;
+    double blocksPerToken = 0.0;
+    uint64_t promptBytesPre = 0;
+    unsigned maxPrefillBatch = 1;
+    std::vector<double> arrivals;
+
+    // Pipeline state.
+    std::vector<PrefillSlot> slots;
+    std::deque<unsigned> waiting;
+    std::deque<Wave> inflight;
+    std::vector<ActiveRequest> active;
+    unsigned inflightReqs = 0;
+    unsigned nextArrival = 0;
+    unsigned completed = 0;
+    unsigned stepIdx = 0;
+    uint64_t tokensOut = 0;
+    uint64_t shippedBytes = 0;
+    util::Percentile tpot;
+    util::Percentile ttft;
+    core::Event shipPrev1 = core::kNoEvent;
+    core::Event shipPrev2 = core::kNoEvent;
+    double now = 0.0;
+
+    ServingResult res; ///< partition/limit fields filled up front
+
+    double
+    allocSeconds(double blocks) const
+    {
+        if (!scheme.allocator || blocks <= 0)
+            return 0.0;
+        const double waves = std::ceil(
+            blocks / static_cast<double>(cfg.allocTasklets));
+        return waves * res.allocSecPerBlock;
+    }
+};
+
+DisaggServingTask::Impl::Impl(const ServingScheme &scheme_in,
+                              const ServingEngineConfig &ecfg,
+                              core::CommandQueue &q,
+                              const core::DpuSet &partition,
+                              core::TenantId tenant_in)
+    : scheme(scheme_in), cfg(ecfg.base), queue(q), sys(q.system()),
+      tenant(tenant_in), traced(q.recorder() != nullptr),
+      parts(partition.partitionRanks(ecfg.prefillRankFraction))
+{
+    PIM_ASSERT(partition.ranks().size() >= 2,
+               "disaggregated serving needs at least two ranks");
+    const core::DpuSet &prefill_set = parts.first;
+    const core::DpuSet &decode_set = parts.second;
+    res.prefillRanks =
+        static_cast<unsigned>(prefill_set.ranks().size());
+    res.decodeRanks = static_cast<unsigned>(decode_set.ranks().size());
+    const unsigned prefill_dpus = prefill_set.size();
+    const unsigned decode_dpus = decode_set.size();
+
+    res.maxBatchLimit = batchLimit(scheme, cfg, decode_dpus);
+    PIM_ASSERT(res.maxBatchLimit >= 1,
+               "decode partition too small: zero-request batch limit");
+    res.allocSecPerBlock = scheme.allocator
+        ? calibratedAllocLatency(*scheme.allocator, cfg.allocTasklets,
+                                 cfg.kvBlockBytes)
+        : 0.0;
+
+    perTokenDec = cfg.model.kvBytesPerTokenPerDpu(decode_dpus);
+    perTokenPre = cfg.model.kvBytesPerTokenPerDpu(prefill_dpus);
+    blocksPerToken =
+        static_cast<double>(perTokenDec) / cfg.kvBlockBytes;
+
+    // One prefill wave's prompts live transiently in the prefill-rank
+    // heaps until the next wave releases them; bound the wave so a
+    // whole wave fits.
+    const alloc::PimMallocConfig heap_cfg;
+    promptBytesPre = perTokenPre * cfg.promptTokens;
+    maxPrefillBatch = std::max<unsigned>(
+        1,
+        static_cast<unsigned>(heap_cfg.heapBytes * 95 / 100
+                              / std::max<uint64_t>(promptBytesPre, 1)));
+
+    arrivals = arrivalTimes(cfg);
+
+    // Per-slot prefill state (each slot is touched by exactly one
+    // engine worker). Dynamic schemes bring their allocator up in one
+    // deployment-time launch before the trace starts, so the (real,
+    // possibly large) init cost lands visibly on the prefill ranks at
+    // t=0 instead of being dropped as untimed setup inside a wave.
+    slots.resize(sys.sampleCount());
+    const unsigned tasklets = cfg.allocTasklets;
+    if (scheme.allocator) {
+        queue.launchProgram(
+            prefill_set,
+            [this, tasklets](sim::Dpu &dpu, unsigned global) {
+                PrefillSlot &st = slots[sys.slotOf(global)];
+                core::AllocatorOverrides ov;
+                ov.numTasklets = tasklets;
+                st.allocator =
+                    core::makeAllocator(dpu, *scheme.allocator, ov);
+                st.kv = std::make_unique<KvCacheManager>(
+                    *st.allocator, cfg.kvBlockBytes);
+                dpu.run(1,
+                        [&](sim::Tasklet &t) { st.allocator->init(t); });
+            },
+            {.label = traced ? "alloc init" : "", .tenant = tenant});
+    }
+}
+
+void
+DisaggServingTask::Impl::step()
+{
+    const core::DpuSet &prefill_set = parts.first;
+    const core::DpuSet &decode_set = parts.second;
+    const unsigned tasklets = cfg.allocTasklets;
+
+    // Admit arrivals that happened before `now`.
+    while (nextArrival < cfg.numRequests
+           && arrivals[nextArrival] <= now) {
+        waiting.push_back(nextArrival);
+        ++nextArrival;
+    }
+
+    // Launch a prefill wave on the prefill ranks if there is work
+    // and both the decode batch bound and the prefill heap allow.
+    const unsigned in_pipe =
+        static_cast<unsigned>(active.size()) + inflightReqs;
+    if (!waiting.empty() && in_pipe < res.maxBatchLimit) {
+        const unsigned room =
+            std::min(res.maxBatchLimit - in_pipe, maxPrefillBatch);
+        Wave w;
+        while (!waiting.empty() && w.reqs.size() < room) {
+            w.reqs.push_back(waiting.front());
+            waiting.pop_front();
+        }
+        const unsigned k = static_cast<unsigned>(w.reqs.size());
+        // The host dispatches the wave no earlier than its newest
+        // member's arrival (the host timeline lags `now` when the
+        // decode ranks pace the pipeline, and a prefill must not
+        // start before its request exists). Arrivals are sorted,
+        // so the last member is the newest.
+        queue.hostIdleUntil(arrivals[w.reqs.back()],
+                            {.label = "wait:arrival",
+                             .tenant = tenant});
+        const core::Event pf = queue.launchProgram(
+            prefill_set,
+            [this, k, tasklets](sim::Dpu &dpu, unsigned global) {
+                PrefillSlot &st = slots[sys.slotOf(global)];
+                const uint64_t prompt_bytes_pre = promptBytesPre;
+                if (st.kv != nullptr) {
+                    // Recycle the previous wave's transient prompt
+                    // KV (it migrated long ago), then allocate and
+                    // fill this wave's blocks with the real
+                    // allocator under tasklet concurrency.
+                    const unsigned prev = st.prevWaveRequests;
+                    dpu.run(tasklets, [&](sim::Tasklet &t) {
+                        for (unsigned r = t.id(); r < prev;
+                             r += tasklets)
+                            st.kv->releaseRequest(t, r);
+                        for (unsigned r = t.id(); r < k;
+                             r += tasklets) {
+                            if (!st.kv->appendBytes(
+                                    t, r, prompt_bytes_pre))
+                                break; // heap exhausted: keep rest
+                        }
+                    });
+                    st.prevWaveRequests = k;
+                } else {
+                    // Static: stream the prompts into the
+                    // pre-reserved slabs (pure DMA cost).
+                    const uint64_t total = prompt_bytes_pre * k;
+                    dpu.run(tasklets, [&](sim::Tasklet &t) {
+                        constexpr uint64_t chunk = 2048;
+                        for (uint64_t off = t.id() * chunk;
+                             off < total; off += chunk * tasklets)
+                            t.dmaWrite(
+                                0, static_cast<uint32_t>(
+                                       std::min(chunk, total - off)));
+                    });
+                }
+            },
+            {.label = traced ? "prefill b" + std::to_string(k) : "",
+             .tenant = tenant});
+        // Ship the wave's prompt KV: gather off the prefill ranks,
+        // then land it (double-buffered) on the decode ranks.
+        const core::Event gather = queue.memcpyAsync(
+            prefill_set, promptBytesPre * k,
+            core::CopyDirection::PimToHost,
+            {.after = pf,
+             .label = traced ? "kv gather b" + std::to_string(k) : "",
+             .tenant = tenant});
+        w.migrated = queue.memcpyBufferedAsync(
+            decode_set, perTokenDec * cfg.promptTokens * k,
+            core::CopyDirection::HostToPim,
+            {.after = gather,
+             .label = traced ? "kv migrate b" + std::to_string(k) : "",
+             .tenant = tenant});
+        shippedBytes += promptBytesPre * k * prefill_set.size()
+            + perTokenDec * cfg.promptTokens * k * decode_set.size();
+        inflightReqs += k;
+        inflight.push_back(std::move(w));
+        ++res.prefillWaves;
+    }
+
+    // Activate waves whose prompt KV has landed by `now` (their
+    // first decodable step starts at or after `now`, so the
+    // migration is complete before attention reads it).
+    while (!inflight.empty()
+           && queue.eventSeconds(inflight.front().migrated) <= now) {
+        const double ready =
+            queue.eventSeconds(inflight.front().migrated);
+        for (const unsigned id : inflight.front().reqs)
+            active.push_back({id, cfg.promptTokens, 0, ready});
+        inflightReqs -=
+            static_cast<unsigned>(inflight.front().reqs.size());
+        inflight.pop_front();
+    }
+
+    if (active.empty()) {
+        if (!inflight.empty()) {
+            // Wait for the next wave's migration to land.
+            const double ready =
+                queue.eventSeconds(inflight.front().migrated);
+            queue.hostIdleUntil(ready,
+                                {.after = inflight.front().migrated,
+                                 .label = "wait:prefill",
+                                 .tenant = tenant});
+            now = std::max(now, ready);
+        } else if (nextArrival < cfg.numRequests) {
+            queue.hostIdleUntil(arrivals[nextArrival],
+                                {.label = "wait:arrival",
+                                 .tenant = tenant});
+            now = std::max(now, arrivals[nextArrival]);
+        }
+        return;
+    }
+
+    // One pipelined decode step: the host runs the xPU-side FC and
+    // step bookkeeping, the decode ranks run bandwidth-bound
+    // attention plus this step's KV-block allocations, and the
+    // appended KV blocks ship over the bus without stalling the
+    // ranks. Consecutive steps overlap across all three resources.
+    uint64_t kv_bytes = 0;
+    for (const auto &r : active)
+        kv_bytes += perTokenDec * r.context;
+    const double attn_sec =
+        static_cast<double>(kv_bytes) / cfg.mramBandwidth;
+    const double alloc_sec = allocSeconds(
+        blocksPerToken * static_cast<double>(active.size()));
+    const std::string step_tag = traced
+        ? " s" + std::to_string(stepIdx) + " b"
+            + std::to_string(active.size())
+        : std::string();
+    queue.hostBusy(cfg.stepOverheadSeconds + cfg.fcStepSeconds,
+                   {.label = traced ? "fc" + step_tag : "",
+                    .tenant = tenant});
+    const core::Event attn = queue.launchTimed(
+        decode_set, attn_sec + alloc_sec,
+        {.after = shipPrev2,
+         .label = traced ? "attn" + step_tag : "",
+         .tenant = tenant});
+    const uint64_t append_per_dpu =
+        perTokenDec * static_cast<uint64_t>(active.size());
+    const core::Event ship = queue.memcpyBufferedAsync(
+        decode_set, append_per_dpu, core::CopyDirection::HostToPim,
+        {.after = attn,
+         .label = traced ? "kv append" + step_tag : "",
+         .tenant = tenant});
+    shippedBytes += append_per_dpu * decode_set.size();
+    shipPrev2 = shipPrev1;
+    shipPrev1 = ship;
+    ++stepIdx;
+
+    const double t_end = queue.eventSeconds(attn);
+    res.peakBatchObserved = std::max<unsigned>(
+        res.peakBatchObserved, static_cast<unsigned>(active.size()));
+    for (auto &r : active) {
+        ++r.context;
+        ++r.generated;
+        ++tokensOut;
+        tpot.add(t_end - r.lastTokenSec);
+        if (r.generated == 1)
+            ttft.add(t_end - arrivals[r.id]);
+        r.lastTokenSec = t_end;
+    }
+    std::erase_if(active, [&](const ActiveRequest &r) {
+        if (r.generated >= cfg.outputTokens) {
+            ++completed;
+            return true;
+        }
+        return false;
+    });
+    now = std::max(now, t_end);
+}
+
+DisaggServingTask::DisaggServingTask(const ServingScheme &scheme,
+                                     const ServingEngineConfig &cfg,
+                                     core::CommandQueue &queue,
+                                     const core::DpuSet &partition,
+                                     core::TenantId tenant)
+    : impl_(std::make_unique<Impl>(scheme, cfg, queue, partition,
+                                   tenant))
+{
+}
+
+DisaggServingTask::~DisaggServingTask() = default;
+
+bool
+DisaggServingTask::done() const
+{
+    return impl_->completed >= impl_->cfg.numRequests;
+}
+
+double
+DisaggServingTask::clockSeconds() const
+{
+    return impl_->now;
+}
+
+void
+DisaggServingTask::step()
+{
+    PIM_ASSERT(!done(), "step() after the serving trace completed");
+    impl_->step();
+}
+
+ServingResult
+DisaggServingTask::result() const
+{
+    PIM_ASSERT(done(), "result() before the serving trace completed");
+    ServingResult res = impl_->res;
+    res.makespanSec = impl_->now;
+    res.throughputTokensPerSec =
+        static_cast<double>(impl_->tokensOut)
+        / std::max(res.makespanSec, 1e-9);
+    res.tpotP50Ms = impl_->tpot.p50() * 1e3;
+    res.tpotP95Ms = impl_->tpot.p95() * 1e3;
+    res.tpotP99Ms = impl_->tpot.p99() * 1e3;
+    res.ttftP50Ms = impl_->ttft.p50() * 1e3;
+    res.ttftP95Ms = impl_->ttft.p95() * 1e3;
+    res.ttftP99Ms = impl_->ttft.p99() * 1e3;
+    res.kvShippedBytes = impl_->shippedBytes;
+    return res;
+}
+
 ServingResult
 ServingEngine::runDisaggregated()
 {
     const ServingConfig &cfg = cfg_.base;
-    ServingResult res;
 
     // One representative DPU per rank: prefill launches must find a
     // materialized member in every prefill rank.
@@ -267,268 +639,20 @@ ServingEngine::runDisaggregated()
     core::CommandQueue queue(sys);
     if (cfg.recorder != nullptr)
         queue.attachRecorder(cfg.recorder);
-    const bool traced = queue.recorder() != nullptr;
 
-    auto [prefill_set, decode_set] =
-        sys.partitionRanks(cfg_.prefillRankFraction);
-    res.prefillRanks =
-        static_cast<unsigned>(prefill_set.ranks().size());
-    res.decodeRanks = static_cast<unsigned>(decode_set.ranks().size());
-    const unsigned prefill_dpus = prefill_set.size();
-    const unsigned decode_dpus = decode_set.size();
+    DisaggServingTask task(scheme_, cfg_, queue, sys.all());
+    while (!task.done())
+        task.step();
 
-    res.maxBatchLimit = batchLimit(scheme_, cfg, decode_dpus);
-    PIM_ASSERT(res.maxBatchLimit >= 1,
-               "decode partition too small: zero-request batch limit");
-    res.allocSecPerBlock = scheme_.allocator
-        ? calibratedAllocLatency(*scheme_.allocator, cfg.allocTasklets,
-                                 cfg.kvBlockBytes)
-        : 0.0;
-
-    const uint64_t per_token_dec =
-        cfg.model.kvBytesPerTokenPerDpu(decode_dpus);
-    const uint64_t per_token_pre =
-        cfg.model.kvBytesPerTokenPerDpu(prefill_dpus);
-    const double blocks_per_token =
-        static_cast<double>(per_token_dec) / cfg.kvBlockBytes;
-    auto allocSeconds = [&](double blocks) {
-        if (!scheme_.allocator || blocks <= 0)
-            return 0.0;
-        const double waves =
-            std::ceil(blocks / static_cast<double>(cfg.allocTasklets));
-        return waves * res.allocSecPerBlock;
-    };
-
-    // One prefill wave's prompts live transiently in the prefill-rank
-    // heaps until the next wave releases them; bound the wave so a
-    // whole wave fits.
-    const alloc::PimMallocConfig heap_cfg;
-    const uint64_t prompt_bytes_pre =
-        per_token_pre * cfg.promptTokens;
-    const unsigned max_prefill_batch = std::max<unsigned>(
-        1,
-        static_cast<unsigned>(heap_cfg.heapBytes * 95 / 100
-                              / std::max<uint64_t>(prompt_bytes_pre, 1)));
-
-    const std::vector<double> arrivals = arrivalTimes(cfg);
-
-    // Per-slot prefill state (each slot is touched by exactly one
-    // engine worker). Dynamic schemes bring their allocator up in one
-    // deployment-time launch before the trace starts, so the (real,
-    // possibly large) init cost lands visibly on the prefill ranks at
-    // t=0 instead of being dropped as untimed setup inside a wave.
-    std::vector<PrefillSlot> slots(sys.sampleCount());
-    const unsigned tasklets = cfg.allocTasklets;
-    if (scheme_.allocator) {
-        queue.launchProgram(
-            prefill_set,
-            [&sys, &slots, &scheme = scheme_, &cfg,
-             tasklets](sim::Dpu &dpu, unsigned global) {
-                PrefillSlot &st = slots[sys.slotOf(global)];
-                core::AllocatorOverrides ov;
-                ov.numTasklets = tasklets;
-                st.allocator =
-                    core::makeAllocator(dpu, *scheme.allocator, ov);
-                st.kv = std::make_unique<KvCacheManager>(
-                    *st.allocator, cfg.kvBlockBytes);
-                dpu.run(1,
-                        [&](sim::Tasklet &t) { st.allocator->init(t); });
-            },
-            core::kNoEvent, traced ? "alloc init" : "");
-    }
-
-    struct Wave
-    {
-        std::vector<unsigned> reqs;
-        core::Event migrated; ///< prompt KV landed on decode ranks
-    };
-
-    std::deque<unsigned> waiting;
-    std::deque<Wave> inflight;
-    std::vector<ActiveRequest> active;
-    unsigned inflight_reqs = 0;
-    unsigned next_arrival = 0;
-    unsigned completed = 0;
-    uint64_t tokens_out = 0;
-    unsigned step_idx = 0;
-    util::Percentile tpot;
-
-    // Double-buffered KV-append shipping: attention of step n orders
-    // after the append shipped in step n-2, so the step n-1 transfer
-    // genuinely overlaps step n's attention (the appended block is
-    // read one step after it lands — the double-buffer swap).
-    core::Event ship_prev1 = core::kNoEvent;
-    core::Event ship_prev2 = core::kNoEvent;
-    double now = 0.0;
-
-    while (completed < cfg.numRequests) {
-        // Admit arrivals that happened before `now`.
-        while (next_arrival < cfg.numRequests
-               && arrivals[next_arrival] <= now) {
-            waiting.push_back(next_arrival);
-            ++next_arrival;
-        }
-
-        // Launch a prefill wave on the prefill ranks if there is work
-        // and both the decode batch bound and the prefill heap allow.
-        const unsigned in_pipe =
-            static_cast<unsigned>(active.size()) + inflight_reqs;
-        if (!waiting.empty() && in_pipe < res.maxBatchLimit) {
-            const unsigned room = std::min(
-                res.maxBatchLimit - in_pipe, max_prefill_batch);
-            Wave w;
-            while (!waiting.empty() && w.reqs.size() < room) {
-                w.reqs.push_back(waiting.front());
-                waiting.pop_front();
-            }
-            const unsigned k = static_cast<unsigned>(w.reqs.size());
-            // The host dispatches the wave no earlier than its newest
-            // member's arrival (the host timeline lags `now` when the
-            // decode ranks pace the pipeline, and a prefill must not
-            // start before its request exists). Arrivals are sorted,
-            // so the last member is the newest.
-            queue.hostIdleUntil(arrivals[w.reqs.back()],
-                                core::kNoEvent, "wait:arrival");
-            const core::Event pf = queue.launchProgram(
-                prefill_set,
-                [&sys, &slots, k, prompt_bytes_pre,
-                 tasklets](sim::Dpu &dpu, unsigned global) {
-                    PrefillSlot &st = slots[sys.slotOf(global)];
-                    if (st.kv != nullptr) {
-                        // Recycle the previous wave's transient prompt
-                        // KV (it migrated long ago), then allocate and
-                        // fill this wave's blocks with the real
-                        // allocator under tasklet concurrency.
-                        const unsigned prev = st.prevWaveRequests;
-                        dpu.run(tasklets, [&](sim::Tasklet &t) {
-                            for (unsigned r = t.id(); r < prev;
-                                 r += tasklets)
-                                st.kv->releaseRequest(t, r);
-                            for (unsigned r = t.id(); r < k;
-                                 r += tasklets) {
-                                if (!st.kv->appendBytes(
-                                        t, r, prompt_bytes_pre))
-                                    break; // heap exhausted: keep rest
-                            }
-                        });
-                        st.prevWaveRequests = k;
-                    } else {
-                        // Static: stream the prompts into the
-                        // pre-reserved slabs (pure DMA cost).
-                        const uint64_t total = prompt_bytes_pre * k;
-                        dpu.run(tasklets, [&](sim::Tasklet &t) {
-                            constexpr uint64_t chunk = 2048;
-                            for (uint64_t off = t.id() * chunk;
-                                 off < total; off += chunk * tasklets)
-                                t.dmaWrite(
-                                    0, static_cast<uint32_t>(
-                                           std::min(chunk, total - off)));
-                        });
-                    }
-                },
-                core::kNoEvent,
-                traced ? "prefill b" + std::to_string(k) : "");
-            // Ship the wave's prompt KV: gather off the prefill ranks,
-            // then land it (double-buffered) on the decode ranks.
-            const core::Event gather = queue.memcpyAsync(
-                prefill_set, prompt_bytes_pre * k,
-                core::CopyDirection::PimToHost, pf,
-                traced ? "kv gather b" + std::to_string(k) : "");
-            w.migrated = queue.memcpyBufferedAsync(
-                decode_set, per_token_dec * cfg.promptTokens * k,
-                core::CopyDirection::HostToPim, gather,
-                traced ? "kv migrate b" + std::to_string(k) : "");
-            inflight_reqs += k;
-            inflight.push_back(std::move(w));
-            ++res.prefillWaves;
-        }
-
-        // Activate waves whose prompt KV has landed by `now` (their
-        // first decodable step starts at or after `now`, so the
-        // migration is complete before attention reads it).
-        while (!inflight.empty()
-               && queue.eventSeconds(inflight.front().migrated) <= now) {
-            const double ready =
-                queue.eventSeconds(inflight.front().migrated);
-            for (const unsigned id : inflight.front().reqs)
-                active.push_back({id, cfg.promptTokens, 0, ready});
-            inflight_reqs -=
-                static_cast<unsigned>(inflight.front().reqs.size());
-            inflight.pop_front();
-        }
-
-        if (active.empty()) {
-            if (!inflight.empty()) {
-                // Wait for the next wave's migration to land.
-                const double ready =
-                    queue.eventSeconds(inflight.front().migrated);
-                queue.hostIdleUntil(ready, inflight.front().migrated,
-                                    "wait:prefill");
-                now = std::max(now, ready);
-            } else if (next_arrival < cfg.numRequests) {
-                queue.hostIdleUntil(arrivals[next_arrival],
-                                    core::kNoEvent, "wait:arrival");
-                now = std::max(now, arrivals[next_arrival]);
-            }
-            continue;
-        }
-
-        // One pipelined decode step: the host runs the xPU-side FC and
-        // step bookkeeping, the decode ranks run bandwidth-bound
-        // attention plus this step's KV-block allocations, and the
-        // appended KV blocks ship over the bus without stalling the
-        // ranks. Consecutive steps overlap across all three resources.
-        uint64_t kv_bytes = 0;
-        for (const auto &r : active)
-            kv_bytes += per_token_dec * r.context;
-        const double attn_sec =
-            static_cast<double>(kv_bytes) / cfg.mramBandwidth;
-        const double alloc_sec = allocSeconds(
-            blocks_per_token * static_cast<double>(active.size()));
-        const std::string step_tag = traced
-            ? " s" + std::to_string(step_idx) + " b"
-                + std::to_string(active.size())
-            : std::string();
-        queue.hostBusy(cfg.stepOverheadSeconds + cfg.fcStepSeconds,
-                       core::kNoEvent, traced ? "fc" + step_tag : "");
-        const core::Event attn = queue.launchTimed(
-            decode_set, attn_sec + alloc_sec, ship_prev2,
-            traced ? "attn" + step_tag : "");
-        const core::Event ship = queue.memcpyBufferedAsync(
-            decode_set,
-            per_token_dec * static_cast<uint64_t>(active.size()),
-            core::CopyDirection::HostToPim, attn,
-            traced ? "kv append" + step_tag : "");
-        ship_prev2 = ship_prev1;
-        ship_prev1 = ship;
-        ++step_idx;
-
-        const double t_end = queue.eventSeconds(attn);
-        res.peakBatchObserved = std::max<unsigned>(
-            res.peakBatchObserved, static_cast<unsigned>(active.size()));
-        for (auto &r : active) {
-            ++r.context;
-            ++r.generated;
-            ++tokens_out;
-            tpot.add(t_end - r.lastTokenSec);
-            r.lastTokenSec = t_end;
-        }
-        std::erase_if(active, [&](const ActiveRequest &r) {
-            if (r.generated >= cfg.outputTokens) {
-                ++completed;
-                return true;
-            }
-            return false;
-        });
-        now = std::max(now, t_end);
-    }
-
+    // Standalone: the queue is exclusively ours, so the joined-queue
+    // makespan, the queue's transfer counter, and the hidden-work sum
+    // are all this run's own (a co-tenant run reads task.result()
+    // as-is instead and gets tenant-local numbers).
+    ServingResult res = task.result();
     res.makespanSec = queue.sync();
-    res.throughputTokensPerSec = static_cast<double>(tokens_out)
+    res.throughputTokensPerSec =
+        static_cast<double>(task.impl_->tokensOut)
         / std::max(res.makespanSec, 1e-9);
-    res.tpotP50Ms = tpot.p50() * 1e3;
-    res.tpotP95Ms = tpot.p95() * 1e3;
-    res.tpotP99Ms = tpot.p99() * 1e3;
     res.kvShippedBytes = queue.transferredBytes();
     res.overlapSeconds = std::max(
         0.0,

@@ -30,6 +30,9 @@
 #ifndef PIM_WORKLOADS_LLM_SERVING_ENGINE_HH
 #define PIM_WORKLOADS_LLM_SERVING_ENGINE_HH
 
+#include <memory>
+
+#include "core/command_queue.hh"
 #include "workloads/llm/serving_sim.hh"
 
 namespace pim::workloads::llm {
@@ -90,6 +93,70 @@ class ServingEngine
 
     ServingScheme scheme_;
     ServingEngineConfig cfg_;
+};
+
+/**
+ * The disaggregated serving pipeline as a *resumable stepper* on an
+ * externally owned CommandQueue and rank partition — the co-tenant
+ * form of ServingEngine's Disaggregated mode. A standalone run is
+ * "construct on a fresh system's queue over all its ranks, then step()
+ * until done()" (exactly what ServingEngine::runDisaggregated does);
+ * a co-tenant run constructs the task on a shared queue with the ranks
+ * a core::RankScheduler granted (split internally into prefill/decode
+ * partitions) and a registered TenantId, and interleaves step() with
+ * other tenants' steppers — the deterministic co-scheduler advances
+ * whichever task's clockSeconds() is behind.
+ *
+ * The task never joins the queue's timelines (no sync()), so
+ * co-resident tenants keep issuing while it runs; all admission/TPOT
+ * accounting is event-timestamp driven.
+ */
+class DisaggServingTask
+{
+  public:
+    /**
+     * @param partition rank-granular DpuSet (>= 2 ranks) this tenant
+     *        owns; prefillRankFraction of it prefills, the rest
+     *        decodes.
+     * @param tenant the queue tenant commands are issued as (register
+     *        with CommandQueue::addTenant; 0 = the default host).
+     */
+    DisaggServingTask(const ServingScheme &scheme,
+                      const ServingEngineConfig &cfg,
+                      core::CommandQueue &queue,
+                      const core::DpuSet &partition,
+                      core::TenantId tenant = core::kDefaultTenant);
+    ~DisaggServingTask();
+
+    DisaggServingTask(const DisaggServingTask &) = delete;
+    DisaggServingTask &operator=(const DisaggServingTask &) = delete;
+
+    /** True once every request of the trace has fully decoded. */
+    bool done() const;
+
+    /** The task's pipeline clock: completion time of its latest decode
+     *  step on the queue timeline (the co-scheduler's ordering key). */
+    double clockSeconds() const;
+
+    /** One scheduler iteration: admit arrivals, launch/activate
+     *  prefill waves, run one decode step (or idle to the next
+     *  arrival). Must not be called after done(). */
+    void step();
+
+    /**
+     * Metrics of the completed trace (valid once done()). makespanSec
+     * is the task's own clock — the tenant's completion time on the
+     * shared timeline — and kvShippedBytes counts only this task's
+     * transfers, so co-tenants don't pollute each other's results.
+     * overlapSeconds stays 0 (queue-wide work counters are
+     * cross-tenant; use trace::analyzeOccupancy on a co-tenant trace).
+     */
+    ServingResult result() const;
+
+  private:
+    friend class ServingEngine;
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
 };
 
 } // namespace pim::workloads::llm

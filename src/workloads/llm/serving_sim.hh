@@ -98,6 +98,9 @@ struct ServingResult
     double allocSecPerBlock = 0.0; ///< calibrated allocator latency
 
     /** Disaggregated mode only (all zero in lockstep mode). */
+    double ttftP50Ms = 0.0;      ///< time-to-first-token percentiles
+    double ttftP95Ms = 0.0;      ///<   (arrival → first decoded token)
+    double ttftP99Ms = 0.0;
     unsigned prefillRanks = 0;   ///< ranks running prefill launches
     unsigned decodeRanks = 0;    ///< ranks running decode attention
     unsigned prefillWaves = 0;   ///< prefill launches issued

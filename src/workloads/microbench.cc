@@ -50,7 +50,7 @@ runMicrobench(const MicrobenchConfig &cfg)
                 live.push_back(addr);
             }
         }
-    }, core::kNoEvent, "alloc loop");
+    }, {.label = "alloc loop"});
     queue.sync();
 
     MicrobenchResult res;
