@@ -37,6 +37,9 @@ baseConfig(StructureKind s, core::AllocatorKind a,
     cfg.sampleDpus = knobs.sample;
     cfg.simThreads = knobs.threads;
     cfg.tasklets = knobs.tasklets;
+    cfg.faultSpec = fault::FaultSpec::fromKnobs(knobs.faultSpec,
+                                                knobs.mtbf);
+    cfg.faultSeed = knobs.faultSeed;
     // loc-gowalla scale: 196,591 nodes / 950,327 edges.
     cfg.gen.numNodes = 196591;
     cfg.gen.numEdges = 950327;

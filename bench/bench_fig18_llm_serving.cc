@@ -25,6 +25,7 @@
 #include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 #include "workloads/llm/serving_engine.hh"
 #include "workloads/llm/serving_sim.hh"
@@ -37,7 +38,7 @@ namespace {
 /** One disaggregated run. */
 ServingResult
 runDisaggregated(const ServingScheme &scheme, const ServingConfig &base,
-                 double prefill_frac, unsigned sim_threads,
+                 double prefill_frac, const util::BenchKnobs &knobs,
                  trace::Recorder *recorder)
 {
     ServingEngineConfig ecfg;
@@ -45,7 +46,10 @@ runDisaggregated(const ServingScheme &scheme, const ServingConfig &base,
     ecfg.base.recorder = recorder;
     ecfg.mode = ServingMode::Disaggregated;
     ecfg.prefillRankFraction = prefill_frac;
-    ecfg.simThreads = sim_threads;
+    ecfg.simThreads = knobs.threads;
+    ecfg.faultSpec =
+        fault::FaultSpec::fromKnobs(knobs.faultSpec, knobs.mtbf);
+    ecfg.faultSeed = knobs.faultSeed;
     return ServingEngine(scheme, ecfg).run();
 }
 
@@ -71,7 +75,7 @@ runDisaggregatedStudy(const util::BenchKnobs &knobs,
     std::vector<std::pair<std::string, ServingResult>> results;
     for (const auto &scheme : schemes) {
         const auto r =
-            runDisaggregated(scheme, cfg, prefill_frac, knobs.threads,
+            runDisaggregated(scheme, cfg, prefill_frac, knobs,
                              recorders.add(scheme.name()));
         results.emplace_back(scheme.name(), r);
         table.addRow({scheme.name(),
@@ -114,8 +118,7 @@ runDisaggregatedStudy(const util::BenchKnobs &knobs,
                 [&](const auto &p) { return p.first == scheme.name(); });
             const ServingResult r = f == prefill_frac
                 ? cached->second
-                : runDisaggregated(scheme, cfg, f, knobs.threads,
-                                   nullptr);
+                : runDisaggregated(scheme, cfg, f, knobs, nullptr);
             sweep_results.emplace_back(scheme.name(), f, r);
             sweep.addRow(
                 {scheme.name(), util::Table::num(f, 3),
@@ -200,8 +203,12 @@ main(int argc, char **argv)
     // fatal).
     util::Cli cli(argc, argv,
                   "dpus,tasklets,threads,json,trace,occupancy,requests,"
-                  "rate,disaggregate,prefill-frac");
+                  "rate,disaggregate,prefill-frac,fault-seed,mtbf,"
+                  "fault-spec");
     const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
+    if (knobs.wantsFaults() && !cli.getBool("disaggregate", false))
+        PIM_FATAL("--mtbf/--fault-spec require --disaggregate: only "
+                  "the rank-partitioned pipeline is fault-aware");
 
     ServingConfig cfg;
     cfg.numDpus = knobs.dpus;

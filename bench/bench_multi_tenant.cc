@@ -25,15 +25,19 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "core/command_queue.hh"
 #include "core/pim_system.hh"
 #include "core/rank_scheduler.hh"
+#include "fault/injector.hh"
 #include "trace/chrome_trace.hh"
 #include "trace/occupancy.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 #include "workloads/graph/update_driver.hh"
 #include "workloads/llm/serving_engine.hh"
@@ -50,7 +54,26 @@ struct TenantSetup
     workloads::llm::ServingScheme scheme;
     workloads::llm::ServingEngineConfig serving;
     workloads::graph::GraphUpdateConfig graph;
+    /** Fault injection (--mtbf/--fault-spec/--fault-seed): every run —
+     *  both solos and the co-run — attaches its own injector over the
+     *  SAME plan, so solo and co-tenant experience identical fault
+     *  schedules. */
+    fault::FaultSpec faultSpec{};
+    uint64_t faultSeed = 23;
 };
+
+/** Fresh injector over the shared plan (nullptr when faults are off). */
+std::unique_ptr<fault::FaultInjector>
+makeInjector(const TenantSetup &s, core::CommandQueue &queue,
+             unsigned num_ranks)
+{
+    if (!s.faultSpec.enabled())
+        return nullptr;
+    auto inj = std::make_unique<fault::FaultInjector>(
+        fault::FaultPlan(s.faultSpec, s.faultSeed, num_ranks));
+    queue.attachFaultInjector(inj.get());
+    return inj;
+}
 
 core::PimSystemConfig
 systemConfig(const TenantSetup &s)
@@ -72,13 +95,34 @@ runServingSolo(const TenantSetup &s, trace::Recorder *rec)
     core::CommandQueue queue(sys);
     if (rec != nullptr)
         queue.attachRecorder(rec);
+    const auto inj = makeInjector(s, queue, sys.numRanks());
     core::RankScheduler sched(sys);
     const core::DpuSet part =
         sched.acquireRanks(s.servingRanks, "serving");
     workloads::llm::DisaggServingTask task(s.scheme, s.serving, queue,
                                            part);
-    while (!task.done())
+    const bool rank_faults =
+        inj != nullptr && s.faultSpec.rankMtbfSec > 0.0;
+    if (rank_faults) {
+        sched.onRevoke("serving", [&](unsigned rank) {
+            task.onRankFailed(rank, inj->rankFailSeconds(rank));
+            sched.requestRanks(1, "serving", [&](core::DpuSet repl) {
+                task.onReplacementGranted(std::move(repl));
+            });
+        });
+    }
+    while (!task.done()) {
         task.step();
+        if (rank_faults) {
+            for (const fault::FaultEvent &ev :
+                 inj->drainFailedRanks(task.clockSeconds()))
+                sched.quarantine(ev.rank);
+            if (task.waitingReplacement())
+                PIM_FATAL("serving solo: rank failed with no free "
+                          "replacement left (", sched.freeRankCount(),
+                          " free)");
+        }
+    }
     queue.sync();
     return task.result();
 }
@@ -92,14 +136,39 @@ runGraphSolo(const TenantSetup &s, trace::Recorder *rec)
     core::CommandQueue queue(sys);
     if (rec != nullptr)
         queue.attachRecorder(rec);
+    const auto inj = makeInjector(s, queue, sys.numRanks());
     core::RankScheduler sched(sys);
     const core::DpuSet reserved =
         sched.acquireRanks(s.servingRanks, "reserved");
+    const bool rank_faults =
+        inj != nullptr && s.faultSpec.rankMtbfSec > 0.0;
+    // Hold one rank back as a spare when ranks can die, so a
+    // replacement grant exists (matches the co-run's partitioning).
+    const unsigned spare =
+        rank_faults && sched.freeRankCount() > 1 ? 1u : 0u;
     const core::DpuSet part =
-        sched.acquireRanks(sched.freeRankCount(), "graph");
+        sched.acquireRanks(sched.freeRankCount() - spare, "graph");
     workloads::graph::GraphUpdateTask task(s.graph, queue, part);
-    while (!task.done())
+    if (rank_faults) {
+        sched.onRevoke("graph", [&](unsigned rank) {
+            task.onRankFailed(rank, inj->rankFailSeconds(rank));
+            sched.requestRanks(1, "graph", [&](core::DpuSet repl) {
+                task.onReplacementGranted(std::move(repl));
+            });
+        });
+    }
+    while (!task.done()) {
         task.step();
+        if (rank_faults) {
+            for (const fault::FaultEvent &ev :
+                 inj->drainFailedRanks(task.clockSeconds()))
+                sched.quarantine(ev.rank);
+            if (task.waitingReplacement())
+                PIM_FATAL("graph solo: rank failed with no free "
+                          "replacement left (", sched.freeRankCount(),
+                          " free)");
+        }
+    }
     queue.sync();
     sched.releaseRanks(reserved);
     return task.result();
@@ -120,40 +189,86 @@ runCoTenant(const TenantSetup &s, trace::Recorder *rec)
     core::CommandQueue queue(sys);
     if (rec != nullptr)
         queue.attachRecorder(rec);
+    const auto inj = makeInjector(s, queue, sys.numRanks());
     core::RankScheduler sched(sys);
 
     const core::TenantId t_serving = queue.addTenant("serving");
     const core::TenantId t_graph = queue.addTenant("graph");
+    const bool rank_faults =
+        inj != nullptr && s.faultSpec.rankMtbfSec > 0.0;
     const core::DpuSet serving_part =
         sched.acquireRanks(s.servingRanks, "serving");
+    // Hold one rank back as a spare when ranks can die, so the first
+    // revocation's replacement grant is satisfiable.
+    const unsigned spare =
+        rank_faults && sched.freeRankCount() > 1 ? 1u : 0u;
     const core::DpuSet graph_part =
-        sched.acquireRanks(sched.freeRankCount(), "graph");
+        sched.acquireRanks(sched.freeRankCount() - spare, "graph");
 
     workloads::llm::DisaggServingTask serving(
         s.scheme, s.serving, queue, serving_part, t_serving);
     workloads::graph::GraphUpdateTask graph(s.graph, queue, graph_part,
                                             t_graph);
 
+    if (rank_faults) {
+        sched.onRevoke("serving", [&](unsigned rank) {
+            serving.onRankFailed(rank, inj->rankFailSeconds(rank));
+            sched.requestRanks(1, "serving", [&](core::DpuSet repl) {
+                serving.onReplacementGranted(std::move(repl));
+            });
+        });
+        sched.onRevoke("graph", [&](unsigned rank) {
+            graph.onRankFailed(rank, inj->rankFailSeconds(rank));
+            sched.requestRanks(1, "graph", [&](core::DpuSet repl) {
+                graph.onReplacementGranted(std::move(repl));
+            });
+        });
+    }
+
     // Deterministic co-scheduler: advance the tenant whose pipeline
     // clock is behind (ties go to serving), so the command interleaving
     // on the shared bus is a pure function of the configs.
+    bool released_serving = false;
+    bool released_graph = false;
     while (!serving.done() || !graph.done()) {
-        if (serving.done())
+        double stepped_clock;
+        if (serving.done() || (!graph.done()
+                               && graph.clockSeconds()
+                                   < serving.clockSeconds())) {
             graph.step();
-        else if (graph.done())
+            stepped_clock = graph.clockSeconds();
+        } else {
             serving.step();
-        else if (graph.clockSeconds() < serving.clockSeconds())
-            graph.step();
-        else
-            serving.step();
+            stepped_clock = serving.clockSeconds();
+        }
+        if (!rank_faults)
+            continue;
+        // A finished tenant returns its grant: later deaths there hit
+        // free ranks (no revocation), and the freed ranks can serve as
+        // replacements for the surviving tenant.
+        if (serving.done() && !released_serving) {
+            sched.releaseAll("serving");
+            released_serving = true;
+        }
+        if (graph.done() && !released_graph) {
+            sched.releaseAll("graph");
+            released_graph = true;
+        }
+        for (const fault::FaultEvent &ev :
+             inj->drainFailedRanks(stepped_clock))
+            sched.quarantine(ev.rank);
+        if ((!serving.done() && serving.waitingReplacement())
+            || (!graph.done() && graph.waitingReplacement()))
+            PIM_FATAL("co-tenant: rank failed with no free replacement "
+                      "left (", sched.freeRankCount(), " free)");
     }
 
     CoRunOutcome out;
     out.joinedMakespanSec = queue.sync();
     out.serving = serving.result();
     out.graph = graph.result();
-    sched.releaseRanks(serving_part);
-    sched.releaseRanks(graph_part);
+    sched.releaseAll("serving");
+    sched.releaseAll("graph");
     return out;
 }
 
@@ -206,6 +321,13 @@ main(int argc, char **argv)
     s.graph.maxUpdateEdges = static_cast<uint64_t>(
         cli.getInt("update-edges", 0));
 
+    // Fault injection: the same plan is replayed in the solos and the
+    // co-run (each run attaches its own injector); the co-run
+    // arbitrates revocation + replacement through the RankScheduler.
+    s.faultSpec = fault::FaultSpec::fromKnobs(knobs.faultSpec,
+                                              knobs.mtbf);
+    s.faultSeed = knobs.faultSeed;
+
     trace::RecorderSet recorders(knobs.wantsTrace());
 
     const workloads::llm::ServingResult solo_s =
@@ -253,10 +375,15 @@ main(int argc, char **argv)
                 util::Table::num(co.graph.millionEdgesPerSec, 2),
                 "0.00"});
     tbl.print(std::cout);
+    const unsigned total_ranks = (s.dpus + 63) / 64;
+    const unsigned graph_ranks = total_ranks - s.servingRanks
+        - (s.faultSpec.rankMtbfSec > 0.0
+               && total_ranks > s.servingRanks + 1
+           ? 1u
+           : 0u);
     std::cout << "\nPartitions: serving " << co.serving.prefillRanks
               << "+" << co.serving.decodeRanks << " ranks (prefill+"
-              << "decode), graph "
-              << (s.dpus + 63) / 64 - s.servingRanks
+              << "decode), graph " << graph_ranks
               << " ranks; joined co-run makespan "
               << co.joinedMakespanSec
               << " s.\nExpected shape: the DPU-cycle update throughput "
@@ -305,6 +432,22 @@ main(int argc, char **argv)
         j.key("updateEdgesTotal").value(co.graph.updateEdgesTotal);
         j.endObject();
         j.key("joinedMakespanSec").value(co.joinedMakespanSec);
+        if (s.faultSpec.enabled()) {
+            j.key("faults").beginObject();
+            j.key("faultSeed").value(s.faultSeed);
+            j.key("servingRankFailures").value(co.serving.rankFailures);
+            j.key("servingLostRequests").value(co.serving.lostRequests);
+            j.key("servingRecoveryBytes")
+                .value(co.serving.recoveryBytes);
+            j.key("servingAvailability")
+                .value(co.serving.availability);
+            j.key("graphRankFailures").value(co.graph.rankFailures);
+            j.key("graphReExecutedRounds")
+                .value(co.graph.reExecutedRounds);
+            j.key("graphRestoreBytes").value(co.graph.restoreBytes);
+            j.key("graphAvailability").value(co.graph.availability);
+            j.endObject();
+        }
         if (recorders.enabled()) {
             // The co-run's occupancy report carries the per-tenant
             // attribution ("tenants" array) computed from span tags.

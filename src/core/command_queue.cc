@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/injector.hh"
 #include "trace/trace.hh"
 #include "util/logging.hh"
 
@@ -31,6 +32,31 @@ CommandQueue::attachRecorder(trace::Recorder *rec)
     traceEpoch_ = 0.0;
     if (rec_ != nullptr)
         rec_->setRankCount(sys_.numRanks());
+}
+
+void
+CommandQueue::attachFaultInjector(fault::FaultInjector *inj)
+{
+    drain();
+    inj_ = inj;
+    rankDeathTraced_.assign(inj_ != nullptr ? sys_.numRanks() : 0, false);
+}
+
+void
+CommandQueue::traceRankDeath(unsigned r, double failAtSec)
+{
+    // One zero-width marker per rank at the death time, so the trace
+    // shows *why* the lane goes quiet.
+    if (rankDeathTraced_[r])
+        return;
+    rankDeathTraced_[r] = true;
+    if (rec_ == nullptr)
+        return;
+    trace::Span s;
+    s.lane = trace::rankLane(r);
+    s.name = "fault:rank-fail";
+    s.t0 = s.t1 = traceEpoch_ + failAtSec;
+    rec_->record(std::move(s));
 }
 
 int
@@ -62,7 +88,23 @@ CommandQueue::enqueue(Command cmd)
 {
     const Event id = static_cast<Event>(
         resolvedBase_ + resolved_.size() + pending_.size());
-    PIM_ASSERT(cmd.after < id, "dependency on a future command");
+    if (cmd.after != kNoEvent) {
+        // Fail fast on dependencies that could never name an earlier
+        // command — resolving them against garbage timelines (negative
+        // handles silently read as compacted history = 0.0) hides real
+        // ordering bugs.
+        PIM_ASSERT(cmd.after >= 0,
+                   "CommandOptions::after = ", cmd.after,
+                   " is not an Event handle (uninitialized or garbage "
+                   "dependency; use kNoEvent for \"no dependency\")");
+        PIM_ASSERT(cmd.after != id,
+                   "command ", id, " depends on itself: "
+                   "CommandOptions::after must name an earlier command");
+        PIM_ASSERT(cmd.after < id,
+                   "command ", id, " names the future event ", cmd.after,
+                   " as its dependency: forward references cannot be "
+                   "ordered (events are issued in enqueue order)");
+    }
     PIM_ASSERT(cmd.tenant < hostT_.size(),
                "unknown tenant ", cmd.tenant,
                " (register it with addTenant first)");
@@ -77,6 +119,15 @@ CommandQueue::eventTime(Event e) const
     // joined host time, so 0.0 is an exact stand-in inside the max().
     return e < static_cast<Event>(resolvedBase_)
         ? 0.0 : resolved_[static_cast<size_t>(e) - resolvedBase_];
+}
+
+bool
+CommandQueue::eventFailedInternal(Event e) const
+{
+    // Compacted history reads as succeeded: sync() is a barrier that
+    // recovery (re-enqueue with fresh dependencies) happens behind.
+    return e >= static_cast<Event>(resolvedBase_)
+        && resolvedFailed_[static_cast<size_t>(e) - resolvedBase_] != 0;
 }
 
 double
@@ -294,7 +345,24 @@ CommandQueue::onComplete(Event e,
                "onComplete needs a pending event, got ", e,
                " (pending range [", first_pending, ", ", next,
                ")): register callbacks right after enqueuing");
-    callbacks_.emplace_back(e, std::move(fn));
+    callbacks_.push_back(Callback{e, /*onErr=*/false, std::move(fn)});
+}
+
+void
+CommandQueue::onError(Event e, std::function<void(Event, double)> fn)
+{
+    const Event first_pending =
+        static_cast<Event>(resolvedBase_ + resolved_.size());
+    const Event next =
+        static_cast<Event>(first_pending
+                           + static_cast<Event>(pending_.size()));
+    PIM_ASSERT(e != kNoEvent,
+               "onError(kNoEvent): the event was never enqueued");
+    PIM_ASSERT(e >= first_pending && e < next,
+               "onError needs a pending event, got ", e,
+               " (pending range [", first_pending, ", ", next,
+               ")): register callbacks right after enqueuing");
+    callbacks_.push_back(Callback{e, /*onErr=*/true, std::move(fn)});
 }
 
 void
@@ -368,6 +436,20 @@ CommandQueue::drain()
         const double dep =
             cmd.after == kNoEvent ? 0.0 : eventTime(cmd.after);
         double &host_t = hostT_[cmd.tenant];
+        // Set by the fault paths below; recorded alongside cmd.end.
+        bool failed = false;
+        if (inj_ != nullptr && cmd.after != kNoEvent
+            && eventFailedInternal(cmd.after)) {
+            // Poisoned: the dependency failed, so this command errors
+            // out the moment the failure is known, charging nothing to
+            // any timeline — the failure propagates down the dependent
+            // chain and nowhere else.
+            cmd.end = std::max(host_t, dep);
+            inj_->notePoisoned();
+            resolved_.push_back(cmd.end);
+            resolvedFailed_.push_back(1);
+            continue;
+        }
         switch (cmd.type) {
           case Command::Type::Launch: {
             // The host pays the driver-issue overhead, then moves on.
@@ -390,6 +472,17 @@ CommandQueue::drain()
                 all_max = std::max(all_max, c);
             double launch_end = host_t;
             double launch_work = 0.0;
+            // Fault decisions for this launch, made here in the
+            // sequential fold so they are thread-count independent.
+            const double timeout =
+                inj_ != nullptr ? inj_->launchTimeoutSec() : 0.0;
+            const int hang_rank = inj_ != nullptr
+                ? inj_->consumeHang(cmd.ranks, host_t) : -1;
+            if (hang_rank >= 0 && timeout <= 0.0)
+                PIM_FATAL("launch hang injected on rank ", hang_rank,
+                          " but no launch timeout is configured: a hung "
+                          "launch would stall the simulated timeline "
+                          "forever (set FaultSpec::launchTimeoutSec)");
             for (const unsigned r : cmd.ranks) {
                 uint64_t rank_max = 0;
                 bool rank_sampled = false;
@@ -403,18 +496,59 @@ CommandQueue::drain()
                 }
                 const uint64_t cycles =
                     rank_sampled ? rank_max : all_max;
-                const double dur = timed
+                double dur = timed
                     ? cmd.launchSeconds
                     : sys_.config().dpuCfg.cyclesToSeconds(cycles);
                 const double start =
                     std::max({host_t, rankT_[r], dep});
-                rankT_[r] = start + dur;
-                launch_end = std::max(launch_end, rankT_[r]);
-                launch_work = std::max(launch_work, dur);
-                if (rec_ != nullptr) {
+                bool rank_fault = false; // this rank's slice was cut
+                bool charge = true;      // false: dead rank, frozen
+                if (inj_ != nullptr) {
+                    const double fail_at = inj_->rankFailSeconds(r);
+                    if (fail_at <= start) {
+                        // Already dead: nothing runs, nothing is
+                        // charged; the command errors back at the time
+                        // it would have started.
+                        failed = rank_fault = true;
+                        charge = false;
+                        dur = 0.0;
+                        traceRankDeath(r, fail_at);
+                    } else {
+                        const double mult =
+                            inj_->launchMultiplier(r, start);
+                        if (mult > 1.0) {
+                            dur *= mult;
+                            inj_->noteDegraded();
+                        }
+                        if (static_cast<int>(r) == hang_rank) {
+                            // Hung kernel: the timeout reaps it.
+                            dur = timeout;
+                            failed = rank_fault = true;
+                        } else if (timeout > 0.0 && dur > timeout) {
+                            dur = timeout;
+                            failed = rank_fault = true;
+                            inj_->noteTimeout();
+                        }
+                        if (fail_at < start + dur) {
+                            // Dies mid-launch: busy until the death,
+                            // then the rank's timeline freezes.
+                            dur = fail_at - start;
+                            failed = rank_fault = true;
+                            traceRankDeath(r, fail_at);
+                        }
+                    }
+                }
+                if (charge) {
+                    rankT_[r] = start + dur;
+                    launch_end = std::max(launch_end, rankT_[r]);
+                    launch_work = std::max(launch_work, dur);
+                } else {
+                    launch_end = std::max(launch_end, start);
+                }
+                if (rec_ != nullptr && charge) {
                     trace::Span s;
                     s.lane = trace::rankLane(r);
-                    s.name = name;
+                    s.name = rank_fault ? name + " !fault" : name;
                     s.tenant = tenantTag(cmd.tenant);
                     s.t0 = traceEpoch_ + start;
                     s.t1 = traceEpoch_ + rankT_[r];
@@ -441,24 +575,49 @@ CommandQueue::drain()
                 for (const unsigned r : cmd.ranks)
                     start = std::max(start, rankT_[r]);
             }
-            const double end = start + cmd.copySeconds;
+            double copy_sec = cmd.copySeconds;
+            if (inj_ != nullptr) {
+                bool dead_target = false;
+                for (const unsigned r : cmd.ranks) {
+                    if (inj_->rankFailedBy(r, start)) {
+                        dead_target = true;
+                        traceRankDeath(r, inj_->rankFailSeconds(r));
+                    }
+                }
+                if (dead_target) {
+                    // The DMA errors back: the bus is held for the one
+                    // attempt, the data never lands on any rank.
+                    failed = true;
+                } else {
+                    const fault::TransferOutcome out =
+                        inj_->transfer(start, cmd.copySeconds);
+                    copy_sec = out.busSeconds;
+                    failed = out.failed;
+                }
+            }
+            const double end = start + copy_sec;
             busT_ = end;
-            if (cmd.occupyRanks) {
+            if (cmd.occupyRanks && !failed) {
                 for (const unsigned r : cmd.ranks)
                     rankT_[r] = end;
             }
             if (cmd.blocking)
                 host_t = end;
-            transferredBytes_ += cmd.totalBytes;
-            copyWork_ += cmd.copySeconds;
+            // A failed transfer moved wire traffic but delivered no
+            // payload; retries of a succeeding one deliver it once.
+            if (!failed)
+                transferredBytes_ += cmd.totalBytes;
+            copyWork_ += copy_sec;
             cmd.end = end;
             if (rec_ != nullptr) {
-                const std::string &name = cmd.label.empty()
+                std::string name = cmd.label.empty()
                     ? std::string(cmd.dir == CopyDirection::HostToPim
                                       ? "memcpy:h2p" : "memcpy:p2h")
                     : cmd.label;
+                if (failed)
+                    name += " !fault";
                 span(trace::kBusLane, name, start, end, cmd, id);
-                if (cmd.occupyRanks) {
+                if (cmd.occupyRanks && !failed) {
                     for (const unsigned r : cmd.ranks)
                         span(trace::rankLane(r), name, start, end, cmd,
                              id);
@@ -493,6 +652,7 @@ CommandQueue::drain()
           }
         }
         resolved_.push_back(cmd.end);
+        resolvedFailed_.push_back(failed ? 1 : 0);
     }
     pending_.clear();
 
@@ -503,19 +663,23 @@ CommandQueue::drain()
     // list out first: callbacks may enqueue follow-up commands and
     // register new callbacks, which belong to the next drain.
     if (!callbacks_.empty()) {
-        std::vector<std::pair<Event, std::function<void(Event, double)>>>
-            due;
+        std::vector<Callback> due;
         due.swap(callbacks_);
         std::stable_sort(due.begin(), due.end(),
-                         [this](const auto &a, const auto &b) {
-                             const double ta = eventTime(a.first);
-                             const double tb = eventTime(b.first);
+                         [this](const Callback &a, const Callback &b) {
+                             const double ta = eventTime(a.event);
+                             const double tb = eventTime(b.event);
                              return ta != tb ? ta < tb
-                                             : a.first < b.first;
+                                             : a.event < b.event;
                          });
         inCallbacks_ = true;
-        for (auto &[e, fn] : due)
-            fn(e, eventTime(e));
+        for (Callback &cb : due) {
+            // An onComplete callback fires only if its event
+            // succeeded, an onError one only if it failed; the
+            // unmatched registration is dropped silently.
+            if (eventFailedInternal(cb.event) == cb.onErr)
+                cb.fn(cb.event, eventTime(cb.event));
+        }
         inCallbacks_ = false;
     }
 }
@@ -537,6 +701,23 @@ CommandQueue::eventSeconds(Event e)
     PIM_ASSERT(e >= static_cast<Event>(resolvedBase_),
                "event ", e, " was compacted by sync()/resetTimeline");
     return resolved_[static_cast<size_t>(e) - resolvedBase_];
+}
+
+bool
+CommandQueue::eventFailed(Event e)
+{
+    PIM_ASSERT(e != kNoEvent,
+               "eventFailed(kNoEvent): the event was never enqueued "
+               "(default Event handle)");
+    PIM_ASSERT(e >= 0
+                   && e < static_cast<Event>(resolvedBase_
+                                             + resolved_.size()
+                                             + pending_.size()),
+               "eventFailed(", e, "): the event was never enqueued");
+    drain();
+    PIM_ASSERT(e >= static_cast<Event>(resolvedBase_),
+               "event ", e, " was compacted by sync()/resetTimeline");
+    return resolvedFailed_[static_cast<size_t>(e) - resolvedBase_] != 0;
 }
 
 double
@@ -562,6 +743,7 @@ CommandQueue::sync()
     // sync-per-step drivers like the serving simulator.
     resolvedBase_ += resolved_.size();
     resolved_.clear();
+    resolvedFailed_.clear();
     return t;
 }
 
@@ -573,6 +755,7 @@ CommandQueue::resetTimeline()
     // resolve to 0.0 and cannot leak stale absolute time in.
     resolvedBase_ += resolved_.size();
     resolved_.clear();
+    resolvedFailed_.clear();
     // Keep the trace timeline monotonic across the reset: spans of the
     // new epoch start where the old epoch's timelines ended.
     if (rec_ != nullptr)

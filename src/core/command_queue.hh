@@ -59,6 +59,27 @@
  * trace::analyzeOccupancy's per-tenant attribution), and a tenant's
  * host lane appears as a dedicated "host:<name>" lane. With no recorder
  * attached the cost is one pointer test per resolved command.
+ *
+ * Fault injection: attachFaultInjector() routes every fold decision
+ * through a deterministic fault::FaultInjector. Commands then gain a
+ * failure state — eventFailed(e) reports it, onError(e, fn) registers
+ * an error callback dispatched in the same (completion time, event id)
+ * order as onComplete. Semantics: a launch or transfer touching a rank
+ * that is dead at its start time fails immediately without charging
+ * that rank (a transfer still holds the bus for the erroring attempt);
+ * a rank dying mid-launch truncates the launch at the death and fails
+ * the command; transient transfer faults are retried with capped
+ * exponential backoff costed on the bus (permanent failure once the
+ * attempt budget is exhausted); launches exceeding the timeout knob
+ * are reaped at start + timeout; and a command whose `after`
+ * dependency failed is *poisoned* — it fails at the time the failure
+ * was known, charges nothing to any timeline, and propagates failure
+ * to its own dependents, so a dead rank poisons exactly the dependent
+ * chain, never the whole drain. Note that phase 1 still executes the
+ * launch bodies of doomed commands (failure is decided in the fold):
+ * recovery layers must stage simulation-state effects and commit only
+ * on event success, or be idempotent. With no injector attached every
+ * path is bit-identical to the fault-free queue.
  */
 
 #ifndef PIM_CORE_COMMAND_QUEUE_HH
@@ -73,6 +94,10 @@
 
 namespace pim::trace {
 class Recorder;
+}
+
+namespace pim::fault {
+class FaultInjector;
 }
 
 namespace pim::core {
@@ -116,7 +141,7 @@ struct CommandOptions
     /** Explicit dependency (kNoEvent = timeline order only). */
     Event after = kNoEvent;
     /** Trace span name (used only while a recorder is attached). */
-    std::string label;
+    std::string label{};
     /** Host issue timeline the command runs on (see addTenant). */
     TenantId tenant = kDefaultTenant;
 };
@@ -379,6 +404,36 @@ class CommandQueue
     void onComplete(Event e, std::function<void(Event, double)> fn);
 
     /**
+     * Register a host-side *error* callback on pending event @p e:
+     * dispatched exactly like onComplete (same deterministic timeline
+     * order, same restrictions) but only if the event FAILED; an
+     * onComplete callback on a failed event (and an onError callback
+     * on a succeeded one) is dropped. Register both to cover both
+     * outcomes.
+     */
+    void onError(Event e, std::function<void(Event, double)> fn);
+
+    /**
+     * Failure state of event @p e: true if the command failed (dead
+     * rank, exhausted transfer retries, timeout, hang, or a failed
+     * `after` dependency). Drains like eventSeconds, with the same
+     * validity rules (fatal for kNoEvent / never-enqueued / compacted
+     * events). Always false when no fault injector is attached.
+     */
+    bool eventFailed(Event e);
+
+    /**
+     * Start routing fold decisions through @p inj (nullptr detaches).
+     * Drains pending commands first — already-enqueued commands
+     * resolve under the previous injector (if any). The injector's
+     * schedule is interpreted against this queue's timeline origin.
+     */
+    void attachFaultInjector(fault::FaultInjector *inj);
+
+    /** The attached fault injector (nullptr = fault-free). */
+    fault::FaultInjector *faultInjector() const { return inj_; }
+
+    /**
      * Drain the queue and join every timeline. @return the makespan:
      * wall-clock seconds from the timeline origin until every host
      * lane, the bus, and all ranks are idle.
@@ -514,6 +569,13 @@ class CommandQueue
     /** Completion time of event @p e (0.0 for compacted history). */
     double eventTime(Event e) const;
 
+    /** Failure state of resolved event @p e (false for compacted
+     *  history: sync() is a recovery barrier). */
+    bool eventFailedInternal(Event e) const;
+
+    /** Emit the one-off zero-width rank-death marker span. */
+    void traceRankDeath(unsigned r, double failAtSec);
+
     /** Trace lane of tenant @p t's host timeline. */
     int hostLane(TenantId t) const;
 
@@ -533,6 +595,9 @@ class CommandQueue
      * queue's memory stays bounded no matter how many commands ran.
      */
     std::vector<double> resolved_;
+    /** Failure flags parallel to resolved_ (same indexing/compaction).
+     *  Stays all-zero with no injector attached. */
+    std::vector<uint8_t> resolvedFailed_;
     size_t resolvedBase_ = 0;
     /** Host issue timelines, one per tenant (index = TenantId). */
     std::vector<double> hostT_{0.0};
@@ -544,13 +609,24 @@ class CommandQueue
     double launchWork_ = 0.0;
     double copyWork_ = 0.0;
     double hostWork_ = 0.0;
-    /** Registered completion callbacks (pending events only). */
-    std::vector<std::pair<Event, std::function<void(Event, double)>>>
-        callbacks_;
+    /** One registered completion/error callback on a pending event. */
+    struct Callback
+    {
+        Event event;
+        /** True for onError registrations: fire only on failure. */
+        bool onErr;
+        std::function<void(Event, double)> fn;
+    };
+    /** Registered completion/error callbacks (pending events only). */
+    std::vector<Callback> callbacks_;
     /** True while completion callbacks run (drain re-entry guard). */
     bool inCallbacks_ = false;
     /** Span sink; nullptr = tracing off. */
     trace::Recorder *rec_ = nullptr;
+    /** Fault source; nullptr = fault-free fold. */
+    fault::FaultInjector *inj_ = nullptr;
+    /** Ranks whose death marker span was already emitted. */
+    std::vector<bool> rankDeathTraced_;
     /** Trace-time origin of the current timeline epoch: resetTimeline
      *  advances it so post-reset spans never overlap pre-reset ones. */
     double traceEpoch_ = 0.0;

@@ -5,7 +5,7 @@
 namespace pim::core {
 
 RankScheduler::RankScheduler(const PimSystem &sys)
-    : sys_(sys), owner_(sys.numRanks())
+    : sys_(sys), owner_(sys.numRanks()), quarantined_(sys.numRanks(), false)
 {
 }
 
@@ -17,7 +17,7 @@ RankScheduler::tryAcquireRanks(unsigned n, const std::string &tenant)
     std::vector<unsigned> grant;
     grant.reserve(n);
     for (unsigned r = 0; r < owner_.size() && grant.size() < n; ++r) {
-        if (owner_[r].empty())
+        if (owner_[r].empty() && !quarantined_[r])
             grant.push_back(r);
     }
     if (grant.size() < n)
@@ -53,14 +53,123 @@ RankScheduler::releaseRanks(const DpuSet &set)
                    " is already free (double release?)");
         owner_[r].clear();
     }
+    serveWaiting();
+}
+
+void
+RankScheduler::releaseRanks(const DpuSet &set, const std::string &tenant)
+{
+    PIM_ASSERT(!tenant.empty(), "owner-checked release needs a tenant");
+    for (const unsigned r : set.ranks()) {
+        PIM_ASSERT(owner_[r] == tenant,
+                   "tenant '", tenant, "' tried to release rank ", r,
+                   " owned by '", owner_[r],
+                   "': a tenant may only release its own grant");
+    }
+    releaseRanks(set);
+}
+
+unsigned
+RankScheduler::releaseAll(const std::string &tenant)
+{
+    PIM_ASSERT(!tenant.empty(), "releaseAll needs a tenant name");
+    unsigned released = 0;
+    for (unsigned r = 0; r < owner_.size(); ++r) {
+        if (owner_[r] == tenant) {
+            owner_[r].clear();
+            ++released;
+        }
+    }
+    if (released > 0)
+        serveWaiting();
+    return released;
+}
+
+void
+RankScheduler::removeTenant(const std::string &tenant)
+{
+    releaseAll(tenant);
+    revokeCbs_.erase(tenant);
+    for (auto it = waiting_.begin(); it != waiting_.end();) {
+        if (it->tenant == tenant)
+            it = waiting_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+RankScheduler::onRevoke(const std::string &tenant,
+                        std::function<void(unsigned)> cb)
+{
+    PIM_ASSERT(!tenant.empty(), "onRevoke needs a tenant name");
+    revokeCbs_[tenant] = std::move(cb);
+}
+
+std::string
+RankScheduler::quarantine(unsigned rank)
+{
+    PIM_ASSERT(rank < owner_.size(), "rank out of range");
+    PIM_ASSERT(!quarantined_[rank], "rank ", rank,
+               " is already quarantined");
+    std::string prev = owner_[rank];
+    owner_[rank].clear();
+    quarantined_[rank] = true;
+    if (!prev.empty()) {
+        auto it = revokeCbs_.find(prev);
+        if (it != revokeCbs_.end() && it->second)
+            it->second(rank);
+    }
+    return prev;
+}
+
+bool
+RankScheduler::quarantined(unsigned rank) const
+{
+    PIM_ASSERT(rank < owner_.size(), "rank out of range");
+    return quarantined_[rank];
+}
+
+void
+RankScheduler::requestRanks(unsigned n, const std::string &tenant,
+                            std::function<void(DpuSet)> cb)
+{
+    PIM_ASSERT(!tenant.empty(), "rank request needs a tenant name");
+    PIM_ASSERT(n >= 1, "cannot request zero ranks");
+    PIM_ASSERT(cb != nullptr, "rank request needs a grant callback");
+    waiting_.push_back(Request{n, tenant, std::move(cb)});
+    serveWaiting();
+}
+
+void
+RankScheduler::serveWaiting()
+{
+    // Strict FIFO: the head request blocks everything behind it until
+    // it can be granted, which keeps grant order deterministic. Grant
+    // callbacks may release or request ranks — re-entry collapses into
+    // the outermost loop via the serving_ guard.
+    if (serving_)
+        return;
+    serving_ = true;
+    while (!waiting_.empty()) {
+        Request &head = waiting_.front();
+        std::optional<DpuSet> grant = tryAcquireRanks(head.n,
+                                                      head.tenant);
+        if (!grant)
+            break;
+        std::function<void(DpuSet)> cb = std::move(head.cb);
+        waiting_.pop_front();
+        cb(*std::move(grant));
+    }
+    serving_ = false;
 }
 
 unsigned
 RankScheduler::freeRankCount() const
 {
     unsigned n = 0;
-    for (const std::string &o : owner_) {
-        if (o.empty())
+    for (unsigned r = 0; r < owner_.size(); ++r) {
+        if (owner_[r].empty() && !quarantined_[r])
             ++n;
     }
     return n;

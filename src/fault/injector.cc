@@ -1,0 +1,132 @@
+#include "fault/injector.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace pim::fault {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+} // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan))
+{
+    rankFailAt_.assign(std::max(1u, plan_.numRanks()), kNever);
+    for (const FaultEvent &e : plan_.events()) {
+        switch (e.kind) {
+          case FaultKind::RankFail:
+            if (rankFailAt_[e.rank] == kNever) {
+                rankFailAt_[e.rank] = e.atSec;
+                rankFails_.push_back(e);
+            }
+            break;
+          case FaultKind::RankDegrade:
+            degrades_.push_back(e);
+            break;
+          case FaultKind::LaunchHang:
+            hangs_.push_back(e);
+            break;
+          case FaultKind::TransientTransfer:
+            transients_.push_back(e);
+            break;
+        }
+    }
+    hangConsumed_.assign(hangs_.size(), false);
+}
+
+double
+FaultInjector::rankFailSeconds(unsigned r) const
+{
+    if (r >= rankFailAt_.size())
+        return kNever;
+    return rankFailAt_[r];
+}
+
+bool
+FaultInjector::rankFailedBy(unsigned r, double t) const
+{
+    return rankFailSeconds(r) <= t;
+}
+
+double
+FaultInjector::launchMultiplier(unsigned r, double startSec) const
+{
+    double mult = 1.0;
+    for (const FaultEvent &e : degrades_) {
+        if (e.atSec > startSec)
+            break; // time-sorted: nothing later is active yet
+        if (e.rank == r && startSec < e.atSec + e.durationSec)
+            mult = std::max(mult, e.multiplier);
+    }
+    return mult;
+}
+
+int
+FaultInjector::consumeHang(const std::vector<unsigned> &ranks,
+                           double startSec)
+{
+    for (size_t i = 0; i < hangs_.size(); ++i) {
+        if (hangs_[i].atSec > startSec)
+            break;
+        if (hangConsumed_[i])
+            continue;
+        const bool hits = std::find(ranks.begin(), ranks.end(),
+                                    hangs_[i].rank) != ranks.end();
+        if (hits) {
+            hangConsumed_[i] = true;
+            ++stats_.launchHangs;
+            return static_cast<int>(hangs_[i].rank);
+        }
+    }
+    return -1;
+}
+
+TransferOutcome
+FaultInjector::transfer(double startSec, double copySeconds)
+{
+    // Consume every glitch armed before the first attempt would land:
+    // an armed glitch latches onto the transfer in flight (or the next
+    // one issued), which keeps consumption a monotone cursor over the
+    // schedule — the bus timeline only moves forward in the fold.
+    unsigned corrupted = 0;
+    const double windowEnd = startSec + copySeconds;
+    while (transientCursor_ < transients_.size() &&
+           transients_[transientCursor_].atSec < windowEnd) {
+        corrupted += transients_[transientCursor_].attempts;
+        ++transientCursor_;
+        ++stats_.transientTransferFaults;
+    }
+
+    const FaultSpec &spec = plan_.spec();
+    TransferOutcome out;
+    out.failed = corrupted >= spec.maxTransferAttempts;
+    out.attempts = out.failed ? spec.maxTransferAttempts : corrupted + 1;
+    out.busSeconds = out.attempts * copySeconds;
+    for (unsigned k = 0; k + 1 < out.attempts; ++k) {
+        double backoff = spec.retryBackoffSec;
+        for (unsigned j = 0; j < k && backoff < spec.retryBackoffCapSec; ++j)
+            backoff *= 2.0;
+        out.busSeconds += std::min(backoff, spec.retryBackoffCapSec);
+    }
+    stats_.transferRetries += out.attempts - 1;
+    if (out.failed)
+        ++stats_.transferPermanentFailures;
+    return out;
+}
+
+std::vector<FaultEvent>
+FaultInjector::drainFailedRanks(double nowSec)
+{
+    std::vector<FaultEvent> due;
+    while (rankFailCursor_ < rankFails_.size() &&
+           rankFails_[rankFailCursor_].atSec <= nowSec) {
+        due.push_back(rankFails_[rankFailCursor_]);
+        ++rankFailCursor_;
+        ++stats_.rankFailures;
+    }
+    return due;
+}
+
+} // namespace pim::fault

@@ -96,7 +96,8 @@ Cli::getBool(const std::string &name, bool def) const
 std::string
 benchKnobNames(const std::string &extra)
 {
-    std::string names = "dpus,sample,tasklets,threads,json,trace,occupancy";
+    std::string names = "dpus,sample,tasklets,threads,json,trace,"
+                        "occupancy,fault-seed,mtbf,fault-spec";
     if (!extra.empty()) {
         names += ',';
         names += extra;
@@ -140,6 +141,13 @@ parseBenchKnobs(const Cli &cli, const BenchKnobs &defaults)
     k.jsonPath = cli.get("json", k.jsonPath);
     k.tracePath = cli.get("trace", k.tracePath);
     k.occupancy = cli.getBool("occupancy", k.occupancy);
+    k.faultSeed = static_cast<uint64_t>(
+        knobInt(cli, "fault-seed", static_cast<int64_t>(k.faultSeed),
+                0));
+    k.mtbf = cli.getDouble("mtbf", k.mtbf);
+    if (k.mtbf < 0)
+        PIM_FATAL("flag --mtbf must be >= 0, got ", k.mtbf);
+    k.faultSpec = cli.get("fault-spec", k.faultSpec);
     return k;
 }
 

@@ -65,12 +65,30 @@ struct BenchKnobs
     std::string tracePath;
     /** Print per-lane occupancy breakdowns (--occupancy). */
     bool occupancy = false;
+    /**
+     * Fault injection (--fault-seed/--mtbf/--fault-spec). The raw
+     * spec string is carried here and parsed by
+     * fault::FaultSpec::fromKnobs(faultSpec, mtbf) — util cannot
+     * depend on the fault module — which is fatal on invalid specs.
+     * mtbf is the rank-failure MTBF convenience flag (simulated
+     * seconds, 0 = off); faultSpec is the full key=value spec.
+     */
+    uint64_t faultSeed = 23;
+    double mtbf = 0.0;
+    std::string faultSpec;
 
     /** True if either tracing output was requested. */
     bool
     wantsTrace() const
     {
         return !tracePath.empty() || occupancy;
+    }
+
+    /** True if any fault-injection flag was set. */
+    bool
+    wantsFaults() const
+    {
+        return mtbf > 0.0 || !faultSpec.empty();
     }
 };
 

@@ -135,4 +135,29 @@ Rng::fork()
     return Rng(next() ^ 0xd1b54a32d192ed03ull);
 }
 
+Rng
+Rng::stream(const std::string &name) const
+{
+    // FNV-1a 64 over the name, then one splitmix64 expansion per state
+    // word keyed off the parent's *unadvanced* state: the child is a
+    // pure function of (parent state, name), so the same (seed, name)
+    // pair always yields the same stream regardless of what else was
+    // drawn from sibling streams.
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    Rng child(0);
+    bool nonzero = false;
+    for (size_t i = 0; i < 4; ++i) {
+        uint64_t x = s_[i] ^ h;
+        child.s_[i] = splitmix64(x);
+        nonzero = nonzero || child.s_[i] != 0;
+    }
+    if (!nonzero)
+        child.s_[0] = h | 1; // xoshiro state must not be all zero
+    return child;
+}
+
 } // namespace pim::util

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace pim::util {
@@ -79,6 +80,19 @@ class Rng
 
     /** Derive an independent child generator (for per-DPU streams). */
     Rng fork();
+
+    /**
+     * Derive the independent named sub-stream @p name without advancing
+     * this generator: the child's state is a pure function of this
+     * generator's current state and the name. Calling stream() on a
+     * freshly seeded root therefore gives every subsystem
+     * ("fault/rank-fail", "arrivals", "graph/degrees") a stable stream
+     * of its own — drawing more or fewer values from one stream, or
+     * adding a new stream, never shifts the values another stream
+     * produces, unlike sharing one generator or fork()ing in a
+     * knob-dependent order.
+     */
+    Rng stream(const std::string &name) const;
 
   private:
     uint64_t s_[4];

@@ -1,11 +1,15 @@
 #include "workloads/graph/update_driver.hh"
 
 #include <algorithm>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "alloc/allocator.hh"
 #include "core/pim_system.hh"
+#include "core/rank_scheduler.hh"
+#include "fault/injector.hh"
 #include "sim/dpu.hh"
 #include "util/logging.hh"
 #include "workloads/graph/csr_graph.hh"
@@ -156,6 +160,11 @@ struct GraphUpdateTask::Impl
          const core::DpuSet &partition, core::TenantId tenant_in);
 
     void step();
+    void commitPending(unsigned r);
+    void resolveParkedRetry();
+    void onRankFailed(unsigned rank, double failSec);
+    void onReplacementGranted(const core::DpuSet &replacement);
+    uint64_t sliceEdges(unsigned shardIdx, unsigned r) const;
 
     /** Persistent per-sample-slot shard state across rounds. */
     struct SlotState
@@ -186,6 +195,58 @@ struct GraphUpdateTask::Impl
     double buildDoneSec = 0.0;
     double now = 0.0;
     GraphUpdateResult res; ///< updateEdgesTotal filled up front
+
+    // Fault tolerance (all of it inert — and the round path
+    // numerically unchanged — unless the queue has a
+    // fault::FaultInjector attached). Round bodies stage their
+    // outcomes in `pending`; a round commits only once its event is
+    // known to have succeeded, so a failed round's measurements never
+    // leak into the result before the round has re-executed (Recover)
+    // or been written off (Drop).
+    fault::FaultPolicy policy;
+    core::DpuSet partAtBuild;        ///< frozen shard-id mapping
+    std::vector<unsigned> partRankIds;
+    std::vector<int> slotShardIdx;   ///< frozen at build; -1 = not ours
+    std::vector<ShardOutcome> pending; ///< staged round in flight
+    bool parked = false;             ///< last round failed, unresolved
+    unsigned parkedR = 0;
+    core::Event restoreEvt = core::kNoEvent;
+    /** A shard whose home rank died (Recover): its functional state is
+     *  frozen at the host-side checkpoint and its remaining slices
+     *  re-execute on the replacement as timed launches at the per-edge
+     *  rate measured before the death. */
+    struct MigratedShard
+    {
+        unsigned slot;
+        unsigned shardIdx;
+        double perEdgeCycles;
+        std::optional<core::DpuSet> home; ///< set at replacement grant
+    };
+    std::vector<MigratedShard> migrated;
+    /** One rank death awaiting its replacement grant (Recover). */
+    struct PendingFail
+    {
+        unsigned rank;
+        double failSec;
+        std::vector<MigratedShard> shards; ///< home filled at grant
+        uint64_t residentBytesPerDpu = 0;
+    };
+    std::deque<PendingFail> pendingFails;
+    std::vector<double> unrepairedFailSecs; ///< never repaired (Drop)
+    std::vector<bool> deadShard;   ///< logical shards lost (Drop)
+    /** Current home member (global DPU index) of each logical shard:
+     *  its build member until the hosting rank dies, then the
+     *  replacement member (Recover) or -1 (Drop). Scatter byte counts
+     *  of shipped rounds follow the shard here. */
+    std::vector<long> shardHome;
+    unsigned failures = 0;
+    unsigned recovered = 0;
+    unsigned reExec = 0;
+    unsigned lostRoundsN = 0;
+    uint64_t lostEdgesN = 0;
+    uint64_t restoreBytesN = 0;
+    double mttrSum = 0.0;
+    double downtime = 0.0;
 };
 
 GraphUpdateTask::Impl::Impl(const GraphUpdateConfig &cfg_in,
@@ -195,7 +256,8 @@ GraphUpdateTask::Impl::Impl(const GraphUpdateConfig &cfg_in,
     : cfg(cfg_in), queue(q), sys(q.system()), tenant(tenant_in),
       traced(q.recorder() != nullptr), part(partition),
       numShards(partition.size()),
-      rounds(std::max(1u, cfg_in.updateRounds)), w(buildWorkload(cfg_in))
+      rounds(std::max(1u, cfg_in.updateRounds)), w(buildWorkload(cfg_in)),
+      policy(cfg_in.faultPolicy), partAtBuild(partition)
 {
     PIM_ASSERT(numShards >= 1, "need at least one DPU in the partition");
     res.updateEdgesTotal = w.updateEdges.size();
@@ -206,6 +268,19 @@ GraphUpdateTask::Impl::Impl(const GraphUpdateConfig &cfg_in,
 
     slots.resize(sys.sampleCount());
     outcomes.resize(sys.sampleCount());
+    pending.resize(sys.sampleCount());
+    deadShard.assign(numShards, false);
+    shardHome.resize(numShards);
+    for (unsigned j = 0; j < numShards; ++j)
+        shardHome[j] = partAtBuild.memberAt(j);
+    partRankIds = partition.ranks();
+    // Shard ids are frozen here: a replacement rank joining `part`
+    // later must not re-deal the dataset.
+    slotShardIdx.assign(sys.sampleCount(), -1);
+    for (const unsigned slot : partAtBuild.slots()) {
+        slotShardIdx[slot] = static_cast<int>(
+            partAtBuild.indexOf(sys.globalIndex(slot)));
+    }
 
     // Untimed deployment launch: every sampled partition DPU builds its
     // shard's pre-update graph (allocator init + parallel build), then
@@ -217,7 +292,8 @@ GraphUpdateTask::Impl::Impl(const GraphUpdateConfig &cfg_in,
         [this](sim::Dpu &dpu, unsigned dpu_idx) {
             const unsigned slot = sys.slotOf(dpu_idx);
             SlotState &st = slots[slot];
-            st.shard = buildShard(w, part.indexOf(dpu_idx), numShards);
+            st.shard = buildShard(
+                w, static_cast<unsigned>(slotShardIdx[slot]), numShards);
             if (st.shard.numLocalNodes == 0)
                 return;
             st.active = true;
@@ -274,13 +350,99 @@ GraphUpdateTask::Impl::Impl(const GraphUpdateConfig &cfg_in,
         {.label = traced ? "graph build" : "", .tenant = tenant});
 }
 
+uint64_t
+GraphUpdateTask::Impl::sliceEdges(unsigned shardIdx, unsigned r) const
+{
+    const uint64_t c = shardEdgeCounts[shardIdx];
+    return (static_cast<uint64_t>(r) + 1) * c / rounds
+        - static_cast<uint64_t>(r) * c / rounds;
+}
+
+void
+GraphUpdateTask::Impl::commitPending(unsigned r)
+{
+    for (size_t slot = 0; slot < pending.size(); ++slot) {
+        ShardOutcome &pc = pending[slot];
+        if (!pc.simulated)
+            continue;
+        ShardOutcome &oc = outcomes[slot];
+        oc.simulated = true;
+        oc.cycles += pc.cycles;
+        oc.breakdown.merge(pc.breakdown);
+        oc.traffic.merge(pc.traffic);
+        if (pc.hasAllocator) {
+            oc.hasAllocator = true;
+            oc.stats = pc.stats;
+            oc.metadataBytes = pc.metadataBytes;
+        }
+        pc = ShardOutcome{};
+    }
+    // Migrated shards' slices ran as timed launches at their estimated
+    // per-edge rate; account the same estimate so throughput stays
+    // consistent with the charged timeline.
+    for (const MigratedShard &m : migrated) {
+        outcomes[m.slot].cycles += static_cast<uint64_t>(
+            m.perEdgeCycles
+            * static_cast<double>(sliceEdges(m.shardIdx, r)));
+    }
+}
+
+void
+GraphUpdateTask::Impl::resolveParkedRetry()
+{
+    // Re-execute the failed round on the (possibly repaired)
+    // partition, modeled as one timed launch of the staged cost,
+    // ordered after any pending shard restore. The staged outcomes
+    // commit only now — the round's work lands exactly once.
+    double cyc = 0.0;
+    for (const ShardOutcome &pc : pending)
+        cyc = std::max(cyc, static_cast<double>(pc.cycles));
+    for (const MigratedShard &m : migrated) {
+        cyc = std::max(cyc, m.perEdgeCycles
+                                * static_cast<double>(
+                                    sliceEdges(m.shardIdx, parkedR)));
+    }
+    core::Event retry = core::kNoEvent;
+    if (cyc > 0.0) {
+        retry = queue.launchTimed(
+            part,
+            cfg.dpuCfg.cyclesToSeconds(static_cast<uint64_t>(cyc)),
+            {.after = restoreEvt,
+             .label = traced ? "recover:redo r" + std::to_string(parkedR)
+                             : std::string(),
+             .tenant = tenant});
+        restoreEvt = core::kNoEvent;
+        const double t = queue.eventSeconds(retry);
+        now = std::max(now, t);
+        if (queue.eventFailed(retry))
+            return; // still parked: another fault hit the retry itself
+        lastRoundEvt = retry;
+    }
+    commitPending(parkedR);
+    ++reExec;
+    parked = false;
+}
+
 void
 GraphUpdateTask::Impl::step()
 {
+    if (parked) {
+        resolveParkedRetry();
+        if (parked || round >= rounds)
+            return;
+    }
+
     const unsigned r = round;
 
-    if (r == 0)
+    if (r == 0) {
         buildDoneSec = queue.eventSeconds(buildEvt);
+        if (queue.faultInjector() != nullptr
+            && queue.eventFailed(buildEvt)) {
+            PIM_FATAL("graph build failed under fault injection before "
+                      "the update stream started: raise the MTBF or "
+                      "shorten the build");
+        }
+    }
 
     // Ingest pacing: the stream's round r arrives r intervals after
     // the build; idle the tenant's host lane until then so the
@@ -298,12 +460,16 @@ GraphUpdateTask::Impl::step()
     // previous round's compute running.
     core::Event ship = core::kNoEvent;
     if (cfg.shipUpdates) {
-        std::vector<uint64_t> bytes(numShards, 0);
+        // Byte counts index positions of the *current* partition: a
+        // recovered partition swapped the dead rank's members for the
+        // replacement's, and a Drop partition shrank. Each surviving
+        // shard's slice ships to the member that hosts it now.
+        std::vector<uint64_t> bytes(part.size(), 0);
         for (unsigned j = 0; j < numShards; ++j) {
-            const uint64_t c = shardEdgeCounts[j];
-            const uint64_t lo = r * c / rounds;
-            const uint64_t hi = (r + 1) * c / rounds;
-            bytes[j] = (hi - lo) * sizeof(Edge);
+            if (shardHome[j] < 0)
+                continue; // lost with its rank (Drop)
+            bytes[part.indexOf(static_cast<unsigned>(shardHome[j]))] +=
+                sliceEdges(j, r) * sizeof(Edge);
         }
         ship = queue.memcpyScatterBufferedAsync(
             part, std::move(bytes), core::CopyDirection::HostToPim,
@@ -338,7 +504,10 @@ GraphUpdateTask::Impl::step()
                 }
             });
 
-            ShardOutcome &oc = outcomes[slot];
+            // Stage the outcome; it commits once the round's event is
+            // known to have succeeded (immediately in a fault-free
+            // run).
+            ShardOutcome &oc = pending[slot];
             oc.simulated = true;
             oc.cycles += dpu.lastElapsedCycles();
             oc.breakdown.merge(dpu.lastBreakdown());
@@ -364,7 +533,212 @@ GraphUpdateTask::Impl::step()
          .tenant = tenant});
     ++round;
 
-    now = std::max(now, queue.eventSeconds(lastRoundEvt));
+    // Migrated shards (Recover): their slices of this round run on the
+    // replacement ranks as timed launches at the measured per-edge
+    // rate, ordered after the shipment like the main launch.
+    std::vector<core::Event> extras;
+    for (const MigratedShard &m : migrated) {
+        const uint64_t k = sliceEdges(m.shardIdx, r);
+        if (k == 0)
+            continue;
+        extras.push_back(queue.launchTimed(
+            *m.home,
+            cfg.dpuCfg.cyclesToSeconds(static_cast<uint64_t>(
+                m.perEdgeCycles * static_cast<double>(k))),
+            {.after = ship,
+             .label = traced ? "update r" + std::to_string(r)
+                     + ":migrated"
+                             : std::string(),
+             .tenant = tenant}));
+    }
+
+    const bool faults = queue.faultInjector() != nullptr;
+    double t = queue.eventSeconds(lastRoundEvt);
+    bool failed = faults && queue.eventFailed(lastRoundEvt);
+    for (const core::Event e : extras) {
+        t = std::max(t, queue.eventSeconds(e));
+        failed = failed || (faults && queue.eventFailed(e));
+    }
+    now = std::max(now, t);
+    if (!failed) {
+        commitPending(r);
+        return;
+    }
+
+    // The round failed: a rank died mid-round, a shipped slice was
+    // permanently corrupted (poisoning the launch through .after), or
+    // the launch timed out.
+    if (policy == fault::FaultPolicy::Fatal) {
+        PIM_FATAL("update round ", r, " failed under fault injection "
+                  "(FaultPolicy::Fatal)");
+    }
+    if (policy == fault::FaultPolicy::Drop) {
+        // No re-execution: the round's insertions are written off.
+        ++lostRoundsN;
+        for (unsigned j = 0; j < numShards; ++j) {
+            if (!deadShard[j])
+                lostEdgesN += sliceEdges(j, r);
+        }
+        for (ShardOutcome &pc : pending)
+            pc = ShardOutcome{};
+        return;
+    }
+    // Recover: park the staged round; it re-executes once the driver
+    // has quarantined any dead rank and a replacement has joined (or
+    // immediately next step, for a transient/timeout failure).
+    parked = true;
+    parkedR = r;
+}
+
+void
+GraphUpdateTask::Impl::onRankFailed(unsigned rank, double failSec)
+{
+    const auto it =
+        std::find(partRankIds.begin(), partRankIds.end(), rank);
+    PIM_ASSERT(it != partRankIds.end(), "rank ", rank,
+               " is not part of this graph partition");
+    if (policy == fault::FaultPolicy::Fatal) {
+        PIM_FATAL("rank ", rank, " failed at t=", failSec,
+                  "s (FaultPolicy::Fatal)");
+    }
+    ++failures;
+    partRankIds.erase(it);
+    PIM_ASSERT(!partRankIds.empty(),
+               "graph partition lost its last rank");
+    part = sys.ranks(partRankIds);
+
+    const core::DpuSet dead_set = sys.ranks({rank});
+
+    if (policy == fault::FaultPolicy::Drop) {
+        // The dead rank's shards — and every update edge they had not
+        // ingested yet — are gone; the partition shrinks onto the
+        // survivors.
+        unrepairedFailSecs.push_back(failSec);
+        for (unsigned i = 0; i < dead_set.size(); ++i) {
+            const unsigned shard_idx =
+                partAtBuild.indexOf(dead_set.memberAt(i));
+            if (deadShard[shard_idx])
+                continue;
+            deadShard[shard_idx] = true;
+            shardHome[shard_idx] = -1;
+            const uint64_t c = shardEdgeCounts[shard_idx];
+            lostEdgesN += c - static_cast<uint64_t>(round) * c / rounds;
+        }
+        for (const unsigned slot : dead_set.slots()) {
+            SlotState &st = slots[slot];
+            if (!st.active)
+                continue;
+            st.graph.reset();
+            st.allocator.reset();
+            st.active = false;
+            pending[slot] = ShardOutcome{};
+        }
+        return;
+    }
+
+    // Recover: freeze each dead sampled shard at its host-side
+    // checkpoint — harvest the allocator stats now (the re-executed
+    // rounds are timed-only, so this is the shard's final functional
+    // state) and measure the per-edge rate its remaining slices will
+    // be charged at — then pause until a replacement rank is granted.
+    PendingFail fail{rank, failSec, {}, 0};
+    uint64_t resident_sum = 0;
+    unsigned resident_n = 0;
+    for (const unsigned slot : dead_set.slots()) {
+        SlotState &st = slots[slot];
+        if (!st.active)
+            continue;
+        ShardOutcome &oc = outcomes[slot];
+        oc.simulated = true;
+        if (st.allocator) {
+            oc.hasAllocator = true;
+            oc.stats = st.allocator->stats();
+            oc.metadataBytes = st.allocator->metadataBytes();
+        }
+        const unsigned shard_idx =
+            static_cast<unsigned>(slotShardIdx[slot]);
+        const uint64_t c = shardEdgeCounts[shard_idx];
+        const uint64_t processed =
+            static_cast<uint64_t>(round) * c / rounds;
+        const uint64_t cyc = oc.cycles + pending[slot].cycles;
+        const double per_edge = processed > 0
+            ? static_cast<double>(cyc) / static_cast<double>(processed)
+            : 0.0;
+        const uint64_t local = st.shard.updateEdges.size();
+        const uint64_t local_processed =
+            static_cast<uint64_t>(round) * local / rounds;
+        resident_sum += st.shard.numLocalNodes * 8ull
+            + (st.shard.baseEdges.size() + local_processed)
+                * sizeof(Edge);
+        ++resident_n;
+        fail.shards.push_back({slot, shard_idx, per_edge, std::nullopt});
+        st.graph.reset();
+        st.allocator.reset();
+        st.active = false;
+    }
+    if (resident_n > 0)
+        fail.residentBytesPerDpu = resident_sum / resident_n;
+    pendingFails.push_back(std::move(fail));
+}
+
+void
+GraphUpdateTask::Impl::onReplacementGranted(
+    const core::DpuSet &replacement)
+{
+    PIM_ASSERT(!pendingFails.empty(),
+               "replacement granted with no outstanding rank failure");
+    PendingFail fail = std::move(pendingFails.front());
+    pendingFails.pop_front();
+    ++recovered;
+
+    for (const unsigned r : replacement.ranks())
+        partRankIds.push_back(r);
+    part = sys.ranks(partRankIds);
+
+    // Repair starts no earlier than the failure was observed: the
+    // replacement's lanes are idle (a fresh rank back-fills to t=0
+    // otherwise), so pin the tenant's host lane first.
+    queue.hostIdleUntil(std::max(now, fail.failSec),
+                        {.label = traced ? "recover:wait" : std::string(),
+                         .tenant = tenant});
+
+    // Restore the dead rank's shard state onto the replacement from
+    // the host-side checkpoint, costed as a bus transfer; the parked
+    // round's retry orders after it.
+    core::Event restore = core::kNoEvent;
+    if (fail.residentBytesPerDpu > 0) {
+        restore = queue.memcpyBufferedAsync(
+            replacement, fail.residentBytesPerDpu,
+            core::CopyDirection::HostToPim,
+            {.label = traced ? "recover:restore" : std::string(),
+             .tenant = tenant});
+        restoreBytesN += fail.residentBytesPerDpu * replacement.size();
+        restoreEvt = restore;
+    }
+    for (MigratedShard &m : fail.shards) {
+        m.home = replacement;
+        migrated.push_back(std::move(m));
+    }
+
+    // Every shard the dead rank hosted — sampled or not — now lives on
+    // the replacement member at the same within-rank offset, so shipped
+    // rounds keep scattering its slice to the member that runs it.
+    const core::DpuSet dead_set = sys.ranks({fail.rank});
+    for (unsigned j = 0; j < numShards; ++j) {
+        if (shardHome[j] < 0)
+            continue;
+        const unsigned home = static_cast<unsigned>(shardHome[j]);
+        if (dead_set.contains(home))
+            shardHome[j] = replacement.memberAt(
+                dead_set.indexOf(home) % replacement.size());
+    }
+
+    const double repaired = std::max(
+        restore != core::kNoEvent ? queue.eventSeconds(restore)
+                                  : std::max(now, fail.failSec),
+        fail.failSec);
+    mttrSum += repaired - fail.failSec;
+    downtime += repaired - fail.failSec;
 }
 
 GraphUpdateTask::GraphUpdateTask(const GraphUpdateConfig &cfg,
@@ -380,7 +754,8 @@ GraphUpdateTask::~GraphUpdateTask() = default;
 bool
 GraphUpdateTask::done() const
 {
-    return impl_->round >= impl_->rounds;
+    return impl_->round >= impl_->rounds && !impl_->parked
+        && impl_->pendingFails.empty();
 }
 
 double
@@ -393,7 +768,27 @@ void
 GraphUpdateTask::step()
 {
     PIM_ASSERT(!done(), "step() after the last update round");
+    PIM_ASSERT(impl_->pendingFails.empty(),
+               "step() while waiting for a replacement rank");
     impl_->step();
+}
+
+void
+GraphUpdateTask::onRankFailed(unsigned rank, double failSec)
+{
+    impl_->onRankFailed(rank, failSec);
+}
+
+void
+GraphUpdateTask::onReplacementGranted(const core::DpuSet &replacement)
+{
+    impl_->onReplacementGranted(replacement);
+}
+
+bool
+GraphUpdateTask::waitingReplacement() const
+{
+    return !impl_->pendingFails.empty();
 }
 
 GraphUpdateResult
@@ -403,6 +798,29 @@ GraphUpdateTask::result() const
     GraphUpdateResult out = impl_->res;
     mergeOutcomes(out, impl_->cfg, impl_->outcomes);
     out.wallSeconds = std::max(0.0, impl_->now - impl_->buildDoneSec);
+    out.rankFailures = impl_->failures;
+    out.reExecutedRounds = impl_->reExec;
+    out.lostRounds = impl_->lostRoundsN;
+    out.lostEdges = impl_->lostEdgesN;
+    out.restoreBytes = impl_->restoreBytesN;
+    out.mttrMeanSec = impl_->recovered > 0
+        ? impl_->mttrSum / impl_->recovered
+        : 0.0;
+    double down = impl_->downtime;
+    for (const double fail_sec : impl_->unrepairedFailSecs)
+        down += std::max(0.0, impl_->now - fail_sec);
+    out.availability = out.wallSeconds > 0.0
+        ? std::clamp(1.0 - down / out.wallSeconds, 0.0, 1.0)
+        : 1.0;
+    if (out.lostEdges > 0 && out.updateSeconds > 0) {
+        // Throughput counts only the edges actually ingested.
+        const uint64_t kept = out.updateEdgesTotal
+                > out.lostEdges
+            ? out.updateEdgesTotal - out.lostEdges
+            : 0;
+        out.millionEdgesPerSec =
+            static_cast<double>(kept) / out.updateSeconds / 1e6;
+    }
     return out;
 }
 
@@ -420,18 +838,65 @@ runGraphUpdate(const GraphUpdateConfig &cfg)
     scfg.dpuCfg = cfg.dpuCfg;
     scfg.simThreads = cfg.simThreads;
 
-    if (cfg.updateRounds > 1 || cfg.shipUpdates) {
+    if (cfg.updateRounds > 1 || cfg.shipUpdates
+        || cfg.faultSpec.enabled()) {
         // Streaming-ingest mode: the round-driven stepper on a private
         // queue (the co-tenant form runs the same task on a shared
-        // queue instead).
+        // queue instead). Fault injection rides this path — round
+        // granularity is what makes recovery possible.
         core::PimSystem sys(scfg);
         core::CommandQueue queue(sys);
         if (cfg.recorder != nullptr)
             queue.attachRecorder(cfg.recorder);
-        GraphUpdateTask task(cfg, queue, sys.all());
-        while (!task.done())
-            task.step();
-        GraphUpdateResult out = task.result();
+
+        std::unique_ptr<fault::FaultInjector> inj;
+        std::unique_ptr<core::RankScheduler> sched;
+        std::unique_ptr<GraphUpdateTask> task;
+        if (cfg.faultSpec.enabled()) {
+            inj = std::make_unique<fault::FaultInjector>(
+                fault::FaultPlan(cfg.faultSpec, cfg.faultSeed,
+                                 sys.numRanks()));
+            queue.attachFaultInjector(inj.get());
+        }
+        if (inj != nullptr && cfg.faultSpec.rankMtbfSec > 0.0) {
+            sched = std::make_unique<core::RankScheduler>(sys);
+            const unsigned spare = std::min(
+                cfg.spareRanks,
+                sys.numRanks() > 1 ? sys.numRanks() - 1 : 0u);
+            task = std::make_unique<GraphUpdateTask>(
+                cfg, queue,
+                sched->acquireRanks(sys.numRanks() - spare, "graph"));
+            sched->onRevoke("graph", [&](unsigned rank) {
+                task->onRankFailed(rank, inj->rankFailSeconds(rank));
+                if (cfg.faultPolicy == fault::FaultPolicy::Recover) {
+                    sched->requestRanks(
+                        1, "graph", [&](core::DpuSet replacement) {
+                            task->onReplacementGranted(
+                                std::move(replacement));
+                        });
+                }
+            });
+        } else {
+            task = std::make_unique<GraphUpdateTask>(cfg, queue,
+                                                     sys.all());
+        }
+
+        while (!task->done()) {
+            task->step();
+            if (sched != nullptr) {
+                for (const fault::FaultEvent &ev :
+                     inj->drainFailedRanks(task->clockSeconds()))
+                    sched->quarantine(ev.rank);
+                if (task->waitingReplacement()) {
+                    PIM_FATAL("rank failed with no spare replacement "
+                              "left (", sched->freeRankCount(),
+                              " free): raise "
+                              "GraphUpdateConfig::spareRanks or "
+                              "shorten the stream");
+                }
+            }
+        }
+        GraphUpdateResult out = task->result();
         queue.sync();
         return out;
     }

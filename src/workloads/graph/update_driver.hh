@@ -15,6 +15,7 @@
 #include "alloc/alloc_stats.hh"
 #include "core/allocator_factory.hh"
 #include "core/command_queue.hh"
+#include "fault/fault_plan.hh"
 #include "sim/config.hh"
 #include "sim/types.hh"
 #include "workloads/graph/graph_gen.hh"
@@ -91,6 +92,20 @@ struct GraphUpdateConfig
     unsigned simThreads = 0;
     /** Span recorder fed by the run's command queue (nullptr = off). */
     trace::Recorder *recorder = nullptr;
+    /**
+     * Fault injection (opt-in): when faultSpec.enabled(),
+     * runGraphUpdate takes the round-driven path, builds a FaultPlan
+     * from (faultSpec, faultSeed), attaches it to the run's queue, and
+     * — if rank failures are in play — arbitrates ranks through a
+     * RankScheduler holding spareRanks back so replacements exist.
+     * Disabled by default; the fault-free path is byte-identical to
+     * the pre-fault driver. (Co-tenant GraphUpdateTask callers wire
+     * injector + scheduler themselves and only set faultPolicy.)
+     */
+    fault::FaultSpec faultSpec{};
+    uint64_t faultSeed = 29;
+    fault::FaultPolicy faultPolicy = fault::FaultPolicy::Recover;
+    unsigned spareRanks = 1;
 };
 
 /** Aggregated outcome of the update phase. */
@@ -122,6 +137,18 @@ struct GraphUpdateResult
      * historical single-launch path, where no round boundary exists.
      */
     double wallSeconds = 0.0;
+
+    /** Fault injection (all zero/ideal in a fault-free run). */
+    unsigned rankFailures = 0;    ///< rank deaths inside this partition
+    unsigned reExecutedRounds = 0; ///< failed rounds re-run (Recover)
+    unsigned lostRounds = 0;      ///< failed rounds never re-run (Drop)
+    uint64_t lostEdges = 0;       ///< update edges lost with them (Drop)
+    uint64_t restoreBytes = 0;    ///< shard state restored to replacements
+    /** Mean time-to-repair: rank death -> replacement granted and the
+     *  shard restore landed (recovered failures only). */
+    double mttrMeanSec = 0.0;
+    /** 1 - (time some failure was unrepaired) / update wall time. */
+    double availability = 1.0;
 };
 
 /** Run the experiment. Deterministic in the config. */
@@ -167,8 +194,32 @@ class GraphUpdateTask
     double clockSeconds() const;
 
     /** Enqueue the next update round and wait for it (event-driven).
-     *  Must not be called after done(). */
+     *  Must not be called after done(), nor while
+     *  waitingReplacement(). */
     void step();
+
+    /**
+     * Control-plane notification: @p rank — part of this task's
+     * partition — died at simulated time @p failSec (wire this to
+     * RankScheduler::onRevoke). Under fault::FaultPolicy::Drop the
+     * dead rank's shards (and their un-inserted edges) are lost and
+     * the partition shrinks; under Recover the task pauses
+     * (waitingReplacement()) until onReplacementGranted().
+     */
+    void onRankFailed(unsigned rank, double failSec);
+
+    /**
+     * A replacement grant (single rank) for the oldest outstanding
+     * failure: the dead rank's shard state is restored onto the
+     * replacement from the host-side checkpoint (costed as a bus
+     * transfer), and the failed round — plus the migrated shards'
+     * remaining rounds — re-executes there as timed launches.
+     */
+    void onReplacementGranted(const core::DpuSet &replacement);
+
+    /** True while the task cannot progress awaiting a replacement
+     *  grant; the driver must not step() the task in that state. */
+    bool waitingReplacement() const;
 
     /** Metrics of the completed experiment (valid once done()). */
     GraphUpdateResult result() const;

@@ -11,6 +11,8 @@
 
 #include "alloc/pim_malloc.hh"
 #include "core/pim_system.hh"
+#include "core/rank_scheduler.hh"
+#include "fault/injector.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "workloads/llm/kv_cache.hh"
@@ -263,6 +265,9 @@ struct DisaggServingTask::Impl
          const core::DpuSet &partition, core::TenantId tenant_in);
 
     void step();
+    void rebuildParts();
+    void onRankFailed(unsigned rank, double failSec);
+    void onReplacementGranted(const core::DpuSet &replacement);
 
     struct Wave
     {
@@ -304,6 +309,31 @@ struct DisaggServingTask::Impl
     core::Event shipPrev2 = core::kNoEvent;
     double now = 0.0;
 
+    // Fault tolerance (all of it inert — and the pipeline numerically
+    // unchanged — unless the queue has a fault::FaultInjector
+    // attached). The partition is re-derived from these rank-id lists
+    // whenever a rank leaves (death) or joins (replacement grant).
+    FaultPolicy policy;
+    std::vector<unsigned> prefillRankIds;
+    std::vector<unsigned> decodeRankIds;
+    /** One rank death awaiting its replacement grant (Recover). */
+    struct PendingFail
+    {
+        unsigned rank;
+        double failSec;
+        bool wasPrefill;
+    };
+    std::deque<PendingFail> pendingFails;
+    /** Fail times of failures that will never be repaired (Drop). */
+    std::vector<double> unrepairedFailSecs;
+    unsigned lostReqs = 0;
+    unsigned lostStepsN = 0;
+    unsigned failures = 0;
+    unsigned recoveredCount = 0;
+    uint64_t recoveryBytes = 0;
+    double mttrSum = 0.0;
+    double downtime = 0.0;
+
     ServingResult res; ///< partition/limit fields filled up front
 
     double
@@ -324,10 +354,13 @@ DisaggServingTask::Impl::Impl(const ServingScheme &scheme_in,
                               core::TenantId tenant_in)
     : scheme(scheme_in), cfg(ecfg.base), queue(q), sys(q.system()),
       tenant(tenant_in), traced(q.recorder() != nullptr),
-      parts(partition.partitionRanks(ecfg.prefillRankFraction))
+      parts(partition.partitionRanks(ecfg.prefillRankFraction)),
+      policy(ecfg.faultPolicy)
 {
     PIM_ASSERT(partition.ranks().size() >= 2,
                "disaggregated serving needs at least two ranks");
+    prefillRankIds = parts.first.ranks();
+    decodeRankIds = parts.second.ranks();
     const core::DpuSet &prefill_set = parts.first;
     const core::DpuSet &decode_set = parts.second;
     res.prefillRanks =
@@ -483,9 +516,37 @@ DisaggServingTask::Impl::step()
 
     // Activate waves whose prompt KV has landed by `now` (their
     // first decodable step starts at or after `now`, so the
-    // migration is complete before attention reads it).
-    while (!inflight.empty()
-           && queue.eventSeconds(inflight.front().migrated) <= now) {
+    // migration is complete before attention reads it). Under fault
+    // injection a wave's migration chain may have failed instead —
+    // those waves never activate: Drop loses their requests, Recover
+    // re-queues them at the head of the admission queue (they were
+    // admitted first) to re-prefill on the repaired partition.
+    const bool faults = queue.faultInjector() != nullptr;
+    while (!inflight.empty()) {
+        if (faults && queue.eventFailed(inflight.front().migrated)) {
+            Wave w = std::move(inflight.front());
+            inflight.pop_front();
+            inflightReqs -= static_cast<unsigned>(w.reqs.size());
+            // The failure is *observed* at the chain's completion
+            // time, which is never earlier than the fault that caused
+            // it — advancing the task clock to it lets the control
+            // plane (drainFailedRanks at clockSeconds) see the death
+            // before the wave is relaunched onto the dead rank.
+            now = std::max(now, queue.eventSeconds(w.migrated));
+            if (policy == FaultPolicy::Fatal) {
+                PIM_FATAL("prefill wave of ", w.reqs.size(),
+                          " requests failed under fault injection "
+                          "(FaultPolicy::Fatal)");
+            }
+            if (policy == FaultPolicy::Drop)
+                lostReqs += static_cast<unsigned>(w.reqs.size());
+            else
+                waiting.insert(waiting.begin(), w.reqs.begin(),
+                               w.reqs.end());
+            continue;
+        }
+        if (queue.eventSeconds(inflight.front().migrated) > now)
+            break;
         const double ready =
             queue.eventSeconds(inflight.front().migrated);
         for (const unsigned id : inflight.front().reqs)
@@ -551,6 +612,31 @@ DisaggServingTask::Impl::step()
     ++stepIdx;
 
     const double t_end = queue.eventSeconds(attn);
+    if (faults && queue.eventFailed(attn)) {
+        // The step produced no tokens: a decode rank died mid-step, a
+        // shipped KV append was permanently corrupted (poisoning this
+        // attention through its .after chain), or the launch timed
+        // out. Nothing commits — under Recover the batch stays active
+        // and the eventually-successful retry's TPOT spans the gap
+        // (the SLO sees the stall); under Drop the batch's KV is
+        // untrusted and its requests are shed. Either way the
+        // double-buffer chain restarts from scratch so one failed
+        // ship cannot poison every later step.
+        if (policy == FaultPolicy::Fatal) {
+            PIM_FATAL("decode step ", stepIdx - 1, " (batch ",
+                      active.size(), ") failed under fault injection "
+                      "(FaultPolicy::Fatal)");
+        }
+        lostStepsN += static_cast<unsigned>(active.size());
+        if (policy == FaultPolicy::Drop) {
+            lostReqs += static_cast<unsigned>(active.size());
+            active.clear();
+        }
+        shipPrev1 = core::kNoEvent;
+        shipPrev2 = core::kNoEvent;
+        now = std::max(now, t_end);
+        return;
+    }
     res.peakBatchObserved = std::max<unsigned>(
         res.peakBatchObserved, static_cast<unsigned>(active.size()));
     for (auto &r : active) {
@@ -572,6 +658,174 @@ DisaggServingTask::Impl::step()
     now = std::max(now, t_end);
 }
 
+void
+DisaggServingTask::Impl::rebuildParts()
+{
+    PIM_ASSERT(!prefillRankIds.empty() && !decodeRankIds.empty(),
+               "serving partition lost a whole side");
+    parts = {sys.ranks(prefillRankIds), sys.ranks(decodeRankIds)};
+    const unsigned prefill_dpus = parts.first.size();
+    const unsigned decode_dpus = parts.second.size();
+    res.prefillRanks =
+        static_cast<unsigned>(parts.first.ranks().size());
+    res.decodeRanks = static_cast<unsigned>(parts.second.ranks().size());
+    perTokenDec = cfg.model.kvBytesPerTokenPerDpu(decode_dpus);
+    perTokenPre = cfg.model.kvBytesPerTokenPerDpu(prefill_dpus);
+    blocksPerToken =
+        static_cast<double>(perTokenDec) / cfg.kvBlockBytes;
+    const alloc::PimMallocConfig heap_cfg;
+    promptBytesPre = perTokenPre * cfg.promptTokens;
+    maxPrefillBatch = std::max<unsigned>(
+        1,
+        static_cast<unsigned>(heap_cfg.heapBytes * 95 / 100
+                              / std::max<uint64_t>(promptBytesPre, 1)));
+    res.maxBatchLimit = batchLimit(scheme, cfg, decode_dpus);
+    PIM_ASSERT(res.maxBatchLimit >= 1,
+               "decode partition too small after rank loss: "
+               "zero-request batch limit");
+}
+
+void
+DisaggServingTask::Impl::onRankFailed(unsigned rank, double failSec)
+{
+    const bool was_prefill =
+        std::find(prefillRankIds.begin(), prefillRankIds.end(), rank)
+        != prefillRankIds.end();
+    const bool was_decode =
+        std::find(decodeRankIds.begin(), decodeRankIds.end(), rank)
+        != decodeRankIds.end();
+    PIM_ASSERT(was_prefill || was_decode, "rank ", rank,
+               " is not part of this serving partition");
+    if (policy == FaultPolicy::Fatal) {
+        PIM_FATAL("rank ", rank, " failed at t=", failSec,
+                  "s (FaultPolicy::Fatal)");
+    }
+    ++failures;
+    std::erase(prefillRankIds, rank);
+    std::erase(decodeRankIds, rank);
+
+    if (policy == FaultPolicy::Recover) {
+        // Pause (waitingReplacement) until the control plane grants a
+        // replacement; the affected waves/steps surface as failed
+        // events and re-queue through the step() paths above.
+        pendingFails.push_back({rank, failSec, was_prefill});
+        return;
+    }
+
+    // Drop: no replacement is coming. The dead rank held a shard of
+    // every active request's KV (decode) or of the in-flight prompt
+    // KV (prefill), so those requests are shed, and the partition
+    // shrinks onto the survivors. If a whole side died there is no
+    // pipeline left — everything unfinished is lost.
+    unrepairedFailSecs.push_back(failSec);
+    if (was_decode) {
+        lostReqs += static_cast<unsigned>(active.size());
+        active.clear();
+    }
+    for (const auto &w : inflight)
+        lostReqs += static_cast<unsigned>(w.reqs.size());
+    inflight.clear();
+    inflightReqs = 0;
+    shipPrev1 = core::kNoEvent;
+    shipPrev2 = core::kNoEvent;
+    if (prefillRankIds.empty() || decodeRankIds.empty()) {
+        lostReqs += static_cast<unsigned>(waiting.size());
+        lostReqs += cfg.numRequests - nextArrival;
+        waiting.clear();
+        nextArrival = cfg.numRequests;
+        return;
+    }
+    rebuildParts();
+}
+
+void
+DisaggServingTask::Impl::onReplacementGranted(
+    const core::DpuSet &replacement)
+{
+    PIM_ASSERT(!pendingFails.empty(),
+               "replacement granted with no outstanding rank failure");
+    const PendingFail fail = pendingFails.front();
+    pendingFails.pop_front();
+    ++recoveredCount;
+
+    std::vector<unsigned> &side =
+        fail.wasPrefill ? prefillRankIds : decodeRankIds;
+    for (const unsigned r : replacement.ranks())
+        side.push_back(r);
+    rebuildParts();
+
+    // Repair starts no earlier than the failure was observed: the
+    // replacement's lanes are idle (a fresh rank back-fills to t=0
+    // otherwise), so pin the tenant's host lane first.
+    queue.hostIdleUntil(std::max(now, fail.failSec),
+                        {.label = traced ? "recover:wait" : "",
+                         .tenant = tenant});
+
+    core::Event landed = core::kNoEvent;
+    const unsigned tasklets = cfg.allocTasklets;
+    if (fail.wasPrefill) {
+        // A prefill rank holds only transient prompt KV (re-created by
+        // the re-queued waves), so recovery is bringing the fresh
+        // rank's allocator state up — the same deployment-time launch
+        // the constructor issues.
+        if (scheme.allocator) {
+            landed = queue.launchProgram(
+                replacement,
+                [this, tasklets](sim::Dpu &dpu, unsigned global) {
+                    PrefillSlot &st = slots[sys.slotOf(global)];
+                    core::AllocatorOverrides ov;
+                    ov.numTasklets = tasklets;
+                    st.allocator =
+                        core::makeAllocator(dpu, *scheme.allocator, ov);
+                    st.kv = std::make_unique<KvCacheManager>(
+                        *st.allocator, cfg.kvBlockBytes);
+                    st.prevWaveRequests = 0;
+                    dpu.run(1, [&](sim::Tasklet &t) {
+                        st.allocator->init(t);
+                    });
+                },
+                {.label = traced ? "recover:alloc init" : "",
+                 .tenant = tenant});
+        }
+    } else {
+        // A decode rank held one shard of every resident context: the
+        // active batch's full contexts plus the prompts of waves whose
+        // migration already landed (waves that failed instead
+        // re-prefill from scratch, so their KV is not re-shipped
+        // twice). Re-ship that shard onto the replacement through the
+        // same double-buffered scatter path the pipeline uses, and
+        // restart the ship chain from it so the next attention waits
+        // for the restored KV.
+        uint64_t ctx_tokens = 0;
+        for (const auto &r : active)
+            ctx_tokens += r.context;
+        for (const auto &w : inflight) {
+            if (!queue.eventFailed(w.migrated)) {
+                ctx_tokens += static_cast<uint64_t>(w.reqs.size())
+                    * cfg.promptTokens;
+            }
+        }
+        const uint64_t bytes_per_dpu = perTokenDec * ctx_tokens;
+        if (bytes_per_dpu > 0) {
+            landed = queue.memcpyBufferedAsync(
+                replacement, bytes_per_dpu,
+                core::CopyDirection::HostToPim,
+                {.label = traced ? "recover:kv reship" : "",
+                 .tenant = tenant});
+            recoveryBytes += bytes_per_dpu * replacement.size();
+        }
+        shipPrev1 = landed;
+        shipPrev2 = core::kNoEvent;
+    }
+
+    const double repaired = std::max(
+        landed != core::kNoEvent ? queue.eventSeconds(landed)
+                                 : std::max(now, fail.failSec),
+        fail.failSec);
+    mttrSum += repaired - fail.failSec;
+    downtime += repaired - fail.failSec;
+}
+
 DisaggServingTask::DisaggServingTask(const ServingScheme &scheme,
                                      const ServingEngineConfig &cfg,
                                      core::CommandQueue &queue,
@@ -587,7 +841,8 @@ DisaggServingTask::~DisaggServingTask() = default;
 bool
 DisaggServingTask::done() const
 {
-    return impl_->completed >= impl_->cfg.numRequests;
+    return impl_->completed + impl_->lostReqs
+        >= impl_->cfg.numRequests;
 }
 
 double
@@ -600,7 +855,27 @@ void
 DisaggServingTask::step()
 {
     PIM_ASSERT(!done(), "step() after the serving trace completed");
+    PIM_ASSERT(impl_->pendingFails.empty(),
+               "step() while waiting for a replacement rank");
     impl_->step();
+}
+
+void
+DisaggServingTask::onRankFailed(unsigned rank, double failSec)
+{
+    impl_->onRankFailed(rank, failSec);
+}
+
+void
+DisaggServingTask::onReplacementGranted(const core::DpuSet &replacement)
+{
+    impl_->onReplacementGranted(replacement);
+}
+
+bool
+DisaggServingTask::waitingReplacement() const
+{
+    return !impl_->pendingFails.empty();
 }
 
 ServingResult
@@ -619,6 +894,22 @@ DisaggServingTask::result() const
     res.ttftP95Ms = impl_->ttft.p95() * 1e3;
     res.ttftP99Ms = impl_->ttft.p99() * 1e3;
     res.kvShippedBytes = impl_->shippedBytes;
+    res.completedRequests = impl_->completed;
+    res.lostRequests = impl_->lostReqs;
+    res.lostSteps = impl_->lostStepsN;
+    res.rankFailures = impl_->failures;
+    res.recoveryBytes = impl_->recoveryBytes;
+    res.mttrMeanSec = impl_->recoveredCount > 0
+        ? impl_->mttrSum / impl_->recoveredCount
+        : 0.0;
+    double down = impl_->downtime;
+    for (const double fail_sec : impl_->unrepairedFailSecs)
+        down += std::max(0.0, impl_->now - fail_sec);
+    for (const auto &f : impl_->pendingFails)
+        down += std::max(0.0, impl_->now - f.failSec);
+    res.availability = res.makespanSec > 0.0
+        ? std::clamp(1.0 - down / res.makespanSec, 0.0, 1.0)
+        : 1.0;
     return res;
 }
 
@@ -640,18 +931,68 @@ ServingEngine::runDisaggregated()
     if (cfg.recorder != nullptr)
         queue.attachRecorder(cfg.recorder);
 
-    DisaggServingTask task(scheme_, cfg_, queue, sys.all());
-    while (!task.done())
-        task.step();
+    // Fault injection (opt-in): attach the deterministic plan to the
+    // queue and, when rank deaths are in play, arbitrate the ranks
+    // through a RankScheduler holding spare ranks back — spares are
+    // held for every policy so a Recover run and its Drop baseline
+    // serve on identically sized partitions.
+    std::unique_ptr<fault::FaultInjector> inj;
+    std::unique_ptr<core::RankScheduler> sched;
+    std::unique_ptr<DisaggServingTask> task;
+    if (cfg_.faultSpec.enabled()) {
+        inj = std::make_unique<fault::FaultInjector>(fault::FaultPlan(
+            cfg_.faultSpec, cfg_.faultSeed, sys.numRanks()));
+        queue.attachFaultInjector(inj.get());
+    }
+    if (inj != nullptr && cfg_.faultSpec.rankMtbfSec > 0.0) {
+        sched = std::make_unique<core::RankScheduler>(sys);
+        const unsigned spare = std::min(
+            cfg_.spareRanks, sys.numRanks() > 2 ? sys.numRanks() - 2
+                                                : 0u);
+        task = std::make_unique<DisaggServingTask>(
+            scheme_, cfg_, queue,
+            sched->acquireRanks(sys.numRanks() - spare, "serving"));
+        sched->onRevoke("serving", [&](unsigned rank) {
+            task->onRankFailed(rank, inj->rankFailSeconds(rank));
+            if (cfg_.faultPolicy == FaultPolicy::Recover) {
+                sched->requestRanks(1, "serving",
+                                    [&](core::DpuSet replacement) {
+                    task->onReplacementGranted(std::move(replacement));
+                });
+            }
+        });
+    } else {
+        task = std::make_unique<DisaggServingTask>(scheme_, cfg_,
+                                                   queue, sys.all());
+    }
+
+    while (!task->done()) {
+        task->step();
+        if (sched != nullptr) {
+            // Quarantine ranks whose scheduled death the pipeline has
+            // now reached; the revoke callback above notifies the task
+            // and (Recover) requests the replacement, which the
+            // scheduler grants from the spare pool before returning.
+            for (const fault::FaultEvent &ev :
+                 inj->drainFailedRanks(task->clockSeconds()))
+                sched->quarantine(ev.rank);
+            if (task->waitingReplacement()) {
+                PIM_FATAL("rank failed with no spare replacement left "
+                          "(", sched->freeRankCount(), " free): raise "
+                          "ServingEngineConfig::spareRanks or shorten "
+                          "the trace");
+            }
+        }
+    }
 
     // Standalone: the queue is exclusively ours, so the joined-queue
     // makespan, the queue's transfer counter, and the hidden-work sum
     // are all this run's own (a co-tenant run reads task.result()
     // as-is instead and gets tenant-local numbers).
-    ServingResult res = task.result();
+    ServingResult res = task->result();
     res.makespanSec = queue.sync();
     res.throughputTokensPerSec =
-        static_cast<double>(task.impl_->tokensOut)
+        static_cast<double>(task->impl_->tokensOut)
         / std::max(res.makespanSec, 1e-9);
     res.kvShippedBytes = queue.transferredBytes();
     res.overlapSeconds = std::max(

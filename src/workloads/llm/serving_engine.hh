@@ -33,6 +33,7 @@
 #include <memory>
 
 #include "core/command_queue.hh"
+#include "fault/fault_plan.hh"
 #include "workloads/llm/serving_sim.hh"
 
 namespace pim::workloads::llm {
@@ -42,6 +43,10 @@ enum class ServingMode {
     Lockstep,      ///< analytic host-clock loop (Fig 18 reproduction)
     Disaggregated, ///< rank-partitioned prefill/decode pipeline
 };
+
+/** What a disaggregated pipeline does when commands fail under fault
+ *  injection (shared across fault-aware workloads; see fault::FaultPolicy). */
+using FaultPolicy = fault::FaultPolicy;
 
 /** Engine parameters on top of the shared serving trace config. */
 struct ServingEngineConfig
@@ -63,6 +68,21 @@ struct ServingEngineConfig
      * else hardware concurrency). Results are thread-count invariant.
      */
     unsigned simThreads = 1;
+
+    /**
+     * Fault injection for the standalone Disaggregated run: when
+     * faultSpec.enabled(), runDisaggregated() builds a FaultPlan from
+     * (faultSpec, faultSeed), attaches it to the run's queue, and —
+     * if rank failures are in play — holds spareRanks back from the
+     * task's grant behind a RankScheduler so replacements exist.
+     * Disabled by default; the fault-free path is byte-identical to
+     * the pre-fault engine. (Co-tenant DisaggServingTask callers wire
+     * injector + scheduler themselves and only set faultPolicy.)
+     */
+    fault::FaultSpec faultSpec{};
+    uint64_t faultSeed = 23;
+    FaultPolicy faultPolicy = FaultPolicy::Recover;
+    unsigned spareRanks = 1;
 };
 
 /**
@@ -140,8 +160,30 @@ class DisaggServingTask
 
     /** One scheduler iteration: admit arrivals, launch/activate
      *  prefill waves, run one decode step (or idle to the next
-     *  arrival). Must not be called after done(). */
+     *  arrival). Must not be called after done(), nor while
+     *  waitingReplacement(). */
     void step();
+
+    /**
+     * Control-plane notification: @p rank — part of this task's
+     * partition — died at simulated time @p failSec (wire this to
+     * RankScheduler::onRevoke). Under FaultPolicy::Drop the task sheds
+     * the affected requests and shrinks; under Recover it pauses
+     * (waitingReplacement()) until onReplacementGranted().
+     */
+    void onRankFailed(unsigned rank, double failSec);
+
+    /**
+     * A replacement grant (single rank) for the oldest outstanding
+     * failure: the task re-joins it to the side that lost a rank,
+     * re-initializes prefill state / re-ships the affected KV via the
+     * double-buffered path, and resumes.
+     */
+    void onReplacementGranted(const core::DpuSet &replacement);
+
+    /** True while decode cannot progress awaiting a replacement
+     *  grant; the driver must not step() the task in that state. */
+    bool waitingReplacement() const;
 
     /**
      * Metrics of the completed trace (valid once done()). makespanSec

@@ -108,6 +108,18 @@ struct ServingResult
     /** Resource work (host + bus + ranks) hidden by pipelining:
      *  max(0, work sum - makespan). */
     double overlapSeconds = 0.0;
+
+    /** Fault injection (all zero/ideal in a fault-free run). */
+    unsigned completedRequests = 0; ///< requests fully decoded
+    unsigned lostRequests = 0;  ///< requests dropped, never completed
+    unsigned lostSteps = 0;     ///< failed decode steps (count vs SLO)
+    unsigned rankFailures = 0;  ///< rank deaths inside this partition
+    uint64_t recoveryBytes = 0; ///< KV re-shipped to replacement ranks
+    /** Mean time-to-repair: rank death -> replacement granted and KV
+     *  re-ship landed (recovered failures only). */
+    double mttrMeanSec = 0.0;
+    /** 1 - (time some failure was unrepaired) / makespan. */
+    double availability = 1.0;
 };
 
 /** Run the serving simulation for one scheme. */

@@ -83,10 +83,11 @@ TEST(CliDeath, PositionalIsFatal)
 TEST(Cli, BenchKnobNamesComposeWithExtras)
 {
     EXPECT_EQ(pim::util::benchKnobNames(),
-              "dpus,sample,tasklets,threads,json,trace,occupancy");
+              "dpus,sample,tasklets,threads,json,trace,occupancy,"
+              "fault-seed,mtbf,fault-spec");
     EXPECT_EQ(pim::util::benchKnobNames("requests,rate"),
               "dpus,sample,tasklets,threads,json,trace,occupancy,"
-              "requests,rate");
+              "fault-seed,mtbf,fault-spec,requests,rate");
 }
 
 TEST(Cli, ParseBenchKnobsReadsSharedFlags)
