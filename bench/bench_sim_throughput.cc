@@ -6,7 +6,16 @@
  * it feeds the repo's perf trajectory (BENCH_*.json) via --json.
  *
  * Cases: 1-tasklet (uncontended) and 16-tasklet (mutex-contended)
- * alloc/free loops on PIM-malloc-SW, the paper's default design point.
+ * alloc/free loops on PIM-malloc-SW, the paper's default design point,
+ * plus a 16-tasklet pure lock/unlock pounding loop that isolates mutex
+ * contention (the case PIM_SIM_MUTEX=queue accelerates).
+ *
+ * Throughput is reported in *model* events: real cycle charges plus the
+ * spin re-checks the queue mutex mode elides analytically. Both mutex
+ * modes simulate the identical event stream (same clocks, same
+ * breakdowns), so model events/s is the honest cross-mode metric —
+ * queue mode does the same simulation work per wall second, just
+ * without materializing the spin charges.
  *
  * --trace/--occupancy replay each case once, untimed, with the
  * per-tasklet trace hook attached (PIM_TRACE_SIM builds), so the
@@ -15,15 +24,19 @@
  */
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/allocator_factory.hh"
+#include "core/parallel_engine.hh"
 #include "core/pim_system.hh"
 #include "sim/dpu.hh"
 #include "sim/fiber.hh"
+#include "sim/mutex.hh"
+#include "sim/scheduler.hh"
 #include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
@@ -39,10 +52,23 @@ struct CaseResult
     std::string name;
     unsigned tasklets = 0;
     uint64_t simEvents = 0;
+    /** Spin re-checks elided by the queue mutex mode (0 under spin). */
+    uint64_t elidedEvents = 0;
+    /** simEvents + elidedEvents == the spin model's event count. */
+    uint64_t modelEvents = 0;
     uint64_t simCycles = 0;
     double wallSeconds = 0.0;
     double eventsPerSec = 0.0;
 };
+
+void
+finishCase(CaseResult &res, double best)
+{
+    res.modelEvents = res.simEvents + res.elidedEvents;
+    res.wallSeconds = best;
+    res.eventsPerSec =
+        best > 0.0 ? static_cast<double>(res.modelEvents) / best : 0.0;
+}
 
 CaseResult
 runCase(unsigned tasklets, unsigned allocs, unsigned reps)
@@ -81,11 +107,56 @@ runCase(unsigned tasklets, unsigned allocs, unsigned reps)
             best = wall.count();
             res.simEvents = dpu.lastSimEvents();
             res.simCycles = dpu.lastElapsedCycles();
+            const sim::SimMutex *m = allocator->contentionMutex();
+            res.elidedEvents = m != nullptr ? m->elidedSpinEvents() : 0;
         }
     }
-    res.wallSeconds = best;
-    res.eventsPerSec =
-        best > 0.0 ? static_cast<double>(res.simEvents) / best : 0.0;
+    finishCase(res, best);
+    return res;
+}
+
+/**
+ * Mutex-pounding loop: 16 tasklets fighting over one lock with a
+ * critical section long enough that every blocked tasklet re-checks
+ * many times per hold (the backoff batch caps at 256 instructions), the
+ * pathological case for the spin model — nearly all charges are
+ * busy-wait re-checks. This is the scenario the parked-waiter queue
+ * mode targets: it elides those charges while reproducing their timing
+ * analytically, so the identical simulation costs a fraction of the
+ * host work.
+ */
+CaseResult
+runMutexCase(unsigned tasklets, unsigned iters, unsigned reps)
+{
+    CaseResult res;
+    res.name = std::to_string(tasklets) + "-tasklet contended mutex";
+    res.tasklets = tasklets;
+
+    double best = -1.0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        sim::Dpu dpu;
+        sim::SimMutex mutex; // default mode: PIM_SIM_MUTEX
+
+        const auto start = std::chrono::steady_clock::now();
+        dpu.run(tasklets, [&](sim::Tasklet &t) {
+            for (unsigned i = 0; i < iters; ++i) {
+                mutex.lock(t);
+                t.execute(3000 + 100 * (t.id() % 4));
+                mutex.unlock(t);
+                t.execute(60);
+            }
+        });
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+
+        if (best < 0.0 || wall.count() < best) {
+            best = wall.count();
+            res.simEvents = dpu.lastSimEvents();
+            res.simCycles = dpu.lastElapsedCycles();
+            res.elidedEvents = mutex.elidedSpinEvents();
+        }
+    }
+    finishCase(res, best);
     return res;
 }
 
@@ -126,17 +197,33 @@ main(int argc, char **argv)
     const unsigned reps = static_cast<unsigned>(cli.getInt("reps", 3));
     const std::string &json_path = knobs.jsonPath;
 
+    // Run configuration, recorded alongside every result so BENCH_*
+    // trajectories from different knob settings are distinguishable.
+    const char *sched_name =
+        sim::TaskletScheduler::policyFromEnv(std::getenv("PIM_SIM_SCHED"))
+                == sim::TaskletScheduler::Policy::Horizon
+            ? "horizon" : "naive";
+    const char *mutex_mode =
+        sim::SimMutex::modeName(sim::SimMutex::defaultMode());
+    const unsigned threads = core::resolveSimThreads(knobs.threads);
+    const bool affinity = core::ParallelDpuEngine::affinityFromEnv(
+        std::getenv("PIM_SIM_AFFINITY"));
+
     std::vector<CaseResult> results;
     for (unsigned tasklets : {1u, 16u})
         results.push_back(runCase(tasklets, allocs, reps));
+    results.push_back(runMutexCase(16, allocs / 4, reps));
 
     util::Table table(std::string("Simulator throughput (fiber backend: ")
-                      + sim::Fiber::backendName() + ", best of "
-                      + std::to_string(reps) + ")");
-    table.setHeader({"Case", "Sim events", "Sim cycles", "Wall (ms)",
-                     "Events/sec"});
+                      + sim::Fiber::backendName() + ", sched: "
+                      + sched_name + ", mutex: " + mutex_mode
+                      + ", best of " + std::to_string(reps) + ")");
+    table.setHeader({"Case", "Charged", "Elided", "Model events",
+                     "Sim cycles", "Wall (ms)", "Events/sec"});
     for (const auto &r : results) {
         table.addRow({r.name, std::to_string(r.simEvents),
+                      std::to_string(r.elidedEvents),
+                      std::to_string(r.modelEvents),
                       std::to_string(r.simCycles),
                       util::Table::num(r.wallSeconds * 1e3, 2),
                       util::Table::num(r.eventsPerSec / 1e6, 2) + "M"});
@@ -153,6 +240,10 @@ main(int argc, char **argv)
         j.beginObject();
         j.key("bench").value("sim_throughput");
         j.key("fiber_backend").value(sim::Fiber::backendName());
+        j.key("sched").value(sched_name);
+        j.key("mutex_mode").value(mutex_mode);
+        j.key("threads").value(threads);
+        j.key("affinity").value(affinity);
         j.key("allocs_per_tasklet").value(allocs);
         j.key("reps").value(reps);
         j.key("cases").beginArray();
@@ -161,6 +252,8 @@ main(int argc, char **argv)
             j.key("name").value(r.name);
             j.key("tasklets").value(r.tasklets);
             j.key("sim_events").value(r.simEvents);
+            j.key("elided_spin_events").value(r.elidedEvents);
+            j.key("model_events").value(r.modelEvents);
             j.key("sim_cycles").value(r.simCycles);
             j.key("wall_seconds").value(r.wallSeconds);
             j.key("events_per_sec").value(r.eventsPerSec);

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "alloc/alloc_stats.hh"
+#include "sim/mutex.hh"
 #include "sim/tasklet.hh"
 #include "sim/types.hh"
 
@@ -49,6 +50,13 @@ class Allocator
 
     /** MRAM bytes used for allocator metadata (Section VI-E). */
     virtual uint64_t metadataBytes() const = 0;
+
+    /**
+     * The central lock serializing this allocator's metadata, when the
+     * design point has one (contention / parked-waiter statistics for
+     * benches). nullptr for lock-free or per-tasklet designs.
+     */
+    virtual const sim::SimMutex *contentionMutex() const { return nullptr; }
 
     /** Human-readable design-point name. */
     virtual std::string name() const = 0;

@@ -78,6 +78,11 @@ class PimMallocAllocator : public Allocator
     /** Backend mutex (contention statistics). */
     const sim::SimMutex &mutex() const { return mutex_; }
 
+    const sim::SimMutex *contentionMutex() const override
+    {
+        return &mutex_;
+    }
+
     /** Configuration in effect. */
     const PimMallocConfig &config() const { return cfg_; }
 

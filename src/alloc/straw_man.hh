@@ -65,6 +65,11 @@ class StrawManAllocator : public Allocator
     /** The allocator mutex (for contention statistics). */
     const sim::SimMutex &mutex() const { return mutex_; }
 
+    const sim::SimMutex *contentionMutex() const override
+    {
+        return &mutex_;
+    }
+
     /** The configuration in effect. */
     const StrawManConfig &config() const { return cfg_; }
 

@@ -38,12 +38,16 @@ TaskletScheduler::spawn(std::function<void(Tasklet &)> body)
                1u << Tasklet::kIdBits, " tasklets");
     tasklets_.push_back(std::make_unique<Tasklet>(dpu_, *this, id));
     Tasklet *t = tasklets_.back().get();
-    fibers_.push_back(std::make_unique<Fiber>([body = std::move(body), t]() {
-        body(*t);
-        // Charges after the run loop (e.g. tests poking a finished
-        // launch's tasklets) must never try to yield.
-        t->horizonKey_ = UINT64_MAX;
-    }));
+    fibers_.push_back(
+        std::make_unique<Fiber>([this, body = std::move(body), t]() {
+            body(*t);
+            // Charges after the run loop (e.g. tests poking a finished
+            // launch's tasklets) must never try to yield.
+            t->horizonKey_ = UINT64_MAX;
+            // The finish history lets mutex wakers replay the pipeline
+            // width at any past virtual instant (pipelineWidthAt).
+            finishKeys_.push_back(t->clockKey_);
+        }));
     taskletRaw_.push_back(t);
     fiberRaw_.push_back(fibers_.back().get());
 }
@@ -55,11 +59,67 @@ TaskletScheduler::runToCompletion()
     PIM_ASSERT(!tasklets_.empty(), "no tasklets spawned");
     running_ = true;
     active_ = static_cast<unsigned>(tasklets_.size());
+    finishKeys_.clear();
+    finishKeys_.reserve(tasklets_.size());
     if (policy_ == Policy::Horizon)
         runHorizon();
     else
         runNaive();
+    PIM_ASSERT(active_ == 0, active_,
+               " tasklet(s) still parked at the end of the launch — "
+               "deadlock (a lock was never released?)");
     running_ = false;
+}
+
+uint64_t
+TaskletScheduler::pipelineWidthAt(uint64_t key) const
+{
+    // Small linear scan: at most one entry per tasklet (<= 24), and
+    // wakers only call this on the contended path.
+    unsigned finished = 0;
+    for (const uint64_t fk : finishKeys_)
+        finished += fk < key ? 1u : 0u;
+    const uint64_t unfinished = tasklets_.size() - finished;
+    const uint64_t interval = dpu_.config().pipelineIssueInterval;
+    return unfinished > interval ? unfinished : interval;
+}
+
+void
+TaskletScheduler::parkCurrent(Tasklet &t)
+{
+    PIM_ASSERT(!t.parked_, "parking an already-parked tasklet");
+    t.parked_ = true;
+    if (policy_ != Policy::Horizon) {
+        Fiber::yield();
+        return;
+    }
+    if (heap_.empty())
+        PIM_FATAL("tasklet ", t.id_, " parked with no runnable tasklet "
+                  "left — deadlock (a lock was never released?)");
+    // Like switchOut(), but t's key is *not* re-inserted: hand control
+    // to the best waiter and leave t out of all elections until wake().
+    const uint64_t winner = heapPop();
+    taskletRaw_[keyId(winner)]->horizonKey_ =
+        heap_.empty() ? UINT64_MAX : heap_.front();
+    fiberRaw_[t.id_]->switchTo(*fiberRaw_[keyId(winner)]);
+}
+
+void
+TaskletScheduler::wake(Tasklet &waiter, uint64_t clock_key,
+                       uint64_t busy_wait_cycles, Tasklet &current)
+{
+    PIM_ASSERT(waiter.parked_, "waking a tasklet that is not parked");
+    PIM_ASSERT(clock_key >= waiter.clockKey_,
+               "wake would move a tasklet backwards in virtual time");
+    waiter.parked_ = false;
+    waiter.clockKey_ = clock_key;
+    waiter.breakdown_.add(CycleKind::BusyWait, busy_wait_cycles);
+    if (policy_ == Policy::Horizon) {
+        heapPush(clock_key);
+        // The waker's horizon was the previous heap front; the woken
+        // key may now be the nearer election it must not run past.
+        current.horizonKey_ = heap_.front();
+    }
 }
 
 void
@@ -157,7 +217,7 @@ TaskletScheduler::runNaive()
         int next = -1;
         uint64_t best = UINT64_MAX;
         for (size_t i = 0; i < tasklets_.size(); ++i) {
-            if (fibers_[i]->finished())
+            if (fibers_[i]->finished() || tasklets_[i]->parked_)
                 continue;
             if (tasklets_[i]->clockKey_ < best) {
                 best = tasklets_[i]->clockKey_;

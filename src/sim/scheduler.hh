@@ -27,6 +27,16 @@
  *    scheduler after *every* cycle charge and rescan all tasklets with
  *    an O(T) loop. Kept as the executable specification; the
  *    determinism test suite asserts Horizon matches it exactly.
+ *
+ * Parked tasklets: SimMutex's queue mode deschedules blocked tasklets
+ * through parkCurrent()/wake(). A parked tasklet holds no election key
+ * (it is out of the Horizon heap and skipped by the NaiveReference
+ * scan), so the remaining runnable tasklets elect — and run ahead —
+ * against each other only. wake() re-inserts the tasklet at a future
+ * clock chosen by the waker, charging the wait as one lump. The
+ * scheduler also keeps the election keys at which tasklets finished
+ * (finish history), so wakers can reconstruct the pipeline width that
+ * was in effect at any past virtual instant (pipelineWidthAt()).
  */
 
 #ifndef PIM_SIM_SCHEDULER_HH
@@ -82,6 +92,36 @@ class TaskletScheduler
     /** The active scheduling policy. */
     Policy policy() const { return policy_; }
 
+    /**
+     * Deschedule the running tasklet @p t until a later wake(): its
+     * election key leaves the heap, control transfers to the best
+     * runnable tasklet, and parkCurrent() returns only after @p t has
+     * been woken and wins an election again. Fatal if @p t is the last
+     * runnable tasklet (nothing could ever wake it — deadlock).
+     */
+    void parkCurrent(Tasklet &t);
+
+    /**
+     * Wake parked tasklet @p waiter: place it at election key
+     * @p clock_key (which must be in the future of both the waiter and
+     * the running tasklet @p current) and account the wait as
+     * @p busy_wait_cycles of BusyWait in one lump — deliberately not a
+     * simulation event; callers track elided events themselves.
+     * @p current is the running tasklet issuing the wake; its run-ahead
+     * horizon is tightened so it yields when it crosses the woken key.
+     */
+    void wake(Tasklet &waiter, uint64_t clock_key,
+              uint64_t busy_wait_cycles, Tasklet &current);
+
+    /**
+     * The pipeline width — max(pipelineIssueInterval, unfinished
+     * tasklets) — in effect at virtual instant @p key, reconstructed
+     * from the finish history of the current launch. Only valid for
+     * keys at or before the running tasklet's position (later finishes
+     * are not known yet).
+     */
+    uint64_t pipelineWidthAt(uint64_t key) const;
+
   private:
     friend class Tasklet;
 
@@ -123,6 +163,12 @@ class TaskletScheduler
      * operation; no decrease-key / index tracking is needed.
      */
     std::vector<uint64_t> heap_;
+    /**
+     * Election keys at which tasklets of this launch finished, in
+     * finish order. Drives pipelineWidthAt(): the unfinished count at
+     * key K is numTasklets() minus the finishes strictly before K.
+     */
+    std::vector<uint64_t> finishKeys_;
     unsigned active_ = 0;
     bool running_ = false;
 };

@@ -103,6 +103,12 @@ class Tasklet
     /** The DPU this tasklet runs on. */
     Dpu &dpu() { return dpu_; }
 
+    /** The scheduler owning this tasklet (park/wake, width replay). */
+    TaskletScheduler &scheduler() { return sched_; }
+
+    /** True while descheduled via TaskletScheduler::parkCurrent(). */
+    bool parked() const { return parked_; }
+
     /** Per-category cycle totals accumulated so far. */
     const CycleBreakdown &breakdown() const { return breakdown_; }
 
@@ -151,6 +157,9 @@ class Tasklet
      */
     uint64_t horizonKey_ = UINT64_MAX;
     uint64_t simEvents_ = 0;
+    /** Set while descheduled (parked mutex waiter); the scheduler
+     *  never elects a parked tasklet. */
+    bool parked_ = false;
     CycleBreakdown breakdown_{};
 };
 

@@ -1,0 +1,240 @@
+#include "util/host_placement.hh"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sched.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#include <vector>
+#endif
+
+namespace pim::util {
+
+#if defined(__linux__)
+
+namespace {
+
+/** mbind(2) policy/flag constants (uapi values, stable ABI); defined
+ *  here so the raw syscall needs no numaif.h / libnuma headers. */
+constexpr int kMpolBind = 2;
+constexpr unsigned kMpolMfMove = 1u << 1;
+
+/**
+ * Parse one /sys/devices/system/node/node<N>/cpulist ("0-3,8,10-11")
+ * and report whether it contains @p cpu.
+ */
+bool
+cpulistContains(const char *list, unsigned cpu)
+{
+    const char *p = list;
+    while (*p != '\0' && *p != '\n') {
+        char *end = nullptr;
+        const unsigned long lo = std::strtoul(p, &end, 10);
+        if (end == p)
+            break;
+        unsigned long hi = lo;
+        p = end;
+        if (*p == '-') {
+            hi = std::strtoul(p + 1, &end, 10);
+            p = end;
+        }
+        if (cpu >= lo && cpu <= hi)
+            return true;
+        if (*p == ',')
+            ++p;
+    }
+    return false;
+}
+
+/** NUMA node owning @p cpu per sysfs; -1 when the topology is absent. */
+int
+numaNodeOfCpu(unsigned cpu)
+{
+    for (unsigned node = 0;; ++node) {
+        char path[96];
+        std::snprintf(path, sizeof(path),
+                      "/sys/devices/system/node/node%u/cpulist", node);
+        FILE *f = std::fopen(path, "r");
+        if (f == nullptr)
+            return -1;
+        char buf[512];
+        const bool ok = std::fgets(buf, sizeof(buf), f) != nullptr;
+        std::fclose(f);
+        if (ok && cpulistContains(buf, cpu))
+            return static_cast<int>(node);
+    }
+}
+
+} // namespace
+
+unsigned
+hostCpuCount()
+{
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+        const int n = CPU_COUNT(&mask);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+bool
+pinCurrentThreadToCpu(unsigned cpu)
+{
+    // Map the logical worker index onto the process's *allowed* CPUs:
+    // under a container quota the allowed set need not start at 0.
+    cpu_set_t allowed;
+    CPU_ZERO(&allowed);
+    if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0)
+        return false;
+    const int total = CPU_COUNT(&allowed);
+    if (total <= 0)
+        return false;
+    unsigned want = cpu % static_cast<unsigned>(total);
+    int target = -1;
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+        if (!CPU_ISSET(c, &allowed))
+            continue;
+        if (want == 0) {
+            target = c;
+            break;
+        }
+        --want;
+    }
+    if (target < 0)
+        return false;
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    CPU_SET(target, &mask);
+    return sched_setaffinity(0, sizeof(mask), &mask) == 0;
+}
+
+int
+currentNumaNode()
+{
+    const int cpu = sched_getcpu();
+    if (cpu < 0)
+        return -1;
+    return numaNodeOfCpu(static_cast<unsigned>(cpu));
+}
+
+unsigned
+numaNodeCount()
+{
+    unsigned node = 0;
+    for (;; ++node) {
+        char path[96];
+        std::snprintf(path, sizeof(path),
+                      "/sys/devices/system/node/node%u/cpulist", node);
+        if (access(path, R_OK) != 0)
+            break;
+    }
+    return node > 0 ? node : 1;
+}
+
+bool
+numaBindingSupported()
+{
+#if defined(PIM_SIM_NUMA) && defined(SYS_mbind)
+    return numaNodeCount() > 1;
+#else
+    return false;
+#endif
+}
+
+bool
+bindMemoryToCurrentNode(void *addr, size_t len)
+{
+#if defined(PIM_SIM_NUMA) && defined(SYS_mbind)
+    if (!numaBindingSupported())
+        return false;
+    const int node = currentNumaNode();
+    if (node < 0)
+        return false;
+
+    // Shrink the range inward to page boundaries: the buffers come from
+    // calloc and need not be aligned, and binding a partial page would
+    // move a neighbor's data.
+    const long page_l = sysconf(_SC_PAGESIZE);
+    const uintptr_t page = page_l > 0 ? static_cast<uintptr_t>(page_l)
+                                      : uintptr_t{4096};
+    const uintptr_t lo =
+        (reinterpret_cast<uintptr_t>(addr) + page - 1) & ~(page - 1);
+    const uintptr_t hi =
+        (reinterpret_cast<uintptr_t>(addr) + len) & ~(page - 1);
+    if (hi <= lo)
+        return false;
+
+    // A huge page spanning the range would defeat page-granular
+    // placement; best-effort, ignore failure.
+    (void)madvise(reinterpret_cast<void *>(lo), hi - lo,
+                  MADV_NOHUGEPAGE);
+
+    std::vector<unsigned long> nodemask(
+        (static_cast<size_t>(node) / (8 * sizeof(unsigned long))) + 1,
+        0ul);
+    nodemask[static_cast<size_t>(node) / (8 * sizeof(unsigned long))] |=
+        1ul << (static_cast<size_t>(node) % (8 * sizeof(unsigned long)));
+
+    return syscall(SYS_mbind, reinterpret_cast<void *>(lo), hi - lo,
+                   kMpolBind, nodemask.data(),
+                   nodemask.size() * 8 * sizeof(unsigned long) + 1,
+                   kMpolMfMove) == 0;
+#else
+    (void)addr;
+    (void)len;
+    return false;
+#endif
+}
+
+#else // !__linux__
+
+unsigned
+hostCpuCount()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+bool
+pinCurrentThreadToCpu(unsigned)
+{
+    return false;
+}
+
+int
+currentNumaNode()
+{
+    return -1;
+}
+
+unsigned
+numaNodeCount()
+{
+    return 1;
+}
+
+bool
+numaBindingSupported()
+{
+    return false;
+}
+
+bool
+bindMemoryToCurrentNode(void *, size_t)
+{
+    return false;
+}
+
+#endif
+
+} // namespace pim::util

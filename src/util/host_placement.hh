@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Host CPU/NUMA placement helpers for the simulation worker pool.
+ *
+ * Everything here is best-effort and degrades to a no-op: simulation
+ * results never depend on placement (the engine's determinism guarantee
+ * is slot-indexed writes + sequential folds), only wall-clock time
+ * does. On non-Linux hosts, in sandboxes that reject the syscalls, or
+ * when the build disables PIM_SIM_NUMA, every function returns false /
+ * does nothing, and callers proceed unpinned and unbound.
+ *
+ * No libnuma dependency: NUMA topology is read from sysfs and pages are
+ * bound with the raw mbind(2) syscall, so the helpers work on minimal
+ * container images.
+ */
+
+#ifndef PIM_UTIL_HOST_PLACEMENT_HH
+#define PIM_UTIL_HOST_PLACEMENT_HH
+
+#include <cstddef>
+
+namespace pim::util {
+
+/** Number of CPUs usable by this process (affinity-mask aware);
+ *  at least 1. */
+unsigned hostCpuCount();
+
+/**
+ * Pin the calling thread to host CPU @p cpu (sched_setaffinity).
+ * @return true on success; false when unsupported or rejected.
+ */
+bool pinCurrentThreadToCpu(unsigned cpu);
+
+/**
+ * NUMA node of the CPU the calling thread is currently running on,
+ * resolved via /sys/devices/system/node/node<N>/cpulist.
+ * @return the node id, or -1 when the topology is unavailable.
+ */
+int currentNumaNode();
+
+/** Number of NUMA nodes visible in sysfs; 1 when unknown. */
+unsigned numaNodeCount();
+
+/**
+ * Bind the pages of [@p addr, @p addr + @p len) to the NUMA node the
+ * calling thread currently runs on, moving already-touched pages
+ * (mbind MPOL_BIND | MPOL_MF_MOVE). The range is shrunk inward to page
+ * boundaries, so buffers need not be page-aligned; transparent huge
+ * pages are disabled on the range first so page-granular placement
+ * sticks.
+ *
+ * @return true if the kernel accepted the binding; false when the host
+ *         has a single node, the topology is unknown, the syscall is
+ *         unavailable, or the build disabled PIM_SIM_NUMA.
+ */
+bool bindMemoryToCurrentNode(void *addr, size_t len);
+
+/** True when this build + host can attempt NUMA bindings at all. */
+bool numaBindingSupported();
+
+} // namespace pim::util
+
+#endif // PIM_UTIL_HOST_PLACEMENT_HH

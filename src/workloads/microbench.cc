@@ -63,6 +63,10 @@ runMicrobench(const MicrobenchConfig &cfg)
     res.traffic = dpu.traffic();
     res.cacheStats = dpu.buddyCache().stats();
     res.metadataBytes = allocator->metadataBytes();
+    if (const sim::SimMutex *m = allocator->contentionMutex()) {
+        res.mutexStats = m->statsSnapshot();
+        res.mutexMode = m->mode();
+    }
     return res;
 }
 

@@ -14,6 +14,7 @@
 #include "core/allocator_factory.hh"
 #include "sim/buddy_cache.hh"
 #include "sim/config.hh"
+#include "sim/mutex.hh"
 #include "sim/types.hh"
 #include "util/stats.hh"
 
@@ -68,6 +69,10 @@ struct MicrobenchResult
     sim::BuddyCacheStats cacheStats{};
     /** MRAM metadata footprint of the allocator. */
     uint64_t metadataBytes = 0;
+    /** Central-lock statistics (zeroed for lock-free design points). */
+    sim::SimMutexStats mutexStats{};
+    /** The lock's execution mode during the run. */
+    sim::SimMutex::Mode mutexMode = sim::SimMutex::Mode::Spin;
 };
 
 /** Run the microbenchmark on one DPU. */

@@ -113,6 +113,115 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(core::kAllKinds),
                        ::testing::Values(1, 2)));
 
+namespace {
+
+/** One randomized churn run's complete observable outcome. */
+struct ChurnOutcome
+{
+    uint64_t elapsed = 0;
+    uint64_t busyWait = 0;
+    uint64_t addrHash = 0;
+    uint64_t events = 0;
+    uint64_t mutexElided = 0;
+
+    bool
+    operator==(const ChurnOutcome &o) const
+    {
+        return elapsed == o.elapsed && busyWait == o.busyWait
+            && addrHash == o.addrHash;
+    }
+};
+
+/**
+ * The AllocatorFuzz churn, instrumented: per-tasklet hashes of every
+ * returned address (order-insensitive across tasklets, order-sensitive
+ * within one) fold allocation outcomes into one comparable value.
+ */
+ChurnOutcome
+runChurn(core::AllocatorKind kind, int seed, sim::SimMutex::Mode mode)
+{
+    const sim::SimMutex::Mode prev = sim::SimMutex::defaultMode();
+    sim::SimMutex::setDefaultMode(mode);
+    sim::Dpu dpu;
+    core::AllocatorOverrides ov;
+    ov.numTasklets = 8;
+    ov.heapBytes = 4u << 20;
+    auto a = core::makeAllocator(dpu, kind, ov);
+    sim::SimMutex::setDefaultMode(prev);
+    dpu.run(1, [&](sim::Tasklet &t) { a->init(t); });
+
+    std::vector<uint64_t> hashes(8, 1469598103934665603ull);
+    dpu.run(8, [&](sim::Tasklet &t) {
+        uint64_t &h = hashes[t.id()];
+        auto fold = [&h](uint64_t v) {
+            for (int b = 0; b < 8; ++b) {
+                h ^= (v >> (8 * b)) & 0xff;
+                h *= 1099511628211ull;
+            }
+        };
+        util::Rng rng(static_cast<uint64_t>(seed) * 100 + t.id());
+        std::vector<sim::MramAddr> mine;
+        for (int i = 0; i < 200; ++i) {
+            if (mine.empty() || rng.bernoulli(0.55)) {
+                static constexpr uint32_t sizes[] = {1,   16,   17,
+                                                     255, 2048, 4096};
+                const sim::MramAddr p =
+                    a->malloc(t, sizes[rng.uniformInt(6)]);
+                fold(p);
+                if (p == sim::kNullAddr)
+                    continue;
+                mine.push_back(p);
+            } else {
+                const size_t idx = rng.uniformInt(mine.size());
+                EXPECT_TRUE(a->free(t, mine[idx]));
+                mine.erase(mine.begin() + static_cast<long>(idx));
+            }
+        }
+        for (auto p : mine)
+            EXPECT_TRUE(a->free(t, p));
+    });
+
+    ChurnOutcome r;
+    r.elapsed = dpu.lastElapsedCycles();
+    r.busyWait = dpu.lastBreakdown().of(sim::CycleKind::BusyWait);
+    r.events = dpu.lastSimEvents();
+    for (uint64_t h : hashes)
+        r.addrHash ^= h; // xor: tasklet-order independent
+    const sim::SimMutex *m = a->contentionMutex();
+    r.mutexElided = m != nullptr ? m->elidedSpinEvents() : 0;
+    return r;
+}
+
+} // namespace
+
+/** Spin-vs-queue differential over the randomized churn. */
+class MutexModeFuzz
+    : public ::testing::TestWithParam<std::tuple<core::AllocatorKind, int>>
+{
+};
+
+TEST_P(MutexModeFuzz, QueueChurnMatchesSpinExactly)
+{
+    const auto [kind, seed] = GetParam();
+    const ChurnOutcome spin =
+        runChurn(kind, seed, sim::SimMutex::Mode::Spin);
+    const ChurnOutcome queue =
+        runChurn(kind, seed, sim::SimMutex::Mode::Queue);
+
+    // Allocation outcomes and the full timeline match exactly; the
+    // event counts satisfy the elision identity.
+    EXPECT_TRUE(spin == queue);
+    EXPECT_EQ(spin.addrHash, queue.addrHash);
+    EXPECT_EQ(spin.elapsed, queue.elapsed);
+    EXPECT_EQ(spin.mutexElided, 0u);
+    EXPECT_EQ(queue.events + queue.mutexElided, spin.events);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndSeeds, MutexModeFuzz,
+    ::testing::Combine(::testing::ValuesIn(core::kAllKinds),
+                       ::testing::Values(1, 2, 3)));
+
 /** OOM storm: exhaust, verify failure accounting, fully recover. */
 class OomRecovery : public ::testing::TestWithParam<core::AllocatorKind>
 {

@@ -10,7 +10,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/command_queue.hh"
@@ -18,6 +21,7 @@
 #include "core/parallel_engine.hh"
 #include "core/pim_system.hh"
 #include "core/system.hh"
+#include "sim/mutex.hh"
 #include "workloads/graph/update_driver.hh"
 
 using namespace pim;
@@ -281,4 +285,167 @@ TEST(ParallelEngine, GraphUpdateDriverIsThreadCountInvariant)
     for (size_t k = 0; k < sim::kNumCycleKinds; ++k)
         EXPECT_EQ(a.breakdown.cycles[k], b.breakdown.cycles[k]);
     EXPECT_GT(a.allocStats.mallocCalls, 0u);
+}
+
+namespace {
+
+/** RAII override of the process-wide SimMutex default mode. */
+struct ScopedMutexMode
+{
+    sim::SimMutex::Mode prev;
+
+    explicit ScopedMutexMode(sim::SimMutex::Mode m)
+        : prev(sim::SimMutex::defaultMode())
+    {
+        sim::SimMutex::setDefaultMode(m);
+    }
+
+    ~ScopedMutexMode() { sim::SimMutex::setDefaultMode(prev); }
+};
+
+/** Per-DPU program with real intra-DPU lock contention, so the mutex
+ *  execution mode matters to the simulated timeline. */
+void
+contendedProgram(sim::Dpu &dpu, unsigned idx)
+{
+    sim::SimMutex mutex; // default mode: the latched process-wide one
+    dpu.run(8, [&mutex, idx](sim::Tasklet &t) {
+        for (unsigned i = 0; i < 6; ++i) {
+            mutex.lock(t);
+            t.execute(40 + idx % 5 + t.id());
+            mutex.unlock(t);
+            t.execute(10 + 3 * t.id());
+            t.dmaRead(0, 64);
+        }
+    });
+}
+
+} // namespace
+
+TEST(ParallelEngine, PersistentPoolReusesThreadsAcrossCalls)
+{
+    ParallelDpuEngine engine(4);
+    EXPECT_EQ(engine.liveWorkers(), 0u); // lazily spawned
+
+    auto collectIds = [&]() {
+        std::mutex m;
+        std::set<std::thread::id> ids;
+        engine.forEach(256, [&](size_t) {
+            std::lock_guard<std::mutex> lock(m);
+            ids.insert(std::this_thread::get_id());
+        });
+        return ids;
+    };
+    auto all_ids = collectIds();
+    EXPECT_GT(engine.liveWorkers(), 0u);
+    EXPECT_LE(engine.liveWorkers(), 4u);
+    const unsigned live_after_first = engine.liveWorkers();
+
+    // Later calls are served by the same parked workers: the pool does
+    // not grow, and the union of executing threads across many calls
+    // never exceeds it (per-call spawning would mint fresh ids every
+    // round).
+    for (int round = 0; round < 3; ++round) {
+        const auto again = collectIds();
+        all_ids.insert(again.begin(), again.end());
+    }
+    EXPECT_EQ(engine.liveWorkers(), live_after_first);
+    EXPECT_LE(all_ids.size(), live_after_first);
+
+    // The caller never executes indices itself (workers own the job).
+    EXPECT_FALSE(all_ids.count(std::this_thread::get_id()));
+}
+
+TEST(ParallelEngine, NestedForEachRunsInline)
+{
+    ParallelDpuEngine engine(4);
+    std::vector<std::atomic<unsigned>> hits(32);
+    engine.forEach(4, [&](size_t outer) {
+        // A nested call on the same engine must not dead-lock on the
+        // dispatcher; it runs inline on the worker.
+        engine.forEach(8, [&](size_t inner) {
+            hits[outer * 8 + inner].fetch_add(
+                1, std::memory_order_relaxed);
+        });
+    });
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
+TEST(ParallelEngine, AffinityFromEnvParsing)
+{
+    EXPECT_FALSE(ParallelDpuEngine::affinityFromEnv(nullptr));
+    EXPECT_FALSE(ParallelDpuEngine::affinityFromEnv(""));
+    EXPECT_FALSE(ParallelDpuEngine::affinityFromEnv("0"));
+    EXPECT_TRUE(ParallelDpuEngine::affinityFromEnv("1"));
+}
+
+TEST(ParallelEngineDeath, InvalidAffinityEnvValueIsFatal)
+{
+    EXPECT_DEATH({
+        ::setenv("PIM_SIM_AFFINITY", "yes", 1);
+        ParallelDpuEngine engine(2);
+    }, "PIM_SIM_AFFINITY");
+    EXPECT_DEATH({
+        ::setenv("PIM_SIM_AFFINITY", "2", 1);
+        ParallelDpuEngine engine(2);
+    }, "PIM_SIM_AFFINITY");
+    ::unsetenv("PIM_SIM_AFFINITY");
+}
+
+TEST(ParallelEngine, PinnedPlacementIsDeterministicAndCovers)
+{
+    // Pinned mode switches to static contiguous slices; coverage and
+    // determinism must be unaffected.
+    ::setenv("PIM_SIM_AFFINITY", "1", 1);
+    {
+        ParallelDpuEngine engine(4);
+        EXPECT_TRUE(engine.affinityEnabled());
+        std::vector<std::atomic<unsigned>> hits(130);
+        engine.forEach(130, [&](size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
+
+        // Slice ownership is a total, stable partition of the indices.
+        unsigned prev = 0;
+        for (size_t i = 0; i < 130; ++i) {
+            const unsigned owner = engine.ownerOfIndex(i, 130);
+            EXPECT_LT(owner, 4u);
+            EXPECT_GE(owner, prev) << "owners must be non-decreasing";
+            prev = owner;
+        }
+
+        const auto r = simulateDpus(64, smallDpuCfg(), referenceProgram,
+                                    0, 4);
+        ::unsetenv("PIM_SIM_AFFINITY");
+        const auto ref = simulateDpus(64, smallDpuCfg(),
+                                      referenceProgram, 0, 4);
+        expectIdentical(r, ref);
+    }
+    ::unsetenv("PIM_SIM_AFFINITY");
+}
+
+TEST(ParallelEngine, QueueMutexThreadCountInvariance)
+{
+    // PIM_SIM_MUTEX=queue must preserve the engine's bit-identity
+    // guarantee across PIM_SIM_THREADS settings...
+    ScopedMutexMode queue(sim::SimMutex::Mode::Queue);
+    const auto r1 =
+        simulateDpus(130, smallDpuCfg(), contendedProgram, 0, 1);
+    const auto r4 =
+        simulateDpus(130, smallDpuCfg(), contendedProgram, 0, 4);
+    const auto r7 =
+        simulateDpus(130, smallDpuCfg(), contendedProgram, 0, 7);
+    expectIdentical(r1, r4);
+    expectIdentical(r1, r7);
+    EXPECT_GT(r1.breakdown.of(sim::CycleKind::BusyWait), 0u);
+
+    // ...and the queue-mode simulation reduces identically to the spin
+    // reference (the cross-mode fidelity contract, at system scale).
+    ScopedMutexMode spin(sim::SimMutex::Mode::Spin);
+    const auto s4 =
+        simulateDpus(130, smallDpuCfg(), contendedProgram, 0, 4);
+    expectIdentical(r1, s4);
 }

@@ -53,10 +53,22 @@ struct RunResult
     uint64_t elapsed = 0;
     uint64_t mutexAcquisitions = 0;
     uint64_t mutexContended = 0;
+    uint64_t mutexParked = 0;
+    uint64_t mutexWoken = 0;
+    uint64_t mutexElided = 0;
     uint64_t trafficBytes = 0;
     uint64_t dmaTransfers = 0;
     uint64_t sharedCounter = 0;
     uint64_t traceHash = 0;
+
+    uint64_t
+    totalEvents() const
+    {
+        uint64_t sum = 0;
+        for (const uint64_t e : events)
+            sum += e;
+        return sum;
+    }
 };
 
 constexpr unsigned kTasklets = 16;
@@ -69,11 +81,12 @@ constexpr unsigned kIters = 24;
  * spin batching, and DMA visibility all feed the result.
  */
 RunResult
-runWorkload(TaskletScheduler::Policy policy)
+runWorkload(TaskletScheduler::Policy policy,
+            SimMutex::Mode mutex_mode = SimMutex::Mode::Spin)
 {
     Dpu dpu;
     TaskletScheduler sched(dpu, policy);
-    SimMutex mutex;
+    SimMutex mutex(mutex_mode);
     const MramAddr counter_addr = 64;
     dpu.mram().write<uint64_t>(counter_addr, 0);
 
@@ -105,6 +118,9 @@ runWorkload(TaskletScheduler::Policy policy)
     r.elapsed = sched.elapsedCycles();
     r.mutexAcquisitions = mutex.acquisitions();
     r.mutexContended = mutex.contendedAcquisitions();
+    r.mutexParked = mutex.parkedCount();
+    r.mutexWoken = mutex.wokenCount();
+    r.mutexElided = mutex.elidedSpinEvents();
     r.trafficBytes = dpu.traffic().totalBytes();
     r.dmaTransfers = dpu.traffic().dmaTransfers;
     r.sharedCounter = dpu.mram().read<uint64_t>(counter_addr);
@@ -165,6 +181,95 @@ TEST(SimDeterminism, GoldenTraceHash)
         << "Interleaving changed. If the cost model or golden workload "
            "changed intentionally, update kGoldenTraceHash to 0x"
         << std::hex << r.traceHash;
+}
+
+/**
+ * The heart of the queue-mode fidelity contract (PIM_SIM_MUTEX=queue):
+ * parked waiters with analytically replayed spin schedules must produce
+ * *exactly* the simulation the spin model produces — same per-tasklet
+ * clocks, same cycle breakdowns (BusyWait included), same interleaving
+ * hash, same allocation-visible memory state. Only the real event
+ * counts differ, and those differ by precisely the number of elided
+ * spin re-checks.
+ */
+TEST(SimDeterminism, QueueMutexMatchesSpinExactly)
+{
+    const RunResult spin = runWorkload(TaskletScheduler::Policy::Horizon,
+                                       SimMutex::Mode::Spin);
+    const RunResult queue = runWorkload(TaskletScheduler::Policy::Horizon,
+                                        SimMutex::Mode::Queue);
+
+    EXPECT_EQ(queue.traceHash, spin.traceHash);
+    EXPECT_EQ(queue.elapsed, spin.elapsed);
+    EXPECT_EQ(queue.mutexAcquisitions, spin.mutexAcquisitions);
+    EXPECT_EQ(queue.mutexContended, spin.mutexContended);
+    EXPECT_EQ(queue.trafficBytes, spin.trafficBytes);
+    EXPECT_EQ(queue.dmaTransfers, spin.dmaTransfers);
+    EXPECT_EQ(queue.sharedCounter, spin.sharedCounter);
+    ASSERT_EQ(queue.clocks.size(), spin.clocks.size());
+    for (size_t i = 0; i < queue.clocks.size(); ++i) {
+        EXPECT_EQ(queue.clocks[i], spin.clocks[i]) << "tasklet " << i;
+        for (size_t k = 0; k < kNumCycleKinds; ++k)
+            EXPECT_EQ(queue.breakdowns[i].cycles[k],
+                      spin.breakdowns[i].cycles[k])
+                << "tasklet " << i << " kind " << k;
+    }
+
+    // Event-count identity: every elided virtual re-check corresponds
+    // to exactly one spin-model charge, so charged + elided == spin
+    // charges. This is what makes events/s comparisons across modes
+    // honest (bench_sim_throughput reports model events this way).
+    EXPECT_LT(queue.totalEvents(), spin.totalEvents());
+    EXPECT_EQ(queue.totalEvents() + queue.mutexElided,
+              spin.totalEvents());
+
+    // The workload must actually exercise the park/wake machinery.
+    EXPECT_GT(queue.mutexParked, 0u);
+    EXPECT_GT(queue.mutexWoken, 0u);
+    EXPECT_EQ(spin.mutexParked, 0u);
+}
+
+TEST(SimDeterminism, QueueMutexHorizonMatchesNaiveReference)
+{
+    const RunResult horizon = runWorkload(TaskletScheduler::Policy::Horizon,
+                                          SimMutex::Mode::Queue);
+    const RunResult naive =
+        runWorkload(TaskletScheduler::Policy::NaiveReference,
+                    SimMutex::Mode::Queue);
+    EXPECT_EQ(horizon.traceHash, naive.traceHash);
+    EXPECT_EQ(horizon.clocks, naive.clocks);
+    EXPECT_EQ(horizon.events, naive.events);
+    EXPECT_EQ(horizon.mutexElided, naive.mutexElided);
+    EXPECT_EQ(horizon.sharedCounter, naive.sharedCounter);
+}
+
+TEST(SimDeterminism, QueueMutexGoldenTraceHash)
+{
+    // Queue mode reproduces the *same* golden interleaving as spin —
+    // the fidelity contract pinned to a constant.
+    const RunResult r = runWorkload(TaskletScheduler::Policy::Horizon,
+                                    SimMutex::Mode::Queue);
+    EXPECT_EQ(r.traceHash, kGoldenTraceHash)
+        << "Queue-mode interleaving diverged from the spin model. "
+           "Actual hash: 0x" << std::hex << r.traceHash;
+}
+
+TEST(SimDeterminism, MutexModeFromEnvParsing)
+{
+    EXPECT_EQ(SimMutex::modeFromEnv(nullptr), SimMutex::Mode::Spin);
+    EXPECT_EQ(SimMutex::modeFromEnv(""), SimMutex::Mode::Spin);
+    EXPECT_EQ(SimMutex::modeFromEnv("spin"), SimMutex::Mode::Spin);
+    EXPECT_EQ(SimMutex::modeFromEnv("queue"), SimMutex::Mode::Queue);
+}
+
+TEST(SimDeterminismDeath, UnknownMutexModeEnvValueIsFatal)
+{
+    // Same contract as PIM_SIM_SCHED: a typo must not silently pick a
+    // mode (it would invalidate spin-vs-queue differential runs).
+    EXPECT_EXIT(SimMutex::modeFromEnv("Queue"),
+                testing::ExitedWithCode(1), "PIM_SIM_MUTEX");
+    EXPECT_EXIT(SimMutex::modeFromEnv("garbage"),
+                testing::ExitedWithCode(1), "PIM_SIM_MUTEX");
 }
 
 TEST(SimDeterminism, RepeatedRunsAreIdentical)
