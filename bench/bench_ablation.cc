@@ -16,6 +16,8 @@
 #include "alloc/pim_malloc.hh"
 #include "core/pim_system.hh"
 #include "sim/dpu.hh"
+#include "telemetry/export.hh"
+#include "util/cli.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 #include "workloads/microbench.hh"
@@ -26,7 +28,7 @@ using namespace pim::workloads;
 namespace {
 
 double
-strawLatency(uint32_t buffer_bytes)
+strawLatency(uint32_t buffer_bytes, telemetry::Registry *met)
 {
     MicrobenchConfig cfg;
     cfg.allocator = core::AllocatorKind::StrawMan;
@@ -34,6 +36,7 @@ strawLatency(uint32_t buffer_bytes)
     cfg.allocsPerTasklet = 64;
     cfg.allocSize = 32;
     cfg.overrides.swBufferBytes = buffer_bytes;
+    cfg.metrics = met;
     return runMicrobench(cfg).avgLatencyUs;
 }
 
@@ -93,14 +96,25 @@ classCountLatency(size_t num_classes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Only --metrics applies (ablations 2 and 3 drive bare DPUs, so
+    // the registry covers the straw-man sweep's microbench runs).
+    util::Cli cli(argc, argv, "metrics");
+    const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
+    telemetry::MetricSet metrics(knobs.metrics);
+
     util::Table buf("Ablation 1: straw-man SW metadata buffer size "
                     "(16 tasklets, 32 B allocs)");
     buf.setHeader({"Buffer", "Avg latency (us)"});
     for (uint32_t bytes : {256u, 512u, 1024u, 2048u, 4096u, 8192u})
         buf.addRow({std::to_string(bytes) + " B",
-                    util::Table::num(strawLatency(bytes), 1)});
+                    util::Table::num(
+                        strawLatency(bytes,
+                                     metrics.add("buffer "
+                                                 + std::to_string(bytes)
+                                                 + " B")),
+                        1)});
     buf.print(std::cout);
     std::cout << "\n";
 
@@ -123,5 +137,7 @@ main()
         cls.addRow({util::Table::num(uint64_t{n}),
                     util::Table::num(classCountLatency(n), 2)});
     cls.print(std::cout);
+
+    telemetry::printMetrics(std::cout, metrics, knobs.metrics);
     return 0;
 }

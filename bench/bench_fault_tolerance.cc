@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "fault/fault_plan.hh"
+#include "telemetry/export.hh"
+#include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
 #include "util/table.hh"
@@ -60,10 +62,11 @@ struct Point
 ServingResult
 runPoint(const ServingConfig &base, const util::BenchKnobs &knobs,
          const fault::FaultSpec &extra, double mtbf, FaultPolicy policy,
-         unsigned spare_ranks)
+         unsigned spare_ranks, telemetry::Registry *metrics)
 {
     ServingEngineConfig ecfg;
     ecfg.base = base;
+    ecfg.base.metrics = metrics;
     ecfg.mode = ServingMode::Disaggregated;
     ecfg.simThreads = knobs.threads;
     ecfg.faultSpec = extra;
@@ -122,16 +125,24 @@ main(int argc, char **argv)
     if (knobs.mtbf > 0.0)
         sweep = {knobs.mtbf};
 
+    telemetry::MetricSet metrics(knobs.wantsMetrics());
+
     const ServingResult ref = runPoint(base, knobs, extra, kNeverMtbfSec,
-                                       FaultPolicy::Recover, spare_ranks);
+                                       FaultPolicy::Recover, spare_ranks,
+                                       metrics.add("reference"));
 
     std::vector<Point> points;
-    for (const double mtbf : sweep)
+    for (const double mtbf : sweep) {
         for (const FaultPolicy policy :
-             {FaultPolicy::Recover, FaultPolicy::Drop})
+             {FaultPolicy::Recover, FaultPolicy::Drop}) {
+            const std::string name = mtbfLabel(mtbf) + "/"
+                + (policy == FaultPolicy::Recover ? "Recover" : "Drop");
             points.push_back({mtbf, policy,
                               runPoint(base, knobs, extra, mtbf, policy,
-                                       spare_ranks)});
+                                       spare_ranks,
+                                       metrics.add(name))});
+        }
+    }
 
     util::Table tbl("Fault tolerance: recovery vs request shedding "
                     "under rank failures (fault-free reference on the "
@@ -212,6 +223,7 @@ main(int argc, char **argv)
             emit(p.policy == FaultPolicy::Recover ? "Recover" : "Drop",
                  p.mtbfSec, p.r);
         j.endArray();
+        telemetry::writeMetricsJson(j, metrics);
         j.endObject();
         out << "\n";
         if (!out) {
@@ -220,5 +232,13 @@ main(int argc, char **argv)
         }
         std::cout << "\nJSON written to " << knobs.jsonPath << "\n";
     }
+
+    // No span recorders here; a --trace capture carries the per-point
+    // counter tracks alone.
+    const trace::RecorderSet no_recorders(false);
+    if (!trace::emitReports(std::cout, no_recorders, metrics,
+                            knobs.occupancy, knobs.metrics,
+                            knobs.tracePath))
+        return 1;
     return 0;
 }

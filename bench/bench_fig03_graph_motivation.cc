@@ -10,6 +10,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "telemetry/export.hh"
 #include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
@@ -23,7 +24,8 @@ namespace {
 
 double
 updateSeconds(StructureKind structure, unsigned scale,
-              const util::BenchKnobs &knobs, trace::Recorder *rec)
+              const util::BenchKnobs &knobs, trace::Recorder *rec,
+              telemetry::Registry *met)
 {
     GraphUpdateConfig cfg;
     cfg.structure = structure;
@@ -37,6 +39,7 @@ updateSeconds(StructureKind structure, unsigned scale,
     cfg.maxUpdateEdges = 2000; // fixed #new edges across sizes
     cfg.simThreads = knobs.threads;
     cfg.recorder = rec;
+    cfg.metrics = met;
     return runGraphUpdate(cfg).updateSeconds;
 }
 
@@ -52,11 +55,13 @@ main(int argc, char **argv)
     const util::BenchKnobs knobs = util::parseBenchKnobs(cli, defs);
 
     trace::RecorderSet recorders(knobs.wantsTrace());
+    telemetry::MetricSet metrics(knobs.wantsMetrics());
     const std::pair<const char *, unsigned> sizes[] = {
         {"Small", 1}, {"Medium", 2}, {"Large", 4}};
 
     const double base = updateSeconds(StructureKind::StaticCsr, 1, knobs,
-                                      recorders.add("Static/Small base"));
+                                      recorders.add("Static/Small base"),
+                                      metrics.add("Static/Small base"));
 
     util::Table table("Fig 3(c): update slowdown vs pre-update graph size "
                       "(normalized to Static/Small)");
@@ -65,10 +70,12 @@ main(int argc, char **argv)
     for (const auto &[name, scale] : sizes) {
         const double stat = updateSeconds(
             StructureKind::StaticCsr, scale, knobs,
-            recorders.add(std::string("Static/") + name));
+            recorders.add(std::string("Static/") + name),
+            metrics.add(std::string("Static/") + name));
         const double dyn = updateSeconds(
             StructureKind::LinkedList, scale, knobs,
-            recorders.add(std::string("Dynamic/") + name));
+            recorders.add(std::string("Dynamic/") + name),
+            metrics.add(std::string("Dynamic/") + name));
         table.addRow({name, util::Table::num(stat / base, 2),
                       util::Table::num(dyn / base, 2)});
     }
@@ -77,7 +84,8 @@ main(int argc, char **argv)
                  "graph; Dynamic stays flat (paper: static reaches ~2-3x "
                  "while dynamic is size-independent).\n";
 
-    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+    if (!trace::emitReports(std::cout, recorders, metrics,
+                            knobs.occupancy, knobs.metrics,
                             knobs.tracePath))
         return 1;
 
@@ -95,6 +103,7 @@ main(int argc, char **argv)
         j.key("tasklets").value(knobs.tasklets);
         j.key("table");
         table.writeJson(j);
+        telemetry::writeMetricsJson(j, metrics);
         j.endObject();
         out << "\n";
     }

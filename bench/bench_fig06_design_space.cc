@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/design_space.hh"
+#include "telemetry/export.hh"
 #include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
@@ -26,7 +27,7 @@ using namespace pim::core;
 int
 main(int argc, char **argv)
 {
-    util::Cli cli(argc, argv, "threads,trace,occupancy");
+    util::Cli cli(argc, argv, "threads,trace,occupancy,metrics");
     const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
 
     util::Table scaling("Fig 6(a): allocation latency (seconds) vs number "
@@ -67,6 +68,7 @@ main(int argc, char **argv)
     // async command-queue runtime at rank granularity, so host compute
     // and bus transfers overlap other ranks' execution.
     trace::RecorderSet recorders(knobs.wantsTrace());
+    telemetry::MetricSet metrics(knobs.wantsMetrics());
     util::Table overlap("Rank-pipelined (async command queue) vs serial "
                         "at 512 PIM cores");
     overlap.setHeader({"Design strategy", "Serial (s)", "Overlapped (s)",
@@ -75,6 +77,7 @@ main(int argc, char **argv)
         const auto serial = evalStrategy(s, p512);
         DesignSpaceParams p = p512;
         p.recorder = recorders.add(designStrategyName(s));
+        p.metrics = metrics.add(designStrategyName(s));
         const auto async = evalStrategy(s, p, ExecutionMode::Overlapped);
         overlap.addRow(
             {designStrategyName(s),
@@ -91,7 +94,8 @@ main(int argc, char **argv)
                  "transfer-dominated (paper Fig 6), and rank-pipelining "
                  "only partially hides their transfers.\n";
 
-    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+    if (!trace::emitReports(std::cout, recorders, metrics,
+                            knobs.occupancy, knobs.metrics,
                             knobs.tracePath, "Overlapped occupancy: "))
         return 1;
     return 0;

@@ -12,6 +12,7 @@
 #include <iterator>
 #include <vector>
 
+#include "telemetry/export.hh"
 #include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
@@ -25,7 +26,7 @@ namespace {
 
 double
 avgLatencyUs(uint32_t heap_bytes, uint32_t alloc_size, unsigned tasklets,
-             trace::Recorder *rec)
+             trace::Recorder *rec, telemetry::Registry *met)
 {
     MicrobenchConfig cfg;
     cfg.allocator = core::AllocatorKind::StrawMan;
@@ -35,6 +36,7 @@ avgLatencyUs(uint32_t heap_bytes, uint32_t alloc_size, unsigned tasklets,
     cfg.freeEachAlloc = true;
     cfg.overrides.heapBytes = heap_bytes;
     cfg.recorder = rec;
+    cfg.metrics = met;
     return runMicrobench(cfg).avgLatencyUs;
 }
 
@@ -55,9 +57,11 @@ main(int argc, char **argv)
     const uint32_t sizes[] = {32, 128, 512, 1024, 2048};
 
     trace::RecorderSet recorders(knobs.wantsTrace());
+    telemetry::MetricSet metrics(knobs.wantsMetrics());
     const double base =
         avgLatencyUs(32u << 10, 2048, knobs.tasklets,
-                     recorders.add("heap 32KB / alloc 2KB base"));
+                     recorders.add("heap 32KB / alloc 2KB base"),
+                     metrics.add("heap 32KB / alloc 2KB base"));
 
     util::Table table("Fig 7: straw-man slowdown vs heap size x "
                       "(de)allocation size (normalized to 32KB/2KB)");
@@ -67,11 +71,13 @@ main(int argc, char **argv)
         const uint32_t size = *it;
         std::vector<std::string> row{std::to_string(size) + " B"};
         for (uint32_t heap : heaps) {
-            trace::Recorder *rec = recorders.add(
+            const std::string name =
                 "heap " + std::to_string(heap >> 10) + "KB / alloc "
-                + std::to_string(size) + "B");
+                + std::to_string(size) + "B";
             row.push_back(util::Table::num(
-                avgLatencyUs(heap, size, knobs.tasklets, rec) / base,
+                avgLatencyUs(heap, size, knobs.tasklets,
+                             recorders.add(name), metrics.add(name))
+                    / base,
                 1));
         }
         table.addRow(std::move(row));
@@ -82,7 +88,8 @@ main(int argc, char **argv)
                  "larger heap, smaller blocks); the paper reports up to "
                  "12x at 32B/32MB.\n";
 
-    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+    if (!trace::emitReports(std::cout, recorders, metrics,
+                            knobs.occupancy, knobs.metrics,
                             knobs.tracePath))
         return 1;
 
@@ -98,6 +105,7 @@ main(int argc, char **argv)
         j.key("tasklets").value(knobs.tasklets);
         j.key("table");
         table.writeJson(j);
+        telemetry::writeMetricsJson(j, metrics);
         j.endObject();
         out << "\n";
     }

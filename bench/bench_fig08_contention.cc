@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/mutex.hh"
+#include "telemetry/export.hh"
 #include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
@@ -24,7 +25,7 @@ using namespace pim::workloads;
 namespace {
 
 MicrobenchResult
-run(unsigned tasklets, trace::Recorder *rec)
+run(unsigned tasklets, trace::Recorder *rec, telemetry::Registry *met)
 {
     MicrobenchConfig cfg;
     cfg.allocator = core::AllocatorKind::StrawMan;
@@ -33,6 +34,7 @@ run(unsigned tasklets, trace::Recorder *rec)
     cfg.allocSize = 32;
     cfg.traceEvents = true;
     cfg.recorder = rec;
+    cfg.metrics = met;
     return runMicrobench(cfg);
 }
 
@@ -50,8 +52,11 @@ main(int argc, char **argv)
     const util::BenchKnobs knobs = util::parseBenchKnobs(cli, defs);
 
     trace::RecorderSet recorders(knobs.wantsTrace());
-    const auto one = run(1, recorders.add("1 tasklet"));
-    const auto sixteen = run(16, recorders.add("16 tasklets"));
+    telemetry::MetricSet metrics(knobs.wantsMetrics());
+    const auto one =
+        run(1, recorders.add("1 tasklet"), metrics.add("1 tasklet"));
+    const auto sixteen = run(16, recorders.add("16 tasklets"),
+                             metrics.add("16 tasklets"));
 
     // (a) Latency over the allocation sequence, ordered by start time.
     auto series = [](const MicrobenchResult &r) {
@@ -138,7 +143,8 @@ main(int argc, char **argv)
     }
     mx.print(std::cout);
 
-    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+    if (!trace::emitReports(std::cout, recorders, metrics,
+                            knobs.occupancy, knobs.metrics,
                             knobs.tracePath))
         return 1;
 
@@ -159,6 +165,7 @@ main(int argc, char **argv)
             .value(sim::SimMutex::modeName(sixteen.mutexMode));
         j.key("mutexStats");
         mx.writeJson(j);
+        telemetry::writeMetricsJson(j, metrics);
         j.endObject();
         out << "\n";
     }

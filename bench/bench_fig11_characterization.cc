@@ -13,6 +13,7 @@
 #include "core/pim_system.hh"
 
 #include "sim/dpu.hh"
+#include "telemetry/export.hh"
 #include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
@@ -49,7 +50,8 @@ fromStats(std::string name, const alloc::AllocStats &st)
 
 Row
 graphRow(graph::StructureKind structure, const char *name,
-         const pim::util::BenchKnobs &knobs, trace::Recorder *rec)
+         const pim::util::BenchKnobs &knobs, trace::Recorder *rec,
+         telemetry::Registry *met)
 {
     graph::GraphUpdateConfig cfg;
     cfg.structure = structure;
@@ -60,6 +62,7 @@ graphRow(graph::StructureKind structure, const char *name,
     cfg.gen.numEdges = 120000;
     cfg.simThreads = knobs.threads;
     cfg.recorder = rec;
+    cfg.metrics = met;
     const auto res = graph::runGraphUpdate(cfg);
     return fromStats(name, res.allocStats);
 }
@@ -95,18 +98,22 @@ main(int argc, char **argv)
 {
     // Shared knobs (the attention row is single-DPU, so --tasklets does
     // not apply); --trace/--occupancy cover the two graph-update runs.
-    util::Cli cli(argc, argv, "dpus,sample,threads,trace,occupancy");
+    util::Cli cli(argc, argv,
+                  "dpus,sample,threads,trace,occupancy,metrics");
     util::BenchKnobs defaults;
     defaults.dpus = 64;
     defaults.sample = 2;
     const util::BenchKnobs knobs = util::parseBenchKnobs(cli, defaults);
 
     trace::RecorderSet recorders(knobs.wantsTrace());
+    telemetry::MetricSet metrics(knobs.wantsMetrics());
     const Row rows[] = {
         graphRow(graph::StructureKind::LinkedList, "Array of linked list",
-                 knobs, recorders.add("Array of linked list")),
+                 knobs, recorders.add("Array of linked list"),
+                 metrics.add("Array of linked list")),
         graphRow(graph::StructureKind::VarArray, "Variable sized array",
-                 knobs, recorders.add("Variable sized array")),
+                 knobs, recorders.add("Variable sized array"),
+                 metrics.add("Variable sized array")),
         attentionRow(),
     };
 
@@ -135,7 +142,8 @@ main(int argc, char **argv)
                  "(paper: 93% average) while the backend dominates "
                  "aggregate latency (paper: 68%).\n";
 
-    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+    if (!trace::emitReports(std::cout, recorders, metrics,
+                            knobs.occupancy, knobs.metrics,
                             knobs.tracePath))
         return 1;
     return 0;

@@ -15,6 +15,7 @@
 #include <iostream>
 #include <vector>
 
+#include "telemetry/export.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
 #include "util/stats.hh"
@@ -26,7 +27,8 @@ using namespace pim;
 namespace {
 
 double
-avgLatency(core::AllocatorKind kind, unsigned tasklets, uint32_t size)
+avgLatency(core::AllocatorKind kind, unsigned tasklets, uint32_t size,
+           telemetry::Registry *met)
 {
     workloads::MicrobenchConfig cfg;
     cfg.allocator = kind;
@@ -34,6 +36,7 @@ avgLatency(core::AllocatorKind kind, unsigned tasklets, uint32_t size)
     cfg.allocsPerTasklet = 128;
     cfg.allocSize = size;
     cfg.freeEachAlloc = false;
+    cfg.metrics = met;
     return workloads::runMicrobench(cfg).avgLatencyUs;
 }
 
@@ -51,11 +54,12 @@ struct Case
 int
 main(int argc, char **argv)
 {
-    util::Cli cli(argc, argv, "json");
+    util::Cli cli(argc, argv, "json,metrics");
     const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
 
     const uint32_t sizes[] = {32, 256, 4096};
     const unsigned thread_counts[] = {1, 16};
+    telemetry::MetricSet metrics(knobs.metrics);
 
     std::vector<Case> cases;
     std::vector<double> sw_speedups;   // straw-man / SW
@@ -69,12 +73,17 @@ main(int argc, char **argv)
         table.setHeader({"Alloc size", "Straw-man", "PIM-malloc-SW",
                          "PIM-malloc-HW/SW", "SW speedup", "HW/SW vs SW"});
         for (uint32_t size : sizes) {
+            const std::string tag = std::to_string(tasklets) + "T/"
+                + std::to_string(size) + "B ";
             const double straw =
-                avgLatency(core::AllocatorKind::StrawMan, tasklets, size);
+                avgLatency(core::AllocatorKind::StrawMan, tasklets, size,
+                           metrics.add(tag + "straw-man"));
             const double sw =
-                avgLatency(core::AllocatorKind::PimMallocSw, tasklets, size);
+                avgLatency(core::AllocatorKind::PimMallocSw, tasklets,
+                           size, metrics.add(tag + "SW"));
             const double hwsw = avgLatency(
-                core::AllocatorKind::PimMallocHwSw, tasklets, size);
+                core::AllocatorKind::PimMallocHwSw, tasklets, size,
+                metrics.add(tag + "HW/SW"));
             cases.push_back({tasklets, size, straw, sw, hwsw});
             sw_speedups.push_back(straw / sw);
             hwsw_speedups.push_back(sw / hwsw);
@@ -102,6 +111,8 @@ main(int argc, char **argv)
     headline.addRow({"PIM-malloc-HW/SW vs SW (geomean)", hwsw_gain});
     headline.print(std::cout);
 
+    telemetry::printMetrics(std::cout, metrics, knobs.metrics);
+
     if (!knobs.jsonPath.empty()) {
         std::ofstream out(knobs.jsonPath);
         if (!out) {
@@ -127,6 +138,7 @@ main(int argc, char **argv)
         j.endArray();
         j.key("sw_speedup_geomean").value(sw_geomean);
         j.key("hwsw_vs_sw_geomean").value(hwsw_geomean);
+        telemetry::writeMetricsJson(j, metrics);
         j.endObject();
         std::cout << "\nJSON written to " << knobs.jsonPath << "\n";
     }

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "telemetry/export.hh"
 #include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
@@ -21,7 +22,7 @@ namespace {
 
 MicrobenchResult
 run(core::AllocatorKind kind, unsigned cache_entries, unsigned tasklets,
-    trace::Recorder *rec)
+    trace::Recorder *rec, telemetry::Registry *met)
 {
     MicrobenchConfig cfg;
     cfg.allocator = kind;
@@ -30,6 +31,7 @@ run(core::AllocatorKind kind, unsigned cache_entries, unsigned tasklets,
     cfg.allocSize = 4096;
     cfg.dpuCfg.buddyCache.entries = cache_entries;
     cfg.recorder = rec;
+    cfg.metrics = met;
     return runMicrobench(cfg);
 }
 
@@ -45,18 +47,20 @@ main(int argc, char **argv)
     const util::BenchKnobs knobs = util::parseBenchKnobs(cli, defs);
 
     trace::RecorderSet recorders(knobs.wantsTrace());
+    telemetry::MetricSet metrics(knobs.wantsMetrics());
     const double sw = run(core::AllocatorKind::PimMallocSw, 16,
-                          knobs.tasklets, recorders.add("SW baseline"))
+                          knobs.tasklets, recorders.add("SW baseline"),
+                          metrics.add("SW baseline"))
                           .avgLatencyUs;
 
     util::Table table("Fig 16: HW/SW speedup over SW and buddy-cache hit "
                       "rate vs cache size (16 tasklets, 4 KB requests)");
     table.setHeader({"Buddy cache size", "Speedup over SW", "Hit rate %"});
     for (unsigned bytes : {16u, 32u, 64u, 128u, 256u}) {
+        const std::string name = "HW/SW " + std::to_string(bytes) + " B";
         const auto r = run(core::AllocatorKind::PimMallocHwSw, bytes / 4,
-                           knobs.tasklets,
-                           recorders.add("HW/SW " + std::to_string(bytes)
-                                         + " B"));
+                           knobs.tasklets, recorders.add(name),
+                           metrics.add(name));
         table.addRow({std::to_string(bytes) + " B",
                       util::Table::num(sw / r.avgLatencyUs, 2) + "x",
                       util::Table::num(r.cacheStats.hitRate() * 100, 1)});
@@ -66,7 +70,8 @@ main(int argc, char **argv)
                  "64 B — enough to hold the metadata of the frequently "
                  "traversed tree path (paper Fig 16; 99% hit rate).\n";
 
-    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+    if (!trace::emitReports(std::cout, recorders, metrics,
+                            knobs.occupancy, knobs.metrics,
                             knobs.tracePath))
         return 1;
 
@@ -82,6 +87,7 @@ main(int argc, char **argv)
         j.key("tasklets").value(knobs.tasklets);
         j.key("table");
         table.writeJson(j);
+        telemetry::writeMetricsJson(j, metrics);
         j.endObject();
         out << "\n";
     }

@@ -15,6 +15,7 @@
 #include <map>
 #include <vector>
 
+#include "telemetry/export.hh"
 #include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
@@ -61,12 +62,14 @@ main(int argc, char **argv)
     util::Cli cli(argc, argv, util::benchKnobNames());
     const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
 
-    // One recorder per configuration.
+    // One recorder + one metrics registry per configuration.
     trace::RecorderSet recorders(knobs.wantsTrace());
+    telemetry::MetricSet metrics(knobs.wantsMetrics());
     auto tracedConfig = [&](StructureKind s, core::AllocatorKind a,
                             const std::string &name) {
         GraphUpdateConfig cfg = baseConfig(s, a, knobs);
         cfg.recorder = recorders.add(name);
+        cfg.metrics = metrics.add(name);
         return cfg;
     };
 
@@ -221,11 +224,13 @@ main(int argc, char **argv)
             j.endObject();
         }
         j.endArray();
+        telemetry::writeMetricsJson(j, metrics);
         j.endObject();
         std::cout << "\nJSON written to " << knobs.jsonPath << "\n";
     }
 
-    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+    if (!trace::emitReports(std::cout, recorders, metrics,
+                            knobs.occupancy, knobs.metrics,
                             knobs.tracePath))
         return 1;
     return 0;

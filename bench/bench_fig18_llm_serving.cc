@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/export.hh"
 #include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
@@ -39,11 +40,13 @@ namespace {
 ServingResult
 runDisaggregated(const ServingScheme &scheme, const ServingConfig &base,
                  double prefill_frac, const util::BenchKnobs &knobs,
-                 trace::Recorder *recorder)
+                 trace::Recorder *recorder,
+                 telemetry::Registry *metrics)
 {
     ServingEngineConfig ecfg;
     ecfg.base = base;
     ecfg.base.recorder = recorder;
+    ecfg.base.metrics = metrics;
     ecfg.mode = ServingMode::Disaggregated;
     ecfg.prefillRankFraction = prefill_frac;
     ecfg.simThreads = knobs.threads;
@@ -64,6 +67,7 @@ runDisaggregatedStudy(const util::BenchKnobs &knobs,
         {core::AllocatorKind::PimMallocHwSw},
     };
     trace::RecorderSet recorders(knobs.wantsTrace());
+    telemetry::MetricSet metrics(knobs.wantsMetrics());
 
     util::Table table(
         "Fig 18 disaggregated: rank-partitioned prefill/decode pipeline "
@@ -76,7 +80,8 @@ runDisaggregatedStudy(const util::BenchKnobs &knobs,
     for (const auto &scheme : schemes) {
         const auto r =
             runDisaggregated(scheme, cfg, prefill_frac, knobs,
-                             recorders.add(scheme.name()));
+                             recorders.add(scheme.name()),
+                             metrics.add(scheme.name()));
         results.emplace_back(scheme.name(), r);
         table.addRow({scheme.name(),
                       util::Table::num(r.throughputTokensPerSec, 0),
@@ -118,7 +123,8 @@ runDisaggregatedStudy(const util::BenchKnobs &knobs,
                 [&](const auto &p) { return p.first == scheme.name(); });
             const ServingResult r = f == prefill_frac
                 ? cached->second
-                : runDisaggregated(scheme, cfg, f, knobs, nullptr);
+                : runDisaggregated(scheme, cfg, f, knobs, nullptr,
+                                   nullptr);
             sweep_results.emplace_back(scheme.name(), f, r);
             sweep.addRow(
                 {scheme.name(), util::Table::num(f, 3),
@@ -183,11 +189,13 @@ runDisaggregatedStudy(const util::BenchKnobs &knobs,
             j.endObject();
         }
         j.endArray();
+        telemetry::writeMetricsJson(j, metrics);
         j.endObject();
         std::cout << "\nJSON written to " << knobs.jsonPath << "\n";
     }
 
-    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+    if (!trace::emitReports(std::cout, recorders, metrics,
+                            knobs.occupancy, knobs.metrics,
                             knobs.tracePath, "Serving occupancy: "))
         return 1;
     return 0;
@@ -202,9 +210,9 @@ main(int argc, char **argv)
     // disaggregated engine's prefill simulation (unknown flags stay
     // fatal).
     util::Cli cli(argc, argv,
-                  "dpus,tasklets,threads,json,trace,occupancy,requests,"
-                  "rate,disaggregate,prefill-frac,fault-seed,mtbf,"
-                  "fault-spec");
+                  "dpus,tasklets,threads,json,trace,occupancy,metrics,"
+                  "requests,rate,disaggregate,prefill-frac,fault-seed,"
+                  "mtbf,fault-spec");
     const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
     if (knobs.wantsFaults() && !cli.getBool("disaggregate", false))
         PIM_FATAL("--mtbf/--fault-spec require --disaggregate: only "
@@ -230,6 +238,7 @@ main(int argc, char **argv)
         {core::AllocatorKind::PimMallocHwSw},
     };
     trace::RecorderSet recorders(knobs.wantsTrace());
+    telemetry::MetricSet metrics(knobs.wantsMetrics());
 
     util::Table table("Fig 18: LLM serving throughput and TPOT across "
                       "allocation schemes");
@@ -242,6 +251,7 @@ main(int argc, char **argv)
     for (const auto &scheme : schemes) {
         ServingConfig run_cfg = cfg;
         run_cfg.recorder = recorders.add(scheme.name());
+        run_cfg.metrics = metrics.add(scheme.name());
         const auto r = runServing(scheme, run_cfg);
         results.emplace_back(scheme.name(), r);
         if (!scheme.allocator)
@@ -292,11 +302,13 @@ main(int argc, char **argv)
             j.endObject();
         }
         j.endArray();
+        telemetry::writeMetricsJson(j, metrics);
         j.endObject();
         std::cout << "\nJSON written to " << knobs.jsonPath << "\n";
     }
 
-    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+    if (!trace::emitReports(std::cout, recorders, metrics,
+                            knobs.occupancy, knobs.metrics,
                             knobs.tracePath, "Serving occupancy: "))
         return 1;
     return 0;

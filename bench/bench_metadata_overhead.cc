@@ -12,6 +12,7 @@
 #include "alloc/pim_malloc.hh"
 #include "alloc/straw_man.hh"
 #include "sim/dpu.hh"
+#include "telemetry/export.hh"
 #include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
@@ -49,6 +50,7 @@ main(int argc, char **argv)
     std::cout << "\n";
 
     trace::RecorderSet recorders(knobs.wantsTrace());
+    telemetry::MetricSet metrics(knobs.wantsMetrics());
     util::Table per_wl("Section VI-E: PIM-malloc metadata per DPU under "
                        "the paper's workloads");
     per_wl.setHeader({"Workload", "Backend (KB)", "Thread-cache records "
@@ -68,6 +70,7 @@ main(int argc, char **argv)
         cfg.gen.numEdges = 950327;
         cfg.simThreads = knobs.threads;
         cfg.recorder = recorders.add(name);
+        cfg.metrics = metrics.add(name);
         const auto r = graph::runGraphUpdate(cfg);
         const double total_kb =
             static_cast<double>(r.metadataBytes) / 1024.0;
@@ -79,7 +82,8 @@ main(int argc, char **argv)
     std::cout << "\nPaper: 4 KB of buddy metadata per bank; ~5.1 KB / "
                  "5 KB / 5.2 KB total for the three workloads.\n";
 
-    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+    if (!trace::emitReports(std::cout, recorders, metrics,
+                            knobs.occupancy, knobs.metrics,
                             knobs.tracePath))
         return 1;
 
@@ -98,6 +102,7 @@ main(int argc, char **argv)
         fixed.writeJson(j);
         j.key("perWorkload");
         per_wl.writeJson(j);
+        telemetry::writeMetricsJson(j, metrics);
         j.endObject();
         out << "\n";
     }

@@ -9,7 +9,10 @@
  * the *same* partitions on otherwise idle systems:
  *
  *   - serving tenant: TPOT / TTFT percentile degradation (%),
- *   - graph tenant:   update-round wall-time degradation (%).
+ *   - graph tenant:   update-round wall-time degradation (%),
+ *   - both tenants:   SLO attainment (percent of samples within the
+ *     --slo-ttft-ms / --slo-tpot-ms / --slo-round-sec targets) solo vs
+ *     co-resident.
  *
  * The interleaving is deterministic (advance the tenant whose pipeline
  * clock is behind; ties go to serving), and so is the runtime's
@@ -33,6 +36,7 @@
 #include "core/pim_system.hh"
 #include "core/rank_scheduler.hh"
 #include "fault/injector.hh"
+#include "telemetry/export.hh"
 #include "trace/chrome_trace.hh"
 #include "trace/occupancy.hh"
 #include "util/cli.hh"
@@ -89,17 +93,24 @@ systemConfig(const TenantSetup &s)
 
 /** Serving solo baseline: same ranks, otherwise idle system. */
 workloads::llm::ServingResult
-runServingSolo(const TenantSetup &s, trace::Recorder *rec)
+runServingSolo(const TenantSetup &s, trace::Recorder *rec,
+               telemetry::Registry *met)
 {
     core::PimSystem sys(systemConfig(s));
     core::CommandQueue queue(sys);
     if (rec != nullptr)
         queue.attachRecorder(rec);
+    if (met != nullptr)
+        queue.attachMetrics(met);
     const auto inj = makeInjector(s, queue, sys.numRanks());
     core::RankScheduler sched(sys);
+    if (met != nullptr)
+        sched.attachMetrics(met);
     const core::DpuSet part =
         sched.acquireRanks(s.servingRanks, "serving");
-    workloads::llm::DisaggServingTask task(s.scheme, s.serving, queue,
+    workloads::llm::ServingEngineConfig ecfg = s.serving;
+    ecfg.base.metrics = met;
+    workloads::llm::DisaggServingTask task(s.scheme, ecfg, queue,
                                            part);
     const bool rank_faults =
         inj != nullptr && s.faultSpec.rankMtbfSec > 0.0;
@@ -124,20 +135,27 @@ runServingSolo(const TenantSetup &s, trace::Recorder *rec)
         }
     }
     queue.sync();
+    if (inj != nullptr && met != nullptr)
+        inj->exportMetrics(*met);
     return task.result();
 }
 
 /** Graph solo baseline: same ranks (the serving grant is a
  *  placeholder so the graph tenant lands on identical rank ids). */
 workloads::graph::GraphUpdateResult
-runGraphSolo(const TenantSetup &s, trace::Recorder *rec)
+runGraphSolo(const TenantSetup &s, trace::Recorder *rec,
+             telemetry::Registry *met)
 {
     core::PimSystem sys(systemConfig(s));
     core::CommandQueue queue(sys);
     if (rec != nullptr)
         queue.attachRecorder(rec);
+    if (met != nullptr)
+        queue.attachMetrics(met);
     const auto inj = makeInjector(s, queue, sys.numRanks());
     core::RankScheduler sched(sys);
+    if (met != nullptr)
+        sched.attachMetrics(met);
     const core::DpuSet reserved =
         sched.acquireRanks(s.servingRanks, "reserved");
     const bool rank_faults =
@@ -148,7 +166,9 @@ runGraphSolo(const TenantSetup &s, trace::Recorder *rec)
         rank_faults && sched.freeRankCount() > 1 ? 1u : 0u;
     const core::DpuSet part =
         sched.acquireRanks(sched.freeRankCount() - spare, "graph");
-    workloads::graph::GraphUpdateTask task(s.graph, queue, part);
+    workloads::graph::GraphUpdateConfig gcfg = s.graph;
+    gcfg.metrics = met;
+    workloads::graph::GraphUpdateTask task(gcfg, queue, part);
     if (rank_faults) {
         sched.onRevoke("graph", [&](unsigned rank) {
             task.onRankFailed(rank, inj->rankFailSeconds(rank));
@@ -170,6 +190,8 @@ runGraphSolo(const TenantSetup &s, trace::Recorder *rec)
         }
     }
     queue.sync();
+    if (inj != nullptr && met != nullptr)
+        inj->exportMetrics(*met);
     sched.releaseRanks(reserved);
     return task.result();
 }
@@ -181,16 +203,24 @@ struct CoRunOutcome
     double joinedMakespanSec = 0.0;
 };
 
-/** Both tenants co-resident on one system/queue. */
+/** Both tenants co-resident on one system/queue. One registry holds
+ *  the whole co-run: queue counters split per tenant by name suffix,
+ *  the serving histograms/SLOs and the graph ones under their own
+ *  metric names. */
 CoRunOutcome
-runCoTenant(const TenantSetup &s, trace::Recorder *rec)
+runCoTenant(const TenantSetup &s, trace::Recorder *rec,
+            telemetry::Registry *met)
 {
     core::PimSystem sys(systemConfig(s));
     core::CommandQueue queue(sys);
     if (rec != nullptr)
         queue.attachRecorder(rec);
+    if (met != nullptr)
+        queue.attachMetrics(met);
     const auto inj = makeInjector(s, queue, sys.numRanks());
     core::RankScheduler sched(sys);
+    if (met != nullptr)
+        sched.attachMetrics(met);
 
     const core::TenantId t_serving = queue.addTenant("serving");
     const core::TenantId t_graph = queue.addTenant("graph");
@@ -205,9 +235,13 @@ runCoTenant(const TenantSetup &s, trace::Recorder *rec)
     const core::DpuSet graph_part =
         sched.acquireRanks(sched.freeRankCount() - spare, "graph");
 
+    workloads::llm::ServingEngineConfig ecfg = s.serving;
+    ecfg.base.metrics = met;
+    workloads::graph::GraphUpdateConfig gcfg = s.graph;
+    gcfg.metrics = met;
     workloads::llm::DisaggServingTask serving(
-        s.scheme, s.serving, queue, serving_part, t_serving);
-    workloads::graph::GraphUpdateTask graph(s.graph, queue, graph_part,
+        s.scheme, ecfg, queue, serving_part, t_serving);
+    workloads::graph::GraphUpdateTask graph(gcfg, queue, graph_part,
                                             t_graph);
 
     if (rank_faults) {
@@ -265,6 +299,8 @@ runCoTenant(const TenantSetup &s, trace::Recorder *rec)
 
     CoRunOutcome out;
     out.joinedMakespanSec = queue.sync();
+    if (inj != nullptr && met != nullptr)
+        inj->exportMetrics(*met);
     out.serving = serving.result();
     out.graph = graph.result();
     sched.releaseAll("serving");
@@ -287,7 +323,8 @@ main(int argc, char **argv)
 {
     util::Cli cli(argc, argv,
                   util::benchKnobNames(
-                      "serving-ranks,requests,rounds,round-interval,update-edges"));
+                      "serving-ranks,requests,rounds,round-interval,"
+                      "update-edges,slo-ttft-ms,slo-tpot-ms,slo-round-sec"));
     util::BenchKnobs defs;
     defs.dpus = 512;
     const util::BenchKnobs knobs = util::parseBenchKnobs(cli, defs);
@@ -304,6 +341,12 @@ main(int argc, char **argv)
         cli.getInt("requests", 60));
     s.serving.base.allocTasklets = knobs.tasklets;
     s.serving.simThreads = knobs.threads;
+    // Per-tenant SLO targets, scored identically in the solos and the
+    // co-run so the attainment delta isolates interference.
+    s.serving.base.sloTtftSec =
+        cli.getDouble("slo-ttft-ms", 500.0) / 1e3;
+    s.serving.base.sloTpotSec =
+        cli.getDouble("slo-tpot-ms", 50.0) / 1e3;
 
     s.graph.structure = workloads::graph::StructureKind::LinkedList;
     s.graph.allocator = core::AllocatorKind::PimMallocSw;
@@ -320,6 +363,7 @@ main(int argc, char **argv)
     s.graph.gen.numEdges = 250000;
     s.graph.maxUpdateEdges = static_cast<uint64_t>(
         cli.getInt("update-edges", 0));
+    s.graph.sloRoundSec = cli.getDouble("slo-round-sec", 0.5);
 
     // Fault injection: the same plan is replayed in the solos and the
     // co-run (each run attaches its own injector); the co-run
@@ -329,12 +373,17 @@ main(int argc, char **argv)
     s.faultSeed = knobs.faultSeed;
 
     trace::RecorderSet recorders(knobs.wantsTrace());
+    // Always on: the SLO attainment comparison is part of this bench's
+    // headline output, not an optional extra. --metrics additionally
+    // prints the full summary tables.
+    telemetry::MetricSet metrics(true);
 
-    const workloads::llm::ServingResult solo_s =
-        runServingSolo(s, recorders.add("serving solo"));
-    const workloads::graph::GraphUpdateResult solo_g =
-        runGraphSolo(s, recorders.add("graph solo"));
-    const CoRunOutcome co = runCoTenant(s, recorders.add("co-tenant"));
+    const workloads::llm::ServingResult solo_s = runServingSolo(
+        s, recorders.add("serving solo"), metrics.add("serving solo"));
+    const workloads::graph::GraphUpdateResult solo_g = runGraphSolo(
+        s, recorders.add("graph solo"), metrics.add("graph solo"));
+    const CoRunOutcome co = runCoTenant(
+        s, recorders.add("co-tenant"), metrics.add("co-tenant"));
 
     const double d_tpot50 =
         degradationPct(solo_s.tpotP50Ms, co.serving.tpotP50Ms);
@@ -374,6 +423,30 @@ main(int argc, char **argv)
                 util::Table::num(solo_g.millionEdgesPerSec, 2),
                 util::Table::num(co.graph.millionEdgesPerSec, 2),
                 "0.00"});
+    // Per-tenant SLO attainment (percent of samples within target) in
+    // the solo baseline vs the co-run; the delta is in percentage
+    // points, negative = the co-run misses more deadlines.
+    const telemetry::Registry *co_reg = metrics.find("co-tenant");
+    auto addSloRow = [&](const char *label, const char *solo_name,
+                         const std::string &metric) {
+        const telemetry::Registry *solo_reg = metrics.find(solo_name);
+        if (solo_reg == nullptr || co_reg == nullptr
+            || !solo_reg->slo().tracks(metric)
+            || !co_reg->slo().tracks(metric))
+            return;
+        const double solo_att =
+            solo_reg->slo().score(metric).attainmentPct();
+        const double co_att = co_reg->slo().score(metric).attainmentPct();
+        tbl.addRow({label, util::Table::num(solo_att, 2),
+                    util::Table::num(co_att, 2),
+                    util::Table::num(co_att - solo_att, 2)});
+    };
+    addSloRow("SLO attainment: serving TTFT (%)", "serving solo",
+              "serving.ttft");
+    addSloRow("SLO attainment: serving TPOT (%)", "serving solo",
+              "serving.tpot");
+    addSloRow("SLO attainment: graph round (%)", "graph solo",
+              "graph.round");
     tbl.print(std::cout);
     const unsigned total_ranks = (s.dpus + 63) / 64;
     const unsigned graph_ranks = total_ranks - s.servingRanks
@@ -391,7 +464,8 @@ main(int argc, char **argv)
                  "queue-timeline metrics degrade only through bus "
                  "sharing.\n";
 
-    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+    if (!trace::emitReports(std::cout, recorders, metrics,
+                            knobs.occupancy, knobs.metrics,
                             knobs.tracePath))
         return 1;
 
@@ -432,6 +506,30 @@ main(int argc, char **argv)
         j.key("updateEdgesTotal").value(co.graph.updateEdgesTotal);
         j.endObject();
         j.key("joinedMakespanSec").value(co.joinedMakespanSec);
+        j.key("slo").beginObject();
+        auto emitSlo = [&](const char *key, const char *solo_name,
+                           const std::string &metric) {
+            const telemetry::Registry *solo_reg =
+                metrics.find(solo_name);
+            if (solo_reg == nullptr || co_reg == nullptr
+                || !solo_reg->slo().tracks(metric)
+                || !co_reg->slo().tracks(metric))
+                return;
+            const telemetry::SloScore &ss = solo_reg->slo().score(metric);
+            const telemetry::SloScore &cs = co_reg->slo().score(metric);
+            j.key(key).beginObject();
+            j.key("targetSec").value(ss.target);
+            j.key("soloAttainmentPct").value(ss.attainmentPct());
+            j.key("coAttainmentPct").value(cs.attainmentPct());
+            j.key("soloViolations").value(ss.violations);
+            j.key("coViolations").value(cs.violations);
+            j.key("coWorstExcursion").value(cs.worstExcursion);
+            j.endObject();
+        };
+        emitSlo("servingTtft", "serving solo", "serving.ttft");
+        emitSlo("servingTpot", "serving solo", "serving.tpot");
+        emitSlo("graphRound", "graph solo", "graph.round");
+        j.endObject();
         if (s.faultSpec.enabled()) {
             j.key("faults").beginObject();
             j.key("faultSeed").value(s.faultSeed);
@@ -455,6 +553,7 @@ main(int argc, char **argv)
             j.key("coOccupancy");
             trace::analyzeOccupancy(*procs.back().recorder).writeJson(j);
         }
+        telemetry::writeMetricsJson(j, metrics);
         j.endObject();
         out << "\n";
         if (!out) {

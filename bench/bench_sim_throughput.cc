@@ -37,6 +37,7 @@
 #include "sim/fiber.hh"
 #include "sim/mutex.hh"
 #include "sim/scheduler.hh"
+#include "telemetry/export.hh"
 #include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
@@ -190,7 +191,7 @@ tracedCase(unsigned tasklets, unsigned allocs, trace::Recorder &rec)
 int
 main(int argc, char **argv)
 {
-    util::Cli cli(argc, argv, "allocs,reps,json,trace,occupancy");
+    util::Cli cli(argc, argv, "allocs,reps,json,trace,occupancy,metrics");
     const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
     const unsigned allocs =
         static_cast<unsigned>(cli.getInt("allocs", 2048));
@@ -230,6 +231,21 @@ main(int argc, char **argv)
     }
     table.print(std::cout);
 
+    // The measured loops run on bare DPUs (no CommandQueue), so the
+    // registries are filled from the best-rep results afterwards: the
+    // timed region stays untouched whether metrics are on or off.
+    telemetry::MetricSet metrics(knobs.metrics);
+    for (const auto &r : results) {
+        telemetry::Registry *met = metrics.add(r.name);
+        if (met == nullptr)
+            continue;
+        met->counter("sim.events").add(r.simEvents);
+        met->counter("sim.elided_spin_events").add(r.elidedEvents);
+        met->counter("sim.model_events").add(r.modelEvents);
+        met->counter("sim.cycles").add(r.simCycles);
+    }
+    telemetry::printMetrics(std::cout, metrics, knobs.metrics);
+
     if (!json_path.empty()) {
         std::ofstream out(json_path);
         if (!out) {
@@ -260,6 +276,7 @@ main(int argc, char **argv)
             j.endObject();
         }
         j.endArray();
+        telemetry::writeMetricsJson(j, metrics);
         j.endObject();
         std::cout << "\nJSON written to " << json_path << "\n";
     }

@@ -12,6 +12,7 @@
 #include "alloc/pim_malloc.hh"
 #include "core/pim_system.hh"
 #include "sim/dpu.hh"
+#include "telemetry/export.hh"
 #include "trace/chrome_trace.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
@@ -26,7 +27,8 @@ namespace {
 
 double
 graphFragmentation(graph::StructureKind structure, core::AllocatorKind kind,
-                   unsigned threads, trace::Recorder *rec)
+                   unsigned threads, trace::Recorder *rec,
+                   telemetry::Registry *met)
 {
     graph::GraphUpdateConfig cfg;
     cfg.structure = structure;
@@ -37,6 +39,7 @@ graphFragmentation(graph::StructureKind structure, core::AllocatorKind kind,
     cfg.gen.numEdges = 950327;
     cfg.simThreads = threads;
     cfg.recorder = rec;
+    cfg.metrics = met;
     return graph::runGraphUpdate(cfg).fragmentation;
 }
 
@@ -69,11 +72,12 @@ main(int argc, char **argv)
 {
     // Shared knobs (single representative DPU per run, so --dpus and
     // --sample stay fixed); --trace/--occupancy cover the graph runs.
-    util::Cli cli(argc, argv, "threads,trace,occupancy");
+    util::Cli cli(argc, argv, "threads,trace,occupancy,metrics");
     const util::BenchKnobs knobs = util::parseBenchKnobs(cli);
     const unsigned threads = knobs.threads;
 
     trace::RecorderSet recorders(knobs.wantsTrace());
+    telemetry::MetricSet metrics(knobs.wantsMetrics());
 
     util::Table table("Table III: memory fragmentation (A/U), PIM-malloc "
                       "as-is vs PIM-malloc-lazy");
@@ -84,26 +88,30 @@ main(int argc, char **argv)
                       graphFragmentation(graph::StructureKind::LinkedList,
                                          core::AllocatorKind::PimMallocSw,
                                          threads,
-                                         recorders.add("LinkedList as-is")),
+                                         recorders.add("LinkedList as-is"),
+                                         metrics.add("LinkedList as-is")),
                       2),
                   util::Table::num(
                       graphFragmentation(
                           graph::StructureKind::LinkedList,
                           core::AllocatorKind::PimMallocSwLazy, threads,
-                          recorders.add("LinkedList lazy")),
+                          recorders.add("LinkedList lazy"),
+                          metrics.add("LinkedList lazy")),
                       2)});
     table.addRow({"Dynamic graph update (variable sized array)",
                   util::Table::num(
                       graphFragmentation(graph::StructureKind::VarArray,
                                          core::AllocatorKind::PimMallocSw,
                                          threads,
-                                         recorders.add("VarArray as-is")),
+                                         recorders.add("VarArray as-is"),
+                                         metrics.add("VarArray as-is")),
                       2),
                   util::Table::num(
                       graphFragmentation(
                           graph::StructureKind::VarArray,
                           core::AllocatorKind::PimMallocSwLazy, threads,
-                          recorders.add("VarArray lazy")),
+                          recorders.add("VarArray lazy"),
+                          metrics.add("VarArray lazy")),
                       2)});
     table.addRow({"LLM attention",
                   util::Table::num(attentionFragmentation(false), 2),
@@ -113,7 +121,8 @@ main(int argc, char **argv)
                  "lazy allocation reduces fragmentation everywhere, most "
                  "for single-size-class workloads.\n";
 
-    if (!trace::emitReports(std::cout, recorders, knobs.occupancy,
+    if (!trace::emitReports(std::cout, recorders, metrics,
+                            knobs.occupancy, knobs.metrics,
                             knobs.tracePath))
         return 1;
     return 0;

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Schema check for the telemetry `metrics` block in BENCH_*.json.
+
+Every BENCH artifact must be valid JSON; when a `metrics` member is
+present (benches run with --metrics), each configuration entry must
+carry the full registry shape — counters/gauges/histograms/timeline/slo
+— with sane values: non-negative counts, quantiles monotone
+(p50 <= p90 <= p95 <= p99 <= max) and inside [min, max], timeline
+series all padded to one common length, and SLO violations <= samples.
+
+Usage: check_metrics_json.py BENCH_a.json [BENCH_b.json ...]
+Exits non-zero on the first malformed file. Files whose benches were
+run without --metrics (no `metrics` member) only get the validity check.
+"""
+
+import json
+import sys
+
+REGISTRY_KEYS = ("counters", "gauges", "histograms", "timeline", "slo")
+HIST_KEYS = ("count", "min", "max", "mean", "p50", "p90", "p95", "p99")
+
+
+def fail(path, msg):
+    sys.exit(f"{path}: {msg}")
+
+
+def check_histogram(path, name, h):
+    for k in HIST_KEYS:
+        if k not in h:
+            fail(path, f"histogram {name!r} missing key {k!r}")
+    if h["count"] < 0:
+        fail(path, f"histogram {name!r} has negative count")
+    if h["count"] == 0:
+        return
+    q = [h["p50"], h["p90"], h["p95"], h["p99"]]
+    if q != sorted(q):
+        fail(path, f"histogram {name!r} quantiles not monotone: {q}")
+    if not (h["min"] <= h["p50"] and h["p99"] <= h["max"]):
+        fail(path, f"histogram {name!r} quantiles escape [min, max]")
+
+
+def check_registry(path, cfg, reg):
+    for k in REGISTRY_KEYS:
+        if k not in reg:
+            fail(path, f"metrics[{cfg!r}] missing key {k!r}")
+    for name, v in reg["counters"].items():
+        if not isinstance(v, int) or v < 0:
+            fail(path, f"counter {name!r} not a non-negative integer")
+    for name, h in reg["histograms"].items():
+        check_histogram(path, f"{cfg}/{name}", h)
+    tl = reg["timeline"]
+    if "cadence_sec" not in tl or "series" not in tl:
+        fail(path, f"metrics[{cfg!r}] timeline malformed")
+    lengths = {len(s["values"]) for s in tl["series"]}
+    if len(lengths) > 1:
+        fail(path, f"metrics[{cfg!r}] timeline series lengths differ: "
+                   f"{sorted(lengths)}")
+    for name, s in reg["slo"].items():
+        for k in ("target_sec", "samples", "violations", "attainment_pct",
+                  "worst_excursion"):
+            if k not in s:
+                fail(path, f"slo {name!r} missing key {k!r}")
+        if s["violations"] > s["samples"]:
+            fail(path, f"slo {name!r} has more violations than samples")
+        if not 0.0 <= s["attainment_pct"] <= 100.0:
+            fail(path, f"slo {name!r} attainment out of [0, 100]")
+
+
+def check_file(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(path, f"invalid JSON: {e}")
+    if "metrics" not in doc:
+        print(f"{path}: valid JSON, no metrics block (run with --metrics?)")
+        return
+    if not doc["metrics"]:
+        fail(path, "metrics block present but empty")
+    for cfg, reg in doc["metrics"].items():
+        check_registry(path, cfg, reg)
+    print(f"{path}: metrics OK "
+          f"({len(doc['metrics'])} configuration(s))")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    for path in sys.argv[1:]:
+        check_file(path)
+
+
+if __name__ == "__main__":
+    main()

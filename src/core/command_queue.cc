@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "fault/injector.hh"
+#include "telemetry/registry.hh"
 #include "trace/trace.hh"
 #include "util/logging.hh"
 
@@ -32,6 +33,66 @@ CommandQueue::attachRecorder(trace::Recorder *rec)
     traceEpoch_ = 0.0;
     if (rec_ != nullptr)
         rec_->setRankCount(sys_.numRanks());
+}
+
+void
+CommandQueue::attachMetrics(telemetry::Registry *met)
+{
+    drain();
+    met_ = met;
+    qm_ = QueueCounters{};
+    tenantMet_.clear();
+    rankSid_.clear();
+    busSid_ = depthSid_ = ranksBusySid_ = -1;
+    if (met_ == nullptr)
+        return;
+    qm_.issued = &met_->counter("queue.commands_issued");
+    qm_.resolved = &met_->counter("queue.commands_resolved");
+    qm_.failed = &met_->counter("queue.commands_failed");
+    qm_.poisoned = &met_->counter("queue.poisoned_deps");
+    qm_.busBytes = &met_->counter("queue.bus_bytes");
+    qm_.retries = &met_->counter("queue.transfer_retries");
+    qm_.simEvents = &met_->counter("queue.sim_events");
+    telemetry::TimelineSampler &smp = met_->sampler();
+    busSid_ = smp.series("util:bus");
+    depthSid_ = smp.levelSeries("depth:queue");
+    ranksBusySid_ = smp.series("ranks_busy");
+    rankSid_.reserve(sys_.numRanks());
+    for (unsigned r = 0; r < sys_.numRanks(); ++r)
+        rankSid_.push_back(smp.series("util:rank" + std::to_string(r)));
+    ensureTenantMetrics();
+}
+
+void
+CommandQueue::ensureTenantMetrics()
+{
+    telemetry::TimelineSampler &smp = met_->sampler();
+    while (tenantMet_.size() < hostT_.size()) {
+        const TenantId t = static_cast<TenantId>(tenantMet_.size());
+        const std::string &name = tenantNames_[t];
+        TenantMetrics tm;
+        tm.hostSid = smp.series(t == kDefaultTenant
+                                    ? "util:host"
+                                    : "util:host:" + name);
+        // Tenant 0 has no display name; "default" keeps its busy-rank
+        // curve a first-class per-tenant track in single-tenant runs.
+        tm.ranksBusySid = smp.series(
+            "ranks_busy:" + (name.empty() ? "default" : name));
+        if (t != kDefaultTenant) {
+            tm.issued =
+                &met_->counter("queue.commands_issued:" + name);
+            tm.resolved =
+                &met_->counter("queue.commands_resolved:" + name);
+            tm.failed =
+                &met_->counter("queue.commands_failed:" + name);
+            tm.poisoned =
+                &met_->counter("queue.poisoned_deps:" + name);
+            tm.busBytes = &met_->counter("queue.bus_bytes:" + name);
+            tm.retries =
+                &met_->counter("queue.transfer_retries:" + name);
+        }
+        tenantMet_.push_back(tm);
+    }
 }
 
 void
@@ -108,6 +169,12 @@ CommandQueue::enqueue(Command cmd)
     PIM_ASSERT(cmd.tenant < hostT_.size(),
                "unknown tenant ", cmd.tenant,
                " (register it with addTenant first)");
+    if (met_ != nullptr) {
+        ensureTenantMetrics();
+        qm_.issued->add();
+        if (cmd.tenant != kDefaultTenant)
+            tenantMet_[cmd.tenant].issued->add();
+    }
     pending_.push_back(std::move(cmd));
     return id;
 }
@@ -276,6 +343,8 @@ CommandQueue::launchProgram(
     cmd.ranks = set.ranks();
     cmd.slots = set.slots();
     cmd.slotCycles.assign(cmd.slots.size(), 0);
+    if (met_ != nullptr)
+        cmd.slotEvents.assign(cmd.slots.size(), 0);
     return enqueue(std::move(cmd));
 }
 
@@ -401,6 +470,10 @@ CommandQueue::drain()
                                  slot)
                 - cmd->slots.begin());
             cmd->slotCycles[pos] = dpu.lastElapsedCycles();
+            // Only sized while metrics are attached; each (cmd, pos)
+            // is written by exactly one worker, so no synchronization.
+            if (!cmd->slotEvents.empty())
+                cmd->slotEvents[pos] = dpu.lastSimEvents();
         }
     });
 
@@ -430,6 +503,25 @@ CommandQueue::drain()
         s.idle = idle;
         rec_->record(std::move(s));
     };
+    if (met_ != nullptr)
+        ensureTenantMetrics();
+    // Metric helpers (met_ != nullptr only): sampler times are
+    // epoch-absolute so series stay monotonic across resetTimeline,
+    // exactly like trace spans.
+    auto metUtil = [this](int sid, double t0, double t1) {
+        met_->sampler().accumulate(sid, traceEpoch_ + t0,
+                                   traceEpoch_ + t1);
+    };
+    auto metRankBusy = [&](const Command &cmd, double t0, double t1,
+                           unsigned r) {
+        metUtil(rankSid_[r], t0, t1);
+        metUtil(ranksBusySid_, t0, t1);
+        metUtil(tenantMet_[cmd.tenant].ranksBusySid, t0, t1);
+    };
+    auto metInFlight = [this](double t0, double t1) {
+        met_->sampler().eventDelta(depthSid_, traceEpoch_ + t0, +1);
+        met_->sampler().eventDelta(depthSid_, traceEpoch_ + t1, -1);
+    };
     for (Command &cmd : pending_) {
         const Event id = static_cast<Event>(
             resolvedBase_ + resolved_.size());
@@ -446,6 +538,17 @@ CommandQueue::drain()
             // chain and nowhere else.
             cmd.end = std::max(host_t, dep);
             inj_->notePoisoned();
+            if (met_ != nullptr) {
+                qm_.resolved->add();
+                qm_.failed->add();
+                qm_.poisoned->add();
+                const TenantMetrics &tm = tenantMet_[cmd.tenant];
+                if (tm.poisoned != nullptr) {
+                    tm.resolved->add();
+                    tm.failed->add();
+                    tm.poisoned->add();
+                }
+            }
             resolved_.push_back(cmd.end);
             resolvedFailed_.push_back(1);
             continue;
@@ -542,6 +645,8 @@ CommandQueue::drain()
                     rankT_[r] = start + dur;
                     launch_end = std::max(launch_end, rankT_[r]);
                     launch_work = std::max(launch_work, dur);
+                    if (met_ != nullptr)
+                        metRankBusy(cmd, start, rankT_[r], r);
                 } else {
                     launch_end = std::max(launch_end, start);
                 }
@@ -562,6 +667,15 @@ CommandQueue::drain()
             // slowest rank once to the serial-composition work sum.
             launchWork_ += launch_work;
             cmd.end = launch_end;
+            if (met_ != nullptr) {
+                metUtil(tenantMet_[cmd.tenant].hostSid, issue_t0,
+                        host_t);
+                metInFlight(issue_t0, cmd.end);
+                uint64_t ev = 0;
+                for (const uint64_t e : cmd.slotEvents)
+                    ev += e;
+                qm_.simEvents->add(ev);
+            }
             break;
           }
           case Command::Type::Copy: {
@@ -593,6 +707,14 @@ CommandQueue::drain()
                         inj_->transfer(start, cmd.copySeconds);
                     copy_sec = out.busSeconds;
                     failed = out.failed;
+                    if (met_ != nullptr && out.attempts > 1) {
+                        const uint64_t n = out.attempts - 1;
+                        qm_.retries->add(n);
+                        const TenantMetrics &tm =
+                            tenantMet_[cmd.tenant];
+                        if (tm.retries != nullptr)
+                            tm.retries->add(n);
+                    }
                 }
             }
             const double end = start + copy_sec;
@@ -609,6 +731,20 @@ CommandQueue::drain()
                 transferredBytes_ += cmd.totalBytes;
             copyWork_ += copy_sec;
             cmd.end = end;
+            if (met_ != nullptr) {
+                metUtil(busSid_, start, end);
+                if (cmd.occupyRanks && !failed) {
+                    for (const unsigned r : cmd.ranks)
+                        metRankBusy(cmd, start, end, r);
+                }
+                if (!failed) {
+                    qm_.busBytes->add(cmd.totalBytes);
+                    const TenantMetrics &tm = tenantMet_[cmd.tenant];
+                    if (tm.busBytes != nullptr)
+                        tm.busBytes->add(cmd.totalBytes);
+                }
+                metInFlight(start, end);
+            }
             if (rec_ != nullptr) {
                 std::string name = cmd.label.empty()
                     ? std::string(cmd.dir == CopyDirection::HostToPim
@@ -646,10 +782,26 @@ CommandQueue::drain()
                          cmd.label.empty() ? std::string("host")
                                            : cmd.label,
                          start, host_t, cmd, id);
+                if (met_ != nullptr) {
+                    metUtil(tenantMet_[cmd.tenant].hostSid, start,
+                            host_t);
+                    metInFlight(start, host_t);
+                }
             }
             cmd.end = host_t;
             break;
           }
+        }
+        if (met_ != nullptr) {
+            qm_.resolved->add();
+            const TenantMetrics &tm = tenantMet_[cmd.tenant];
+            if (tm.resolved != nullptr)
+                tm.resolved->add();
+            if (failed) {
+                qm_.failed->add();
+                if (tm.failed != nullptr)
+                    tm.failed->add();
+            }
         }
         resolved_.push_back(cmd.end);
         resolvedFailed_.push_back(failed ? 1 : 0);
@@ -756,9 +908,10 @@ CommandQueue::resetTimeline()
     resolvedBase_ += resolved_.size();
     resolved_.clear();
     resolvedFailed_.clear();
-    // Keep the trace timeline monotonic across the reset: spans of the
-    // new epoch start where the old epoch's timelines ended.
-    if (rec_ != nullptr)
+    // Keep the trace and sampler timelines monotonic across the reset:
+    // spans and bins of the new epoch start where the old epoch's
+    // timelines ended.
+    if (rec_ != nullptr || met_ != nullptr)
         traceEpoch_ += joinedTime();
     std::fill(hostT_.begin(), hostT_.end(), 0.0);
     busT_ = 0.0;

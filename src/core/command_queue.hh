@@ -100,6 +100,11 @@ namespace pim::fault {
 class FaultInjector;
 }
 
+namespace pim::telemetry {
+class Counter;
+class Registry;
+}
+
 namespace pim::core {
 
 /** Direction of a memcpy command. */
@@ -508,6 +513,24 @@ class CommandQueue
     /** The attached recorder (nullptr when tracing is off). */
     trace::Recorder *recorder() const { return rec_; }
 
+    /**
+     * Start feeding metrics to @p met (nullptr detaches). Drains
+     * pending commands first — already-enqueued commands resolve under
+     * the previous registry (if any). The fold then maintains, per
+     * tenant, the commands issued/resolved/failed, delivered bus
+     * bytes, transfer retries, and poisoned dependencies as counters,
+     * and drives the registry's TimelineSampler with bus/host/per-rank
+     * utilization, busy-rank averages (global and per tenant), and the
+     * in-flight command depth — all in *simulated* time from the
+     * sequential fold, so every metric is bit-identical for any
+     * worker-thread count. With no registry attached the cost is one
+     * pointer test per command (the same contract as attachRecorder).
+     */
+    void attachMetrics(telemetry::Registry *met);
+
+    /** The attached metrics registry (nullptr when metrics are off). */
+    telemetry::Registry *metricsRegistry() const { return met_; }
+
   private:
     struct Command
     {
@@ -544,6 +567,10 @@ class CommandQueue
         std::vector<unsigned> slots;
         /** Per-slot makespan of a launch, filled at drain. */
         std::vector<uint64_t> slotCycles;
+        /** Per-slot simulation-event counts; sized (alongside
+         *  slotCycles) only while a metrics registry is attached, so
+         *  the non-empty check in phase 1 needs no met_ read. */
+        std::vector<uint64_t> slotEvents;
 
         /** Completion time, filled at drain. */
         double end = 0.0;
@@ -621,8 +648,49 @@ class CommandQueue
     std::vector<Callback> callbacks_;
     /** True while completion callbacks run (drain re-entry guard). */
     bool inCallbacks_ = false;
+    /** Metrics cached per tenant while a registry is attached:
+     *  suffixed counters (named tenants only; tenant 0 owns the plain
+     *  totals) and the tenant's sampler series ids. */
+    struct TenantMetrics
+    {
+        telemetry::Counter *issued = nullptr;
+        telemetry::Counter *resolved = nullptr;
+        telemetry::Counter *failed = nullptr;
+        telemetry::Counter *poisoned = nullptr;
+        telemetry::Counter *busBytes = nullptr;
+        telemetry::Counter *retries = nullptr;
+        /** "util:host" (tenant 0) / "util:host:<name>". */
+        int hostSid = -1;
+        /** "ranks_busy:<name>" (avg busy ranks of this tenant). */
+        int ranksBusySid = -1;
+    };
+
+    /** Queue-wide counters cached while a registry is attached. */
+    struct QueueCounters
+    {
+        telemetry::Counter *issued = nullptr;
+        telemetry::Counter *resolved = nullptr;
+        telemetry::Counter *failed = nullptr;
+        telemetry::Counter *poisoned = nullptr;
+        telemetry::Counter *busBytes = nullptr;
+        telemetry::Counter *retries = nullptr;
+        telemetry::Counter *simEvents = nullptr;
+    };
+
+    /** Extend tenantMet_ to cover every registered tenant. */
+    void ensureTenantMetrics();
+
     /** Span sink; nullptr = tracing off. */
     trace::Recorder *rec_ = nullptr;
+    /** Metrics sink; nullptr = metrics off. */
+    telemetry::Registry *met_ = nullptr;
+    QueueCounters qm_{};
+    std::vector<TenantMetrics> tenantMet_;
+    /** Sampler series ids (valid while met_ != nullptr). */
+    int busSid_ = -1;
+    int depthSid_ = -1;
+    int ranksBusySid_ = -1;
+    std::vector<int> rankSid_;
     /** Fault source; nullptr = fault-free fold. */
     fault::FaultInjector *inj_ = nullptr;
     /** Ranks whose death marker span was already emitted. */

@@ -195,10 +195,12 @@ evalOverlapped(DesignStrategy s, const DesignSpaceParams &p)
         q.resetTimeline(); // initAllocator is untimed, as in Serial
     }
 
-    // Trace only the measured phase: attaching after the untimed init
-    // (and its timeline reset) starts the trace at t = 0.
+    // Trace/meter only the measured phase: attaching after the untimed
+    // init (and its timeline reset) starts both at t = 0.
     if (p.recorder != nullptr)
         q.attachRecorder(p.recorder);
+    if (p.metrics != nullptr)
+        q.attachMetrics(p.metrics);
 
     auto allocOnce = [&](sim::Tasklet &t, unsigned global) {
         const auto addr =

@@ -35,6 +35,10 @@ namespace pim::trace {
 class Recorder;
 }
 
+namespace pim::telemetry {
+class Registry;
+}
+
 namespace pim::core {
 
 /** The four Table I strategies. */
@@ -95,6 +99,10 @@ struct DesignSpaceParams
      * untimed allocator init is not traced); ignored in Serial mode.
      */
     trace::Recorder *recorder = nullptr;
+    /** Metrics registry for the Overlapped replay's measured phase
+     *  (queue counters and utilization series); ignored in Serial
+     *  mode, which never touches the command queue. */
+    telemetry::Registry *metrics = nullptr;
 };
 
 /** Decomposed latency of one strategy. */

@@ -1,5 +1,6 @@
 #include "core/rank_scheduler.hh"
 
+#include "telemetry/registry.hh"
 #include "util/logging.hh"
 
 namespace pim::core {
@@ -7,6 +8,14 @@ namespace pim::core {
 RankScheduler::RankScheduler(const PimSystem &sys)
     : sys_(sys), owner_(sys.numRanks()), quarantined_(sys.numRanks(), false)
 {
+}
+
+void
+RankScheduler::attachMetrics(telemetry::Registry *met)
+{
+    met_ = met;
+    if (met_ != nullptr)
+        met_->gauge("ranks.free").set(freeRankCount());
 }
 
 std::optional<DpuSet>
@@ -24,6 +33,11 @@ RankScheduler::tryAcquireRanks(unsigned n, const std::string &tenant)
         return std::nullopt;
     for (const unsigned r : grant)
         owner_[r] = tenant;
+    if (met_ != nullptr) {
+        met_->counter("ranks.grants").add();
+        met_->counter("ranks.granted_ranks").add(grant.size());
+        met_->gauge("ranks.free").set(freeRankCount());
+    }
     return sys_.ranks(std::move(grant));
 }
 
@@ -53,6 +67,10 @@ RankScheduler::releaseRanks(const DpuSet &set)
                    " is already free (double release?)");
         owner_[r].clear();
     }
+    if (met_ != nullptr) {
+        met_->counter("ranks.releases").add();
+        met_->gauge("ranks.free").set(freeRankCount());
+    }
     serveWaiting();
 }
 
@@ -80,8 +98,13 @@ RankScheduler::releaseAll(const std::string &tenant)
             ++released;
         }
     }
-    if (released > 0)
+    if (released > 0) {
+        if (met_ != nullptr) {
+            met_->counter("ranks.releases").add();
+            met_->gauge("ranks.free").set(freeRankCount());
+        }
         serveWaiting();
+    }
     return released;
 }
 
@@ -115,6 +138,10 @@ RankScheduler::quarantine(unsigned rank)
     std::string prev = owner_[rank];
     owner_[rank].clear();
     quarantined_[rank] = true;
+    if (met_ != nullptr) {
+        met_->counter("ranks.quarantines").add();
+        met_->gauge("ranks.free").set(freeRankCount());
+    }
     if (!prev.empty()) {
         auto it = revokeCbs_.find(prev);
         if (it != revokeCbs_.end() && it->second)
@@ -139,6 +166,10 @@ RankScheduler::requestRanks(unsigned n, const std::string &tenant,
     PIM_ASSERT(cb != nullptr, "rank request needs a grant callback");
     waiting_.push_back(Request{n, tenant, std::move(cb)});
     serveWaiting();
+    // Still queued after a serve pass = the request parked (strict
+    // FIFO: a non-empty queue means everything behind the head waits).
+    if (met_ != nullptr && !waiting_.empty())
+        met_->counter("ranks.waits").add();
 }
 
 void

@@ -37,6 +37,10 @@
 
 #include "core/pim_system.hh"
 
+namespace pim::telemetry {
+class Registry;
+}
+
 namespace pim::core {
 
 /** Rank-granular ownership arbiter of one PimSystem. */
@@ -44,6 +48,14 @@ class RankScheduler
 {
   public:
     explicit RankScheduler(const PimSystem &sys);
+
+    /**
+     * Start counting arbitration decisions into @p met (nullptr
+     * detaches): grants / granted ranks / parked waits / quarantines /
+     * releases as "ranks.*" counters, plus a "ranks.free" gauge
+     * tracking the free pool. One pointer test when detached.
+     */
+    void attachMetrics(telemetry::Registry *met);
 
     /**
      * Try to acquire @p n ranks for @p tenant: grants the n
@@ -154,6 +166,8 @@ class RankScheduler
     /** True while serveWaiting runs (re-entry collapses into the
      *  outermost loop). */
     bool serving_ = false;
+    /** Metrics sink; nullptr = metrics off. */
+    telemetry::Registry *met_ = nullptr;
 };
 
 } // namespace pim::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "telemetry/registry.hh"
 #include "util/logging.hh"
 
 namespace pim::fault {
@@ -114,6 +115,23 @@ FaultInjector::transfer(double startSec, double copySeconds)
     if (out.failed)
         ++stats_.transferPermanentFailures;
     return out;
+}
+
+void
+FaultInjector::exportMetrics(telemetry::Registry &met) const
+{
+    met.counter("fault.rank_failures").add(stats_.rankFailures);
+    met.counter("fault.transient_transfer_faults")
+        .add(stats_.transientTransferFaults);
+    met.counter("fault.transfer_retries").add(stats_.transferRetries);
+    met.counter("fault.transfer_permanent_failures")
+        .add(stats_.transferPermanentFailures);
+    met.counter("fault.launch_hangs").add(stats_.launchHangs);
+    met.counter("fault.launch_timeouts").add(stats_.launchTimeouts);
+    met.counter("fault.degraded_launches")
+        .add(stats_.degradedLaunches);
+    met.counter("fault.poisoned_commands")
+        .add(stats_.poisonedCommands);
 }
 
 std::vector<FaultEvent>

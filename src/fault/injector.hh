@@ -22,6 +22,10 @@
 
 #include "fault/fault_plan.hh"
 
+namespace pim::telemetry {
+class Registry;
+}
+
 namespace pim::fault {
 
 /** Outcome of routing one bus transfer through the injector. */
@@ -110,6 +114,14 @@ class FaultInjector
     std::vector<FaultEvent> drainFailedRanks(double nowSec);
 
     const InjectorStats &stats() const { return stats_; }
+
+    /**
+     * Re-export the injection statistics as "fault.*" counters in
+     * @p met, so fault activity rides in the same metrics snapshot as
+     * the queue/scheduler signals it explains. Call once, after the
+     * run (counters are monotonic; re-exporting would double-count).
+     */
+    void exportMetrics(telemetry::Registry &met) const;
 
   private:
     FaultPlan plan_;

@@ -1,0 +1,64 @@
+#include "telemetry/export.hh"
+
+#include "util/json.hh"
+#include "util/table.hh"
+
+namespace pim::telemetry {
+
+Registry *
+MetricSet::add(std::string name)
+{
+    if (!enabled_)
+        return nullptr;
+    registries_.emplace_back();
+    names_.push_back(std::move(name));
+    return &registries_.back();
+}
+
+const Registry *
+MetricSet::find(const std::string &name) const
+{
+    for (size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name)
+            return &registries_[i];
+    }
+    return nullptr;
+}
+
+std::vector<MetricSet::Entry>
+MetricSet::entries() const
+{
+    std::vector<Entry> out;
+    for (size_t i = 0; i < names_.size(); ++i)
+        out.push_back({names_[i], &registries_[i]});
+    return out;
+}
+
+void
+printMetrics(std::ostream &out, const MetricSet &metrics,
+             bool print_tables)
+{
+    if (!metrics.enabled() || !print_tables)
+        return;
+    for (const MetricSet::Entry &e : metrics.entries()) {
+        for (const util::Table &t : e.registry->tables(e.name)) {
+            out << "\n";
+            t.print(out);
+        }
+    }
+}
+
+void
+writeMetricsJson(util::JsonWriter &j, const MetricSet &metrics)
+{
+    if (!metrics.enabled())
+        return;
+    j.key("metrics").beginObject();
+    for (const MetricSet::Entry &e : metrics.entries()) {
+        j.key(e.name);
+        e.registry->writeJson(j);
+    }
+    j.endObject();
+}
+
+} // namespace pim::telemetry

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bench-side metrics plumbing, mirroring trace::RecorderSet: a
+ * MetricSet hands out named registries only when metrics were
+ * requested (--metrics, or --trace so counter tracks land in the
+ * capture), and the emit helpers render every registry as util::Table
+ * summaries and as the "metrics" block of a BENCH json. The standard
+ * shape is
+ *
+ *   telemetry::MetricSet metrics(knobs.metrics || knobs.wantsTrace());
+ *   cfg.metrics = metrics.add(run_name);        // nullptr when off
+ *   ...
+ *   telemetry::printMetrics(std::cout, metrics, knobs.metrics);
+ *   ... inside the bench's JsonWriter object:
+ *   telemetry::writeMetricsJson(j, metrics);    // key "metrics"
+ */
+
+#ifndef PIM_TELEMETRY_EXPORT_HH
+#define PIM_TELEMETRY_EXPORT_HH
+
+#include <deque>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hh"
+
+namespace pim::util {
+class JsonWriter;
+}
+
+namespace pim::telemetry {
+
+/** Named registries for a multi-configuration bench. */
+class MetricSet
+{
+  public:
+    /** @param enabled false = add() returns nullptr, emit no-ops. */
+    explicit MetricSet(bool enabled) : enabled_(enabled) {}
+
+    bool enabled() const { return enabled_; }
+
+    /** New registry labeled @p name; nullptr when disabled. */
+    Registry *add(std::string name);
+
+    /** The registry labeled @p name (nullptr if absent/disabled). */
+    const Registry *find(const std::string &name) const;
+
+    struct Entry
+    {
+        std::string name;
+        const Registry *registry;
+    };
+
+    /** The registries added so far, in add() order. */
+    std::vector<Entry> entries() const;
+
+  private:
+    bool enabled_;
+    std::deque<Registry> registries_;
+    std::vector<std::string> names_;
+};
+
+/**
+ * Print each registry's summary tables on @p out when
+ * @p print_tables; a disabled set is a silent no-op.
+ */
+void printMetrics(std::ostream &out, const MetricSet &metrics,
+                  bool print_tables);
+
+/**
+ * Emit key "metrics" + one object per registry (keyed by its add()
+ * name) into an open JSON object; no-op when the set is disabled, so
+ * metric-free BENCH json stays byte-identical.
+ */
+void writeMetricsJson(util::JsonWriter &j, const MetricSet &metrics);
+
+} // namespace pim::telemetry
+
+#endif // PIM_TELEMETRY_EXPORT_HH

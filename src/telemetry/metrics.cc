@@ -1,0 +1,123 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pim::telemetry {
+
+int32_t
+Histogram::bucketIndex(double v)
+{
+    PIM_ASSERT(v > 0.0 && std::isfinite(v),
+               "bucketIndex needs a finite positive sample, got ", v);
+    int exp = 0;
+    const double m = std::frexp(v, &exp); // m in [0.5, 1)
+    // Sub-bucket within the octave: [0.5, 1) split into kSub equal
+    // slices. The clamp guards the m -> 1 rounding edge.
+    const int32_t sub = std::min<int32_t>(
+        kSub - 1,
+        static_cast<int32_t>((m - 0.5) * 2.0 * static_cast<double>(kSub)));
+    return static_cast<int32_t>(exp) * kSub + sub;
+}
+
+double
+Histogram::bucketLow(int32_t idx)
+{
+    // Floor division so negative octaves (sub-1.0 samples) map right.
+    int32_t exp = idx / kSub;
+    int32_t sub = idx % kSub;
+    if (sub < 0) {
+        sub += kSub;
+        exp -= 1;
+    }
+    return std::ldexp(
+        0.5 + static_cast<double>(sub) / (2.0 * static_cast<double>(kSub)),
+        exp);
+}
+
+double
+Histogram::bucketHigh(int32_t idx)
+{
+    // Bucket indices are contiguous across octave boundaries: the
+    // bucket after (exp, kSub-1) is (exp+1, 0) and its low edge is
+    // exactly this bucket's high edge.
+    return bucketLow(idx + 1);
+}
+
+double
+Histogram::bucketMid(int32_t idx)
+{
+    return 0.5 * (bucketLow(idx) + bucketLow(idx + 1));
+}
+
+void
+Histogram::add(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    if (v > 0.0)
+        ++buckets_[bucketIndex(v)];
+    else
+        ++zero_;
+}
+
+void
+Histogram::merge(const Histogram &o)
+{
+    if (o.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = o.min_;
+        max_ = o.max_;
+    } else {
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+    count_ += o.count_;
+    zero_ += o.zero_;
+    for (const auto &[idx, n] : o.buckets_)
+        buckets_[idx] += n;
+}
+
+double
+Histogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    // The zero bucket contributes 0; the map iterates in ascending
+    // bucket order, so the accumulation order is deterministic.
+    double sum = 0.0;
+    for (const auto &[idx, n] : buckets_)
+        sum += static_cast<double>(n) * bucketMid(idx);
+    return sum / static_cast<double>(count_);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest-rank: the smallest sample with cumulative count >= rank.
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    uint64_t seen = zero_;
+    if (rank <= seen)
+        return std::clamp(0.0, min_, max_);
+    for (const auto &[idx, n] : buckets_) {
+        seen += n;
+        if (rank <= seen)
+            return std::clamp(bucketMid(idx), min_, max_);
+    }
+    return max_;
+}
+
+} // namespace pim::telemetry

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Low-overhead metric primitives: named counters, gauges, and an
+ * HDR-style log-linear histogram that answers p50/p90/p95/p99/max
+ * without storing samples.
+ *
+ * Everything here is deterministic by construction: a Histogram keeps
+ * only integer bucket counts plus the exact min/max, so merge() is
+ * bit-exactly associative and commutative (no floating-point sum whose
+ * result depends on addition order), and every derived statistic
+ * (mean, quantiles) is a pure function of that state. Instrumented
+ * code always updates metrics from the sequential command-queue fold,
+ * so snapshots are bit-identical for any PIM_SIM_THREADS.
+ */
+
+#ifndef PIM_TELEMETRY_METRICS_HH
+#define PIM_TELEMETRY_METRICS_HH
+
+#include <cstdint>
+#include <map>
+
+namespace pim::telemetry {
+
+/** Monotonic event count (commands resolved, bytes moved, retries). */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1) { v_ += n; }
+    uint64_t value() const { return v_; }
+    void merge(const Counter &o) { v_ += o.v_; }
+
+  private:
+    uint64_t v_ = 0;
+};
+
+/** Last-write-wins instantaneous value (free ranks, batch size). */
+class Gauge
+{
+  public:
+    void set(double v) { v_ = v; }
+    double value() const { return v_; }
+
+  private:
+    double v_ = 0.0;
+};
+
+/**
+ * Log-linear histogram (HDR-histogram bucketing): each power-of-two
+ * octave of the positive reals splits into kSub equal-width
+ * sub-buckets, so the relative width of any bucket is at most
+ * 2/kSub ≈ 3.1% and a bucket-midpoint quantile is within ~1.6% of the
+ * exact sample quantile. Non-positive samples land in a dedicated zero
+ * bucket (they have no octave).
+ *
+ * Stored state: sparse integer bucket counts, the zero-bucket count,
+ * and the exact min/max. Quantiles are nearest-rank over the
+ * cumulative bucket counts, reported at the bucket midpoint and
+ * clamped into [min, max] so max() and one-sample histograms are
+ * exact.
+ */
+class Histogram
+{
+  public:
+    /** Sub-buckets per power-of-two octave. */
+    static constexpr int32_t kSub = 64;
+
+    /** Record one sample. */
+    void add(double v);
+
+    /** Fold @p o in; bit-exactly associative and commutative. */
+    void merge(const Histogram &o);
+
+    uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /** Exact smallest / largest recorded sample (0 when empty). */
+    double min() const { return count_ == 0 ? 0.0 : min_; }
+    double max() const { return count_ == 0 ? 0.0 : max_; }
+
+    /** Mean over bucket midpoints (≤ ~1.6% relative error). */
+    double mean() const;
+
+    /**
+     * Nearest-rank quantile for @p q in [0, 1], at the bucket
+     * midpoint, clamped into [min, max]. 0 when empty.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    /** Bucket index of positive @p v: octave * kSub + sub-bucket. */
+    static int32_t bucketIndex(double v);
+
+    /** Inclusive lower / exclusive upper bound of bucket @p idx. */
+    static double bucketLow(int32_t idx);
+    static double bucketHigh(int32_t idx);
+    /** Representative value of bucket @p idx (the midpoint). */
+    static double bucketMid(int32_t idx);
+
+    /** Sparse positive-sample buckets (index -> count). */
+    const std::map<int32_t, uint64_t> &buckets() const
+    {
+        return buckets_;
+    }
+
+    /** Samples <= 0 (tracked apart: they have no log bucket). */
+    uint64_t zeroCount() const { return zero_; }
+
+  private:
+    std::map<int32_t, uint64_t> buckets_;
+    uint64_t zero_ = 0;
+    uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace pim::telemetry
+
+#endif // PIM_TELEMETRY_METRICS_HH

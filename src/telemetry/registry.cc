@@ -1,0 +1,164 @@
+#include "telemetry/registry.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/table.hh"
+
+namespace pim::telemetry {
+
+namespace {
+
+/** Full-precision double (round-trips exactly; snapshot identity). */
+std::string
+fullPrec(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+void
+writeHistogram(util::JsonWriter &j, const Histogram &h)
+{
+    j.beginObject();
+    j.key("count").value(h.count());
+    j.key("min").value(h.min());
+    j.key("max").value(h.max());
+    j.key("mean").value(h.mean());
+    j.key("p50").value(h.p50());
+    j.key("p90").value(h.p90());
+    j.key("p95").value(h.p95());
+    j.key("p99").value(h.p99());
+    j.endObject();
+}
+
+} // namespace
+
+void
+Registry::writeJson(util::JsonWriter &j) const
+{
+    j.beginObject();
+    j.key("counters").beginObject();
+    for (const auto &[name, c] : counters_)
+        j.key(name).value(c.value());
+    j.endObject();
+    j.key("gauges").beginObject();
+    for (const auto &[name, g] : gauges_)
+        j.key(name).value(g.value());
+    j.endObject();
+    j.key("histograms").beginObject();
+    for (const auto &[name, h] : hists_) {
+        j.key(name);
+        writeHistogram(j, h);
+    }
+    j.endObject();
+    j.key("timeline").beginObject();
+    j.key("cadence_sec").value(sampler_.cadence());
+    j.key("series").beginArray();
+    for (const auto &s : sampler_.snapshot()) {
+        j.beginObject();
+        j.key("name").value(s.name);
+        j.key("kind").value(s.level ? "level" : "utilization");
+        j.key("values").beginArray();
+        for (const double v : s.values)
+            j.value(v);
+        j.endArray();
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    j.key("slo").beginObject();
+    for (const auto &[name, s] : slo_.scores()) {
+        j.key(name).beginObject();
+        j.key("target_sec").value(s.target);
+        j.key("samples").value(s.samples);
+        j.key("violations").value(s.violations);
+        j.key("attainment_pct").value(s.attainmentPct());
+        j.key("worst_excursion").value(s.worstExcursion);
+        j.endObject();
+    }
+    j.endObject();
+    j.endObject();
+}
+
+std::vector<util::Table>
+Registry::tables(const std::string &title) const
+{
+    std::vector<util::Table> out;
+    if (!counters_.empty() || !gauges_.empty()) {
+        util::Table t("Metrics: " + title);
+        t.setHeader({"Metric", "Value"});
+        for (const auto &[name, c] : counters_)
+            t.addRow({name, util::Table::num(c.value())});
+        for (const auto &[name, g] : gauges_)
+            t.addRow({name, util::Table::num(g.value(), 3)});
+        out.push_back(std::move(t));
+    }
+    if (!hists_.empty()) {
+        util::Table t("Latency histograms: " + title);
+        t.setHeader({"Histogram", "Count", "Min", "p50", "p90", "p95",
+                     "p99", "Max", "Mean"});
+        for (const auto &[name, h] : hists_) {
+            t.addRow({name, util::Table::num(h.count()),
+                      util::Table::num(h.min(), 6),
+                      util::Table::num(h.p50(), 6),
+                      util::Table::num(h.p90(), 6),
+                      util::Table::num(h.p95(), 6),
+                      util::Table::num(h.p99(), 6),
+                      util::Table::num(h.max(), 6),
+                      util::Table::num(h.mean(), 6)});
+        }
+        out.push_back(std::move(t));
+    }
+    if (!slo_.empty()) {
+        util::Table t("SLO attainment: " + title);
+        t.setHeader({"SLO", "Target (s)", "Samples", "Violations",
+                     "Attainment %", "Worst excursion"});
+        for (const auto &[name, s] : slo_.scores()) {
+            t.addRow({name, util::Table::num(s.target, 6),
+                      util::Table::num(s.samples),
+                      util::Table::num(s.violations),
+                      util::Table::num(s.attainmentPct(), 2),
+                      util::Table::num(s.worstExcursion, 3)});
+        }
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+std::string
+Registry::snapshotString() const
+{
+    std::ostringstream os;
+    for (const auto &[name, c] : counters_)
+        os << "counter " << name << " = " << c.value() << "\n";
+    for (const auto &[name, g] : gauges_)
+        os << "gauge " << name << " = " << fullPrec(g.value()) << "\n";
+    for (const auto &[name, h] : hists_) {
+        os << "hist " << name << " count=" << h.count()
+           << " zero=" << h.zeroCount()
+           << " min=" << fullPrec(h.min())
+           << " max=" << fullPrec(h.max()) << " buckets={";
+        for (const auto &[idx, n] : h.buckets())
+            os << idx << ":" << n << ",";
+        os << "}\n";
+    }
+    for (const auto &s : sampler_.snapshot()) {
+        os << "series " << s.name << (s.level ? " level" : " util")
+           << " cadence=" << fullPrec(sampler_.cadence()) << " [";
+        for (const double v : s.values)
+            os << fullPrec(v) << ",";
+        os << "]\n";
+    }
+    for (const auto &[name, s] : slo_.scores()) {
+        os << "slo " << name << " target=" << fullPrec(s.target)
+           << " samples=" << s.samples
+           << " violations=" << s.violations
+           << " worst=" << fullPrec(s.worstExcursion) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace pim::telemetry

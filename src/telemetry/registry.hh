@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The metrics registry: one attachable sink holding named counters,
+ * gauges, and histograms plus one TimelineSampler and one SloTracker,
+ * so a single pointer wires a whole run's observability. Producers
+ * (CommandQueue, RankScheduler, FaultInjector, the workload drivers)
+ * update it only from sequential control paths — never from the
+ * parallel launch-body phase — so a snapshot is bit-identical for any
+ * PIM_SIM_THREADS. With no registry attached every instrumented path
+ * costs one pointer test.
+ *
+ * Export surfaces: writeJson() emits the "metrics" BENCH-json block,
+ * tables() renders human util::Table summaries (--metrics), and
+ * snapshotString() is the canonical textual dump the thread-count
+ * invariance tests compare byte-for-byte.
+ */
+
+#ifndef PIM_TELEMETRY_REGISTRY_HH
+#define PIM_TELEMETRY_REGISTRY_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/slo.hh"
+
+namespace pim::util {
+class JsonWriter;
+class Table;
+}
+
+namespace pim::telemetry {
+
+/** Named metrics + sampler + SLO scores of one run. */
+class Registry
+{
+  public:
+    explicit Registry(double sampler_cadence_sec = 0.01)
+        : sampler_(sampler_cadence_sec)
+    {
+    }
+
+    /** Get-or-create; references stay valid for the registry's life
+     *  (std::map nodes are stable), so producers may cache them. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Gauge &gauge(const std::string &name) { return gauges_[name]; }
+    Histogram &histogram(const std::string &name) { return hists_[name]; }
+
+    TimelineSampler &sampler() { return sampler_; }
+    const TimelineSampler &sampler() const { return sampler_; }
+
+    SloTracker &slo() { return slo_; }
+    const SloTracker &slo() const { return slo_; }
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Gauge> &gauges() const
+    {
+        return gauges_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return hists_;
+    }
+
+    /**
+     * Emit this registry as one JSON object value (the caller writes
+     * the surrounding key): {"counters": {...}, "gauges": {...},
+     * "histograms": {name: {count,min,max,mean,p50,p90,p95,p99}},
+     * "timeline": {cadence_sec, series: [...]}, "slo": {...}}.
+     */
+    void writeJson(util::JsonWriter &j) const;
+
+    /**
+     * Human summary tables (counters+gauges, histograms, SLOs; empty
+     * sections are skipped). Titles are prefixed with @p title.
+     */
+    std::vector<util::Table> tables(const std::string &title) const;
+
+    /**
+     * Canonical textual dump of the complete state — every counter,
+     * gauge, histogram bucket, sampler bin, and SLO score printed with
+     * full precision. Two runs are metric-equivalent iff their
+     * snapshot strings match byte-for-byte (the PIM_SIM_THREADS
+     * invariance contract).
+     */
+    std::string snapshotString() const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> hists_;
+    TimelineSampler sampler_;
+    SloTracker slo_;
+};
+
+} // namespace pim::telemetry
+
+#endif // PIM_TELEMETRY_REGISTRY_HH

@@ -1,0 +1,113 @@
+#include "telemetry/sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pim::telemetry {
+
+TimelineSampler::TimelineSampler(double cadence_sec)
+    : cadence_(cadence_sec)
+{
+    PIM_ASSERT(cadence_sec > 0.0,
+               "sampler cadence must be positive, got ", cadence_sec);
+}
+
+int
+TimelineSampler::series(const std::string &name)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end())
+        return it->second;
+    const int sid = static_cast<int>(series_.size());
+    series_.push_back(Series{name, /*level=*/false, {}, {}});
+    index_.emplace(name, sid);
+    return sid;
+}
+
+int
+TimelineSampler::levelSeries(const std::string &name)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end())
+        return it->second;
+    const int sid = static_cast<int>(series_.size());
+    series_.push_back(Series{name, /*level=*/true, {}, {}});
+    index_.emplace(name, sid);
+    return sid;
+}
+
+int64_t
+TimelineSampler::binOf(double t) const
+{
+    return static_cast<int64_t>(
+        std::floor(std::max(0.0, t) / cadence_));
+}
+
+void
+TimelineSampler::accumulate(int sid, double t0, double t1)
+{
+    if (!(t1 > t0))
+        return;
+    t0 = std::max(0.0, t0);
+    t1 = std::max(t0, t1);
+    Series &s = series_[static_cast<size_t>(sid)];
+    const int64_t b0 = binOf(t0);
+    const int64_t b1 = binOf(t1);
+    if (static_cast<int64_t>(s.busy.size()) <= b1)
+        s.busy.resize(static_cast<size_t>(b1) + 1, 0.0);
+    maxBin_ = std::max(maxBin_, b1);
+    for (int64_t b = b0; b <= b1; ++b) {
+        const double lo = std::max(t0, static_cast<double>(b) * cadence_);
+        const double hi =
+            std::min(t1, static_cast<double>(b + 1) * cadence_);
+        if (hi > lo)
+            s.busy[static_cast<size_t>(b)] += hi - lo;
+    }
+}
+
+void
+TimelineSampler::eventDelta(int sid, double t, int64_t delta)
+{
+    Series &s = series_[static_cast<size_t>(sid)];
+    const int64_t b = binOf(t);
+    s.deltas[b] += delta;
+    maxBin_ = std::max(maxBin_, b);
+}
+
+std::vector<TimelineSampler::SeriesSnapshot>
+TimelineSampler::snapshot() const
+{
+    const size_t bins =
+        maxBin_ < 0 ? 0 : static_cast<size_t>(maxBin_) + 1;
+    std::vector<SeriesSnapshot> out;
+    out.reserve(series_.size());
+    for (const Series &s : series_) {
+        SeriesSnapshot snap;
+        snap.name = s.name;
+        snap.level = s.level;
+        snap.values.assign(bins, 0.0);
+        if (s.level) {
+            // A bin's value is the level after all steps in it: the
+            // running prefix sum of the per-bin deltas.
+            int64_t lvl = 0;
+            auto it = s.deltas.begin();
+            for (size_t b = 0; b < bins; ++b) {
+                while (it != s.deltas.end()
+                       && it->first == static_cast<int64_t>(b)) {
+                    lvl += it->second;
+                    ++it;
+                }
+                snap.values[b] = static_cast<double>(lvl);
+            }
+        } else {
+            for (size_t b = 0; b < s.busy.size(); ++b)
+                snap.values[b] = s.busy[b] / cadence_;
+        }
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+} // namespace pim::telemetry

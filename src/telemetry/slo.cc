@@ -1,0 +1,39 @@
+#include "telemetry/slo.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pim::telemetry {
+
+void
+SloTracker::declare(const std::string &metric, double target_sec)
+{
+    PIM_ASSERT(target_sec > 0.0, "SLO target for '", metric,
+               "' must be positive, got ", target_sec);
+    scores_[metric].target = target_sec;
+}
+
+void
+SloTracker::observe(const std::string &metric, double value)
+{
+    const auto it = scores_.find(metric);
+    if (it == scores_.end())
+        return;
+    SloScore &s = it->second;
+    ++s.samples;
+    if (value > s.target)
+        ++s.violations;
+    s.worstExcursion = std::max(s.worstExcursion, value / s.target);
+}
+
+const SloScore &
+SloTracker::score(const std::string &metric) const
+{
+    const auto it = scores_.find(metric);
+    PIM_ASSERT(it != scores_.end(), "no SLO declared for '", metric,
+               "'");
+    return it->second;
+}
+
+} // namespace pim::telemetry

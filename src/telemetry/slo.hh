@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-metric SLO scoring: declare a latency target per named metric
+ * (e.g. "serving.ttft", "graph.round"), observe samples, and read back
+ * attainment (% of samples within target), violation counts, and the
+ * worst excursion (max observed/target ratio). Observations of
+ * undeclared metrics are dropped, so instrumentation can observe
+ * unconditionally and only runs that declared targets pay for scoring.
+ */
+
+#ifndef PIM_TELEMETRY_SLO_HH
+#define PIM_TELEMETRY_SLO_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pim::telemetry {
+
+/** Attainment record of one declared SLO. */
+struct SloScore
+{
+    /** Declared target (seconds). */
+    double target = 0.0;
+    uint64_t samples = 0;
+    /** Samples strictly above target. */
+    uint64_t violations = 0;
+    /** Largest observed/target ratio (0 with no samples). */
+    double worstExcursion = 0.0;
+
+    /** Percent of samples within target (100 with no samples). */
+    double
+    attainmentPct() const
+    {
+        return samples == 0
+            ? 100.0
+            : 100.0 * static_cast<double>(samples - violations)
+                / static_cast<double>(samples);
+    }
+};
+
+/** Scores observed samples against declared per-metric targets. */
+class SloTracker
+{
+  public:
+    /** Declare (or retarget) the SLO for @p metric. */
+    void declare(const std::string &metric, double target_sec);
+
+    /** Score one sample; dropped if @p metric has no declared SLO. */
+    void observe(const std::string &metric, double value);
+
+    /** True if @p metric has a declared SLO. */
+    bool tracks(const std::string &metric) const
+    {
+        return scores_.count(metric) != 0;
+    }
+
+    /** The declared metric's score (fatal if undeclared). */
+    const SloScore &score(const std::string &metric) const;
+
+    /** All declared metrics, keyed by name. */
+    const std::map<std::string, SloScore> &scores() const
+    {
+        return scores_;
+    }
+
+    bool empty() const { return scores_.empty(); }
+
+  private:
+    std::map<std::string, SloScore> scores_;
+};
+
+} // namespace pim::telemetry
+
+#endif // PIM_TELEMETRY_SLO_HH

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "telemetry/export.hh"
 #include "trace/occupancy.hh"
 #include "util/json.hh"
 
@@ -30,11 +31,45 @@ metaEvent(util::JsonWriter &j, const char *name, int pid, int tid,
     j.endObject();
 }
 
+/**
+ * Perfetto counter tracks: one "C"-phase event per value change of
+ * each sampler series (each unique (pid, name) renders as its own
+ * counter track). Unchanged consecutive bins are elided — "C" events
+ * hold their value until the next one — except the last bin, which is
+ * always emitted so the track spans the full run.
+ */
+void
+writeCounterTracks(util::JsonWriter &j,
+                   const telemetry::Registry &met, int pid)
+{
+    const double cadence = met.sampler().cadence();
+    for (const auto &s : met.sampler().snapshot()) {
+        for (size_t b = 0; b < s.values.size(); ++b) {
+            if (b > 0 && b + 1 < s.values.size()
+                && s.values[b] == s.values[b - 1])
+                continue;
+            j.beginObject();
+            j.key("name").value(s.name);
+            j.key("ph").value("C");
+            j.key("ts").value(static_cast<double>(b) * cadence * 1e6);
+            j.key("pid").value(pid);
+            j.key("args").beginObject();
+            j.key("value").value(s.values[b]);
+            j.endObject();
+            j.endObject();
+        }
+    }
+}
+
 void
 writeProcess(util::JsonWriter &j, const TraceProcess &proc, int pid)
 {
-    const Recorder &rec = *proc.recorder;
     metaEvent(j, "process_name", pid, 0, "name", proc.name, 0, true);
+    if (proc.metrics != nullptr)
+        writeCounterTracks(j, *proc.metrics, pid);
+    if (proc.recorder == nullptr)
+        return;
+    const Recorder &rec = *proc.recorder;
 
     // One named thread per lane, sorted host < bus < ranks < customs.
     const std::vector<int> lanes = rec.lanes();
@@ -93,7 +128,7 @@ writeChromeTrace(std::ostream &out,
     j.key("traceEvents").beginArray();
     int pid = 1;
     for (const TraceProcess &proc : processes) {
-        if (proc.recorder != nullptr)
+        if (proc.recorder != nullptr || proc.metrics != nullptr)
             writeProcess(j, proc, pid);
         ++pid;
     }
@@ -149,6 +184,8 @@ emitReports(std::ostream &out,
 {
     if (print_occupancy) {
         for (const TraceProcess &p : processes) {
+            if (p.recorder == nullptr)
+                continue; // metrics-only process: no spans to analyze
             out << "\n";
             const OccupancyReport rep = analyzeOccupancy(*p.recorder);
             rep.toTable(title_prefix + p.name).print(out);
@@ -173,6 +210,35 @@ emitReports(std::ostream &out, const RecorderSet &recorders,
         return true;
     return emitReports(out, recorders.processes(), print_occupancy,
                        trace_path, title_prefix);
+}
+
+bool
+emitReports(std::ostream &out, const RecorderSet &recorders,
+            const telemetry::MetricSet &metrics, bool print_occupancy,
+            bool print_metrics, const std::string &trace_path,
+            const std::string &title_prefix)
+{
+    std::vector<TraceProcess> procs = recorders.enabled()
+        ? recorders.processes() : std::vector<TraceProcess>{};
+    if (metrics.enabled()) {
+        for (const auto &e : metrics.entries()) {
+            bool paired = false;
+            for (TraceProcess &p : procs) {
+                if (p.name == e.name) {
+                    p.metrics = e.registry;
+                    paired = true;
+                }
+            }
+            if (!paired)
+                procs.push_back({e.name, nullptr, e.registry});
+        }
+    }
+    emitReports(out, procs, print_occupancy, /*trace_path=*/"",
+                title_prefix);
+    telemetry::printMetrics(out, metrics, print_metrics);
+    if (!trace_path.empty() && !procs.empty())
+        return writeChromeTraceFile(trace_path, procs);
+    return true;
 }
 
 } // namespace pim::trace

@@ -20,13 +20,25 @@
 
 #include "trace/trace.hh"
 
+namespace pim::telemetry {
+class MetricSet;
+class Registry;
+}
+
 namespace pim::trace {
 
-/** One process of a multi-experiment capture. */
+/**
+ * One process of a multi-experiment capture: span lanes from the
+ * recorder, Perfetto counter tracks ("C"-phase events — utilization,
+ * queue depth, busy-rank curves) from the registry's TimelineSampler.
+ * Either may be null; a metrics-only process emits just its counter
+ * tracks.
+ */
 struct TraceProcess
 {
     std::string name;
     const Recorder *recorder = nullptr;
+    const telemetry::Registry *metrics = nullptr;
 };
 
 /**
@@ -93,6 +105,21 @@ bool emitReports(std::ostream &out,
  *  no-op, so callers need no enabled() guard. */
 bool emitReports(std::ostream &out, const RecorderSet &recorders,
                  bool print_occupancy, const std::string &trace_path,
+                 const std::string &title_prefix = "Occupancy: ");
+
+/**
+ * emitReports with metrics: pairs each registry of @p metrics with the
+ * recorder of the same name (name-matched add() calls), so a written
+ * capture carries the run's counter tracks beside its spans, prints
+ * each registry's summary tables when @p print_metrics (--metrics),
+ * and prints occupancy tables as before. Disabled sets no-op
+ * independently; registries without a recorder become metrics-only
+ * processes.
+ */
+bool emitReports(std::ostream &out, const RecorderSet &recorders,
+                 const telemetry::MetricSet &metrics,
+                 bool print_occupancy, bool print_metrics,
+                 const std::string &trace_path,
                  const std::string &title_prefix = "Occupancy: ");
 
 } // namespace pim::trace

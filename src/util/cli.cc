@@ -97,7 +97,7 @@ std::string
 benchKnobNames(const std::string &extra)
 {
     std::string names = "dpus,sample,tasklets,threads,json,trace,"
-                        "occupancy,fault-seed,mtbf,fault-spec";
+                        "occupancy,metrics,fault-seed,mtbf,fault-spec";
     if (!extra.empty()) {
         names += ',';
         names += extra;
@@ -141,6 +141,7 @@ parseBenchKnobs(const Cli &cli, const BenchKnobs &defaults)
     k.jsonPath = cli.get("json", k.jsonPath);
     k.tracePath = cli.get("trace", k.tracePath);
     k.occupancy = cli.getBool("occupancy", k.occupancy);
+    k.metrics = cli.getBool("metrics", k.metrics);
     k.faultSeed = static_cast<uint64_t>(
         knobInt(cli, "fault-seed", static_cast<int64_t>(k.faultSeed),
                 0));

@@ -65,6 +65,11 @@ struct BenchKnobs
     std::string tracePath;
     /** Print per-lane occupancy breakdowns (--occupancy). */
     bool occupancy = false;
+    /** Collect and print runtime metrics summaries (--metrics):
+     *  counters, latency histograms, SLO attainment. Metrics are also
+     *  collected whenever tracing is on (wantsMetrics()), so counter
+     *  tracks land in every written capture. */
+    bool metrics = false;
     /**
      * Fault injection (--fault-seed/--mtbf/--fault-spec). The raw
      * spec string is carried here and parsed by
@@ -89,6 +94,14 @@ struct BenchKnobs
     wantsFaults() const
     {
         return mtbf > 0.0 || !faultSpec.empty();
+    }
+
+    /** True if a metrics registry should be attached: --metrics, or
+     *  any tracing output (counter tracks ride in the capture). */
+    bool
+    wantsMetrics() const
+    {
+        return metrics || wantsTrace();
     }
 };
 

@@ -11,6 +11,7 @@
 #include "core/rank_scheduler.hh"
 #include "fault/injector.hh"
 #include "sim/dpu.hh"
+#include "telemetry/registry.hh"
 #include "util/logging.hh"
 #include "workloads/graph/csr_graph.hh"
 #include "workloads/graph/linked_list_graph.hh"
@@ -161,6 +162,7 @@ struct GraphUpdateTask::Impl
 
     void step();
     void commitPending(unsigned r);
+    void observeRound(unsigned r, double doneSec);
     void resolveParkedRetry();
     void onRankFailed(unsigned rank, double failSec);
     void onReplacementGranted(const core::DpuSet &replacement);
@@ -195,6 +197,9 @@ struct GraphUpdateTask::Impl
     double buildDoneSec = 0.0;
     double now = 0.0;
     GraphUpdateResult res; ///< updateEdgesTotal filled up front
+    /** Registry sinks (both null when cfg.metrics is null). */
+    telemetry::Registry *met = nullptr;
+    telemetry::Histogram *roundHist = nullptr;
 
     // Fault tolerance (all of it inert — and the round path
     // numerically unchanged — unless the queue has a
@@ -261,6 +266,13 @@ GraphUpdateTask::Impl::Impl(const GraphUpdateConfig &cfg_in,
 {
     PIM_ASSERT(numShards >= 1, "need at least one DPU in the partition");
     res.updateEdgesTotal = w.updateEdges.size();
+
+    if (cfg.metrics != nullptr) {
+        met = cfg.metrics;
+        roundHist = &met->histogram("graph.round_sec");
+        if (cfg.sloRoundSec > 0.0)
+            met->slo().declare("graph.round", cfg.sloRoundSec);
+    }
 
     shardEdgeCounts.assign(numShards, 0);
     for (const auto &e : w.updateEdges)
@@ -388,6 +400,22 @@ GraphUpdateTask::Impl::commitPending(unsigned r)
 }
 
 void
+GraphUpdateTask::Impl::observeRound(unsigned r, double doneSec)
+{
+    if (met == nullptr)
+        return;
+    // Round latency on the ingest clock: completion minus the round's
+    // scheduled arrival (the build completion plus r pacing intervals),
+    // so back-to-back rounds report pure service time and a paced
+    // stream reports service + queueing delay.
+    const double due =
+        buildDoneSec + static_cast<double>(r) * cfg.roundIntervalSec;
+    const double lat = doneSec - due;
+    roundHist->add(lat);
+    met->slo().observe("graph.round", lat);
+}
+
+void
 GraphUpdateTask::Impl::resolveParkedRetry()
 {
     // Re-execute the failed round on the (possibly repaired)
@@ -418,6 +446,7 @@ GraphUpdateTask::Impl::resolveParkedRetry()
             return; // still parked: another fault hit the retry itself
         lastRoundEvt = retry;
     }
+    observeRound(parkedR, now);
     commitPending(parkedR);
     ++reExec;
     parked = false;
@@ -561,6 +590,7 @@ GraphUpdateTask::Impl::step()
     }
     now = std::max(now, t);
     if (!failed) {
+        observeRound(r, t);
         commitPending(r);
         return;
     }
@@ -848,6 +878,8 @@ runGraphUpdate(const GraphUpdateConfig &cfg)
         core::CommandQueue queue(sys);
         if (cfg.recorder != nullptr)
             queue.attachRecorder(cfg.recorder);
+        if (cfg.metrics != nullptr)
+            queue.attachMetrics(cfg.metrics);
 
         std::unique_ptr<fault::FaultInjector> inj;
         std::unique_ptr<core::RankScheduler> sched;
@@ -860,6 +892,8 @@ runGraphUpdate(const GraphUpdateConfig &cfg)
         }
         if (inj != nullptr && cfg.faultSpec.rankMtbfSec > 0.0) {
             sched = std::make_unique<core::RankScheduler>(sys);
+            if (cfg.metrics != nullptr)
+                sched->attachMetrics(cfg.metrics);
             const unsigned spare = std::min(
                 cfg.spareRanks,
                 sys.numRanks() > 1 ? sys.numRanks() - 1 : 0u);
@@ -896,6 +930,8 @@ runGraphUpdate(const GraphUpdateConfig &cfg)
                 }
             }
         }
+        if (inj != nullptr && cfg.metrics != nullptr)
+            inj->exportMetrics(*cfg.metrics);
         GraphUpdateResult out = task->result();
         queue.sync();
         return out;
@@ -910,6 +946,8 @@ runGraphUpdate(const GraphUpdateConfig &cfg)
     core::CommandQueue queue(sys);
     if (cfg.recorder != nullptr)
         queue.attachRecorder(cfg.recorder);
+    if (cfg.metrics != nullptr)
+        queue.attachMetrics(cfg.metrics);
 
     const unsigned simulated = sys.sampleCount();
     std::vector<ShardOutcome> outcomes(simulated);

@@ -24,6 +24,10 @@ namespace pim::trace {
 class Recorder;
 }
 
+namespace pim::telemetry {
+class Registry;
+}
+
 namespace pim::workloads::graph {
 
 /** The three representations of Fig 17(a). */
@@ -92,6 +96,16 @@ struct GraphUpdateConfig
     unsigned simThreads = 0;
     /** Span recorder fed by the run's command queue (nullptr = off). */
     trace::Recorder *recorder = nullptr;
+    /**
+     * Metrics registry (nullptr = off): queue counters/utilization plus
+     * the per-round ingest latency histogram "graph.round_sec"
+     * (completion minus the round's scheduled issue time; round-driven
+     * path only) and, when sloRoundSec is set, attainment under
+     * "graph.round".
+     */
+    telemetry::Registry *metrics = nullptr;
+    /** Round-latency SLO target in seconds (0 = no SLO declared). */
+    double sloRoundSec = 0.0;
     /**
      * Fault injection (opt-in): when faultSpec.enabled(),
      * runGraphUpdate takes the round-driven path, builds a FaultPlan

@@ -13,6 +13,7 @@
 #include "core/pim_system.hh"
 #include "core/rank_scheduler.hh"
 #include "fault/injector.hh"
+#include "telemetry/registry.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "workloads/llm/kv_cache.hh"
@@ -170,6 +171,17 @@ ServingEngine::runLockstep()
     core::CommandQueue clock(sys);
     if (cfg.recorder != nullptr)
         clock.attachRecorder(cfg.recorder);
+    // Lockstep keeps its util::Percentile result path (reported
+    // figures are sample-exact); a registry additionally gets the
+    // histogram/SLO view of the same step latencies.
+    telemetry::Registry *met = cfg.metrics;
+    telemetry::Histogram *tpot_reg = nullptr;
+    if (met != nullptr) {
+        clock.attachMetrics(met);
+        tpot_reg = &met->histogram("serving.tpot_sec");
+        if (cfg.sloTpotSec > 0.0)
+            met->slo().declare("serving.tpot", cfg.sloTpotSec);
+    }
 
     std::deque<unsigned> waiting;
     std::vector<ActiveRequest> active;
@@ -231,6 +243,10 @@ ServingEngine::runLockstep()
             ++r.generated;
             ++tokens_out;
             tpot.add(step_sec);
+            if (met != nullptr) {
+                tpot_reg->add(step_sec);
+                met->slo().observe("serving.tpot", step_sec);
+            }
         }
         std::erase_if(active, [&](const ActiveRequest &r) {
             if (r.generated >= cfg.outputTokens) {
@@ -303,8 +319,17 @@ struct DisaggServingTask::Impl
     unsigned stepIdx = 0;
     uint64_t tokensOut = 0;
     uint64_t shippedBytes = 0;
-    util::Percentile tpot;
-    util::Percentile ttft;
+    /**
+     * Latency distributions as telemetry histograms: the reported
+     * percentiles and the registry-exported ones are one and the same
+     * state, and co-tenant tasks merge deterministically.
+     */
+    telemetry::Histogram tpot;
+    telemetry::Histogram ttft;
+    /** Registry sinks (all null when cfg.metrics is null). */
+    telemetry::Registry *met = nullptr;
+    telemetry::Histogram *tpotReg = nullptr;
+    telemetry::Histogram *ttftReg = nullptr;
     core::Event shipPrev1 = core::kNoEvent;
     core::Event shipPrev2 = core::kNoEvent;
     double now = 0.0;
@@ -393,6 +418,16 @@ DisaggServingTask::Impl::Impl(const ServingScheme &scheme_in,
                               / std::max<uint64_t>(promptBytesPre, 1)));
 
     arrivals = arrivalTimes(cfg);
+
+    if (cfg.metrics != nullptr) {
+        met = cfg.metrics;
+        tpotReg = &met->histogram("serving.tpot_sec");
+        ttftReg = &met->histogram("serving.ttft_sec");
+        if (cfg.sloTpotSec > 0.0)
+            met->slo().declare("serving.tpot", cfg.sloTpotSec);
+        if (cfg.sloTtftSec > 0.0)
+            met->slo().declare("serving.ttft", cfg.sloTtftSec);
+    }
 
     // Per-slot prefill state (each slot is touched by exactly one
     // engine worker). Dynamic schemes bring their allocator up in one
@@ -643,9 +678,20 @@ DisaggServingTask::Impl::step()
         ++r.context;
         ++r.generated;
         ++tokensOut;
-        tpot.add(t_end - r.lastTokenSec);
-        if (r.generated == 1)
-            ttft.add(t_end - arrivals[r.id]);
+        const double step_lat = t_end - r.lastTokenSec;
+        tpot.add(step_lat);
+        if (met != nullptr) {
+            tpotReg->add(step_lat);
+            met->slo().observe("serving.tpot", step_lat);
+        }
+        if (r.generated == 1) {
+            const double first_lat = t_end - arrivals[r.id];
+            ttft.add(first_lat);
+            if (met != nullptr) {
+                ttftReg->add(first_lat);
+                met->slo().observe("serving.ttft", first_lat);
+            }
+        }
         r.lastTokenSec = t_end;
     }
     std::erase_if(active, [&](const ActiveRequest &r) {
@@ -930,6 +976,8 @@ ServingEngine::runDisaggregated()
     core::CommandQueue queue(sys);
     if (cfg.recorder != nullptr)
         queue.attachRecorder(cfg.recorder);
+    if (cfg.metrics != nullptr)
+        queue.attachMetrics(cfg.metrics);
 
     // Fault injection (opt-in): attach the deterministic plan to the
     // queue and, when rank deaths are in play, arbitrate the ranks
@@ -946,6 +994,8 @@ ServingEngine::runDisaggregated()
     }
     if (inj != nullptr && cfg_.faultSpec.rankMtbfSec > 0.0) {
         sched = std::make_unique<core::RankScheduler>(sys);
+        if (cfg.metrics != nullptr)
+            sched->attachMetrics(cfg.metrics);
         const unsigned spare = std::min(
             cfg_.spareRanks, sys.numRanks() > 2 ? sys.numRanks() - 2
                                                 : 0u);
@@ -984,6 +1034,9 @@ ServingEngine::runDisaggregated()
             }
         }
     }
+
+    if (inj != nullptr && cfg.metrics != nullptr)
+        inj->exportMetrics(*cfg.metrics);
 
     // Standalone: the queue is exclusively ours, so the joined-queue
     // makespan, the queue's transfer counter, and the hidden-work sum

@@ -30,6 +30,10 @@ namespace pim::trace {
 class Recorder;
 }
 
+namespace pim::telemetry {
+class Registry;
+}
+
 namespace pim::workloads::llm {
 
 /** KV-cache management scheme of one Fig 18 bar group. */
@@ -83,6 +87,19 @@ struct ServingConfig
      * "wait:arrival" (nullptr = off).
      */
     trace::Recorder *recorder = nullptr;
+
+    /**
+     * Metrics registry (nullptr = off): queue counters and utilization
+     * series, "serving.tpot_sec"/"serving.ttft_sec" latency histograms,
+     * and — when the SLO targets below are set — per-run attainment
+     * under "serving.tpot"/"serving.ttft". With a registry attached the
+     * disaggregated-mode percentiles come from the same histograms the
+     * registry exports, so table and JSON always agree.
+     */
+    telemetry::Registry *metrics = nullptr;
+    /** TTFT / TPOT SLO targets in seconds (0 = no SLO declared). */
+    double sloTtftSec = 0.0;
+    double sloTpotSec = 0.0;
 };
 
 /** Serving outcome. */

@@ -5,6 +5,7 @@
 #include "core/command_queue.hh"
 #include "core/pim_system.hh"
 #include "sim/dpu.hh"
+#include "telemetry/registry.hh"
 #include "util/logging.hh"
 
 namespace pim::workloads {
@@ -29,10 +30,13 @@ runMicrobench(const MicrobenchConfig &cfg)
     queue.sync();
     dpu.resetStats();
     allocator->stats().resetCounters();
-    if (cfg.recorder != nullptr) {
-        // Trace only the measured phase, starting at t = 0.
+    if (cfg.recorder != nullptr || cfg.metrics != nullptr) {
+        // Trace/meter only the measured phase, starting at t = 0.
         queue.resetTimeline();
-        queue.attachRecorder(cfg.recorder);
+        if (cfg.recorder != nullptr)
+            queue.attachRecorder(cfg.recorder);
+        if (cfg.metrics != nullptr)
+            queue.attachMetrics(cfg.metrics);
     }
 
     queue.launch(sys.all(), cfg.tasklets, [&](sim::Tasklet &t, unsigned) {
@@ -66,6 +70,17 @@ runMicrobench(const MicrobenchConfig &cfg)
     if (const sim::SimMutex *m = allocator->contentionMutex()) {
         res.mutexStats = m->statsSnapshot();
         res.mutexMode = m->mode();
+    }
+    if (cfg.metrics != nullptr) {
+        telemetry::Registry &met = *cfg.metrics;
+        met.counter("sim.cycles").add(res.elapsedCycles);
+        met.counter("mutex.acquisitions")
+            .add(res.mutexStats.acquisitions);
+        met.counter("mutex.contended").add(res.mutexStats.contended);
+        met.counter("mutex.parked").add(res.mutexStats.parked);
+        met.counter("mutex.woken").add(res.mutexStats.woken);
+        met.counter("mutex.elided_spin_events")
+            .add(res.mutexStats.elidedSpinEvents);
     }
     return res;
 }

@@ -22,6 +22,10 @@ namespace pim::trace {
 class Recorder;
 }
 
+namespace pim::telemetry {
+class Registry;
+}
+
 namespace pim::workloads {
 
 /** Microbenchmark parameters. */
@@ -48,6 +52,10 @@ struct MicrobenchConfig
     sim::DpuConfig dpuCfg{};
     /** Span recorder fed by the measured launch (nullptr = off). */
     trace::Recorder *recorder = nullptr;
+    /** Metrics registry (nullptr = off): queue counters/utilization of
+     *  the measured launch plus "mutex.*" lock and "sim.*" engine
+     *  counters harvested at the end of the run. */
+    telemetry::Registry *metrics = nullptr;
 };
 
 /** Microbenchmark outcome. */

@@ -84,10 +84,10 @@ TEST(Cli, BenchKnobNamesComposeWithExtras)
 {
     EXPECT_EQ(pim::util::benchKnobNames(),
               "dpus,sample,tasklets,threads,json,trace,occupancy,"
-              "fault-seed,mtbf,fault-spec");
+              "metrics,fault-seed,mtbf,fault-spec");
     EXPECT_EQ(pim::util::benchKnobNames("requests,rate"),
               "dpus,sample,tasklets,threads,json,trace,occupancy,"
-              "fault-seed,mtbf,fault-spec,requests,rate");
+              "metrics,fault-seed,mtbf,fault-spec,requests,rate");
 }
 
 TEST(Cli, ParseBenchKnobsReadsSharedFlags)

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Tests for the telemetry subsystem: Histogram bucket arithmetic,
+ * quantile accuracy against a sorted-sample oracle, bit-exact merge
+ * associativity, TimelineSampler binning and epoch rebasing through a
+ * real CommandQueue, SloTracker attainment math, the zero-cost
+ * contract (attaching a registry must not perturb simulated results),
+ * and the PIM_SIM_THREADS snapshot-invariance contract
+ * (snapshotString() is byte-identical for any worker count).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/command_queue.hh"
+#include "core/pim_system.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/slo.hh"
+#include "workloads/graph/update_driver.hh"
+#include "workloads/llm/serving_engine.hh"
+#include "workloads/microbench.hh"
+
+using namespace pim;
+using telemetry::Histogram;
+
+TEST(Histogram, BucketBoundariesAreExact)
+{
+    // Low edges map back to their own bucket; the high edge is the
+    // next bucket's low edge, including across octave boundaries and
+    // for negative octaves (sub-1.0 samples).
+    for (int32_t idx : {-200, -65, -64, -63, -1, 0, 1, 62, 63, 64, 65,
+                        640, 1000}) {
+        const double lo = Histogram::bucketLow(idx);
+        const double hi = Histogram::bucketHigh(idx);
+        ASSERT_LT(lo, hi);
+        EXPECT_EQ(Histogram::bucketIndex(lo), idx) << "idx " << idx;
+        EXPECT_EQ(Histogram::bucketIndex(hi), idx + 1) << "idx " << idx;
+        // Just below the high edge still lands in this bucket.
+        const double below = std::nextafter(hi, 0.0);
+        EXPECT_EQ(Histogram::bucketIndex(below), idx) << "idx " << idx;
+        EXPECT_DOUBLE_EQ(hi, Histogram::bucketLow(idx + 1));
+        const double mid = Histogram::bucketMid(idx);
+        EXPECT_GT(mid, lo);
+        EXPECT_LT(mid, hi);
+    }
+}
+
+TEST(Histogram, EmptyAndSingleSample)
+{
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+    // One sample: every quantile is that exact sample (min == max
+    // clamps the bucket midpoint).
+    h.add(5.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), 5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 5.0);
+    EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, ZeroAndNegativeSamplesUseTheZeroBucket)
+{
+    Histogram h;
+    h.add(0.0);
+    h.add(-3.0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.zeroCount(), 2u);
+    EXPECT_TRUE(h.buckets().empty());
+    EXPECT_DOUBLE_EQ(h.min(), -3.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    // Quantiles of an all-nonpositive histogram report 0 clamped into
+    // [min, max] — here exactly the zero sample.
+    EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+}
+
+namespace {
+
+/** Deterministic LCG so the oracle comparison never flakes. */
+uint64_t
+lcg(uint64_t &s)
+{
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return s >> 33;
+}
+
+std::vector<double>
+syntheticSamples(size_t n)
+{
+    std::vector<double> v;
+    v.reserve(n);
+    uint64_t s = 12345;
+    for (size_t i = 0; i < n; ++i) {
+        // Spread over ~10 octaves around 1e-6..1e-3 (latency-like).
+        const double mant =
+            1.0 + static_cast<double>(lcg(s) % 1000) / 1000.0;
+        const int oct = static_cast<int>(lcg(s) % 10);
+        v.push_back(std::ldexp(mant * 1e-6, oct));
+    }
+    return v;
+}
+
+} // namespace
+
+TEST(Histogram, QuantilesTrackTheSortedSampleOracle)
+{
+    const std::vector<double> samples = syntheticSamples(5000);
+    Histogram h;
+    for (double v : samples)
+        h.add(v);
+
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    for (double q : {0.50, 0.90, 0.95, 0.99}) {
+        const size_t rank = std::max<size_t>(
+            1, static_cast<size_t>(
+                   std::ceil(q * static_cast<double>(sorted.size()))));
+        const double oracle = sorted[rank - 1];
+        const double got = h.quantile(q);
+        // Bucket relative width is 2/kSub ≈ 3.1%; the midpoint is
+        // within ~1.6% of any sample in the bucket.
+        EXPECT_NEAR(got, oracle, 0.02 * oracle) << "q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(h.min(), sorted.front());
+    EXPECT_DOUBLE_EQ(h.max(), sorted.back());
+}
+
+TEST(Histogram, MergeIsBitExactlyAssociativeAndCommutative)
+{
+    const std::vector<double> samples = syntheticSamples(3000);
+    Histogram parts[3];
+    Histogram whole;
+    for (size_t i = 0; i < samples.size(); ++i) {
+        parts[i % 3].add(samples[i]);
+        whole.add(samples[i]);
+    }
+
+    // ((a + b) + c)  vs  (c + (b + a))  vs  single-shot.
+    Histogram left = parts[0];
+    left.merge(parts[1]);
+    left.merge(parts[2]);
+    Histogram right = parts[2];
+    Histogram ba = parts[1];
+    ba.merge(parts[0]);
+    right.merge(ba);
+
+    for (const Histogram *m : {&left, &right}) {
+        EXPECT_EQ(m->count(), whole.count());
+        EXPECT_EQ(m->zeroCount(), whole.zeroCount());
+        EXPECT_EQ(m->buckets(), whole.buckets());
+        // Derived statistics are pure functions of that state, so they
+        // are bit-equal, not just close.
+        EXPECT_EQ(m->min(), whole.min());
+        EXPECT_EQ(m->max(), whole.max());
+        EXPECT_EQ(m->p50(), whole.p50());
+        EXPECT_EQ(m->p99(), whole.p99());
+        EXPECT_EQ(m->mean(), whole.mean());
+    }
+
+    // Merging an empty histogram is the identity.
+    Histogram empty;
+    Histogram copy = whole;
+    copy.merge(empty);
+    EXPECT_EQ(copy.buckets(), whole.buckets());
+    empty.merge(whole);
+    EXPECT_EQ(empty.buckets(), whole.buckets());
+    EXPECT_EQ(empty.min(), whole.min());
+}
+
+TEST(TimelineSampler, UtilizationBinsSplitIntervalsExactly)
+{
+    telemetry::TimelineSampler s(0.1);
+    const int sid = s.series("util:x");
+    s.accumulate(sid, 0.05, 0.25); // 0.5 of bin0, all of bin1, 0.5 of 2
+
+    const auto snap = s.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].name, "util:x");
+    EXPECT_FALSE(snap[0].level);
+    ASSERT_EQ(snap[0].values.size(), 3u);
+    EXPECT_NEAR(snap[0].values[0], 0.5, 1e-12);
+    EXPECT_NEAR(snap[0].values[1], 1.0, 1e-12);
+    EXPECT_NEAR(snap[0].values[2], 0.5, 1e-12);
+}
+
+TEST(TimelineSampler, LevelSeriesPrefixSumsAndPadding)
+{
+    telemetry::TimelineSampler s(0.1);
+    const int depth = s.levelSeries("depth");
+    const int util = s.series("util");
+    s.eventDelta(depth, 0.05, +2);
+    s.eventDelta(depth, 0.32, -1);
+    s.accumulate(util, 0.0, 0.05);
+
+    const auto snap = s.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    // Level series: value is the level at the end of each bin.
+    const auto &d = snap[0];
+    EXPECT_TRUE(d.level);
+    ASSERT_EQ(d.values.size(), 4u);
+    EXPECT_DOUBLE_EQ(d.values[0], 2.0);
+    EXPECT_DOUBLE_EQ(d.values[1], 2.0);
+    EXPECT_DOUBLE_EQ(d.values[2], 2.0);
+    EXPECT_DOUBLE_EQ(d.values[3], 1.0);
+    // The short utilization series is padded to the common length.
+    ASSERT_EQ(snap[1].values.size(), 4u);
+    EXPECT_DOUBLE_EQ(snap[1].values[1], 0.0);
+}
+
+TEST(SloTracker, AttainmentMath)
+{
+    telemetry::SloTracker slo;
+    EXPECT_TRUE(slo.empty());
+
+    // Observations of undeclared metrics are dropped.
+    slo.observe("ghost", 99.0);
+    EXPECT_FALSE(slo.tracks("ghost"));
+
+    slo.declare("lat", 1.0);
+    EXPECT_TRUE(slo.tracks("lat"));
+    EXPECT_DOUBLE_EQ(slo.score("lat").attainmentPct(), 100.0); // no samples
+
+    slo.observe("lat", 0.5); // within
+    slo.observe("lat", 1.0); // on target: not a violation
+    slo.observe("lat", 2.0); // violation, excursion 2x
+    const telemetry::SloScore &sc = slo.score("lat");
+    EXPECT_EQ(sc.samples, 3u);
+    EXPECT_EQ(sc.violations, 1u);
+    EXPECT_DOUBLE_EQ(sc.target, 1.0);
+    EXPECT_NEAR(sc.attainmentPct(), 200.0 / 3.0, 1e-9);
+    EXPECT_DOUBLE_EQ(sc.worstExcursion, 2.0);
+}
+
+namespace {
+
+core::PimSystemConfig
+smallSystem()
+{
+    core::PimSystemConfig cfg;
+    cfg.numDpus = 128; // 2 ranks
+    cfg.sampleDpus = 4;
+    cfg.simThreads = 2;
+    return cfg;
+}
+
+} // namespace
+
+TEST(QueueMetrics, CountersAndSamplerFromTheDrainFold)
+{
+    core::PimSystem sys(smallSystem());
+    core::CommandQueue q(sys);
+    telemetry::Registry met(1e-6); // fine cadence: transfers are short
+    q.attachMetrics(&met);
+    EXPECT_EQ(q.metricsRegistry(), &met);
+
+    const uint64_t bytes = 1 << 16;
+    q.memcpyAsync(sys.all(), bytes, core::CopyDirection::HostToPim);
+    const double makespan1 = q.sync();
+    ASSERT_GT(makespan1, 0.0);
+
+    EXPECT_EQ(met.counter("queue.commands_issued").value(), 1u);
+    EXPECT_EQ(met.counter("queue.commands_resolved").value(), 1u);
+    EXPECT_EQ(met.counter("queue.commands_failed").value(), 0u);
+    EXPECT_EQ(met.counter("queue.bus_bytes").value(),
+              bytes * sys.numDpus());
+
+    // A single copy saturates the bus for the whole makespan; the
+    // binned series conserves busy time exactly.
+    auto busBusy = [&]() {
+        for (const auto &s : met.sampler().snapshot()) {
+            if (s.name != "util:bus")
+                continue;
+            double busy = 0.0;
+            for (double v : s.values)
+                busy += v * met.sampler().cadence();
+            return std::pair{busy, s.values.size()};
+        }
+        return std::pair{0.0, size_t{0}};
+    };
+    const auto [busy1, bins1] = busBusy();
+    EXPECT_NEAR(busy1, makespan1, 1e-9 * makespan1);
+    ASSERT_GT(bins1, 0u);
+
+    // resetTimeline() rebases the epoch: the second copy's samples land
+    // in new bins after the first epoch instead of overwriting it.
+    q.resetTimeline();
+    q.memcpyAsync(sys.all(), bytes, core::CopyDirection::HostToPim);
+    q.sync();
+    const auto [busy2, bins2] = busBusy();
+    EXPECT_NEAR(busy2, 2.0 * makespan1, 1e-9 * makespan1);
+    EXPECT_GE(bins2, bins1 + bins1 / 2);
+
+    EXPECT_EQ(met.counter("queue.commands_issued").value(), 2u);
+    EXPECT_TRUE(met.sampler().has("depth:queue"));
+}
+
+TEST(ZeroCost, AttachingARegistryDoesNotPerturbTheMicrobench)
+{
+    workloads::MicrobenchConfig cfg;
+    cfg.allocator = core::AllocatorKind::PimMallocSw;
+    cfg.tasklets = 16;
+    cfg.allocsPerTasklet = 32;
+    cfg.allocSize = 32;
+
+    const auto plain = workloads::runMicrobench(cfg);
+    telemetry::Registry met;
+    cfg.metrics = &met;
+    const auto metered = workloads::runMicrobench(cfg);
+
+    // The simulated outcome is bit-identical with and without the
+    // registry attached — metrics are observation, never actors.
+    EXPECT_EQ(metered.elapsedCycles, plain.elapsedCycles);
+    EXPECT_EQ(metered.avgLatencyUs, plain.avgLatencyUs);
+    EXPECT_EQ(metered.mutexStats.acquisitions,
+              plain.mutexStats.acquisitions);
+    EXPECT_EQ(met.counter("mutex.acquisitions").value(),
+              plain.mutexStats.acquisitions);
+    EXPECT_GT(met.counter("sim.cycles").value(), 0u);
+}
+
+TEST(ZeroCost, AttachingARegistryDoesNotPerturbTheGraphRun)
+{
+    workloads::graph::GraphUpdateConfig cfg;
+    cfg.numDpus = 128;
+    cfg.sampleDpus = 2;
+    cfg.gen.numNodes = 2000;
+    cfg.gen.numEdges = 10000;
+    cfg.updateRounds = 3;
+    cfg.shipUpdates = true;
+    cfg.simThreads = 2;
+
+    const auto plain = workloads::graph::runGraphUpdate(cfg);
+    telemetry::Registry met;
+    cfg.metrics = &met;
+    cfg.sloRoundSec = 0.5;
+    const auto metered = workloads::graph::runGraphUpdate(cfg);
+
+    EXPECT_EQ(metered.updateSeconds, plain.updateSeconds);
+    EXPECT_EQ(metered.wallSeconds, plain.wallSeconds);
+    EXPECT_EQ(metered.millionEdgesPerSec, plain.millionEdgesPerSec);
+    EXPECT_EQ(met.histogram("graph.round_sec").count(),
+              uint64_t{cfg.updateRounds});
+    EXPECT_EQ(met.slo().score("graph.round").samples,
+              uint64_t{cfg.updateRounds});
+}
+
+namespace {
+
+std::string
+graphSnapshotAtThreads(unsigned threads)
+{
+    workloads::graph::GraphUpdateConfig cfg;
+    cfg.numDpus = 128;
+    cfg.sampleDpus = 2;
+    cfg.gen.numNodes = 2000;
+    cfg.gen.numEdges = 10000;
+    cfg.updateRounds = 3;
+    cfg.shipUpdates = true;
+    cfg.roundIntervalSec = 0.001;
+    cfg.sloRoundSec = 0.5;
+    cfg.simThreads = threads;
+    telemetry::Registry met;
+    cfg.metrics = &met;
+    workloads::graph::runGraphUpdate(cfg);
+    return met.snapshotString();
+}
+
+std::string
+servingSnapshotAtThreads(unsigned threads)
+{
+    workloads::llm::ServingEngineConfig ecfg;
+    ecfg.base.numDpus = 256;
+    ecfg.base.numRequests = 6;
+    ecfg.base.sloTtftSec = 0.5;
+    ecfg.base.sloTpotSec = 0.05;
+    ecfg.mode = workloads::llm::ServingMode::Disaggregated;
+    ecfg.simThreads = threads;
+    telemetry::Registry met;
+    ecfg.base.metrics = &met;
+    const workloads::llm::ServingScheme scheme{
+        core::AllocatorKind::PimMallocHwSw};
+    workloads::llm::ServingEngine(scheme, ecfg).run();
+    return met.snapshotString();
+}
+
+} // namespace
+
+TEST(ThreadInvariance, GraphSnapshotIsByteIdenticalAcrossWorkerCounts)
+{
+    const std::string one = graphSnapshotAtThreads(1);
+    EXPECT_FALSE(one.empty());
+    EXPECT_EQ(graphSnapshotAtThreads(4), one);
+    EXPECT_EQ(graphSnapshotAtThreads(7), one);
+}
+
+TEST(ThreadInvariance, ServingSnapshotIsByteIdenticalAcrossWorkerCounts)
+{
+    const std::string one = servingSnapshotAtThreads(1);
+    EXPECT_FALSE(one.empty());
+    EXPECT_EQ(servingSnapshotAtThreads(4), one);
+    EXPECT_EQ(servingSnapshotAtThreads(7), one);
+}
