@@ -14,6 +14,7 @@ run without --metrics (no `metrics` member) only get the validity check.
 """
 
 import json
+import math
 import sys
 
 REGISTRY_KEYS = ("counters", "gauges", "histograms", "timeline", "slo")
@@ -64,6 +65,12 @@ def check_registry(path, cfg, reg):
             fail(path, f"slo {name!r} has more violations than samples")
         if not 0.0 <= s["attainment_pct"] <= 100.0:
             fail(path, f"slo {name!r} attainment out of [0, 100]")
+    # Optional: host-wall gauges (real elapsed-time measurements such
+    # as queue.drain.phase1_sec). Run-varying by nature, but each value
+    # must be a finite non-negative number.
+    for name, v in reg.get("host_wall", {}).items():
+        if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+            fail(path, f"host_wall gauge {name!r} not finite >= 0: {v!r}")
 
 
 def check_file(path):

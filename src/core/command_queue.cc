@@ -1,6 +1,9 @@
 #include "core/command_queue.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "fault/injector.hh"
@@ -10,9 +13,77 @@
 
 namespace pim::core {
 
-CommandQueue::CommandQueue(PimSystem &sys)
-    : sys_(sys), rankT_(sys.numRanks(), 0.0)
+namespace {
+
+/** -1 = unset; otherwise a latched CommandQueue::DrainMode. Atomic for
+ *  the same reason as the SimMutex default: first use can race. */
+std::atomic<int> g_default_drain_mode{-1};
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
 {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+CommandQueue::DrainMode
+CommandQueue::drainModeFromEnv(const char *value)
+{
+    if (value == nullptr || *value == '\0'
+        || std::strcmp(value, "barrier") == 0)
+        return DrainMode::Barrier;
+    if (std::strcmp(value, "pipelined") == 0)
+        return DrainMode::Pipelined;
+    PIM_FATAL("unrecognized PIM_SIM_DRAIN value \"", value,
+              "\" (expected \"barrier\" or \"pipelined\")");
+}
+
+CommandQueue::DrainMode
+CommandQueue::defaultDrainMode()
+{
+    int m = g_default_drain_mode.load(std::memory_order_relaxed);
+    if (m < 0) {
+        // Benign race: concurrent first calls parse the same value.
+        m = static_cast<int>(
+            drainModeFromEnv(std::getenv("PIM_SIM_DRAIN")));
+        g_default_drain_mode.store(m, std::memory_order_relaxed);
+    }
+    return static_cast<DrainMode>(m);
+}
+
+void
+CommandQueue::setDefaultDrainMode(DrainMode mode)
+{
+    g_default_drain_mode.store(static_cast<int>(mode),
+                               std::memory_order_relaxed);
+}
+
+void
+CommandQueue::resetDefaultDrainModeForTesting()
+{
+    g_default_drain_mode.store(-1, std::memory_order_relaxed);
+}
+
+const char *
+CommandQueue::drainModeName(DrainMode mode)
+{
+    return mode == DrainMode::Barrier ? "barrier" : "pipelined";
+}
+
+CommandQueue::CommandQueue(PimSystem &sys)
+    : sys_(sys), rankT_(sys.numRanks(), 0.0),
+      drainMode_(defaultDrainMode())
+{
+}
+
+void
+CommandQueue::setDrainMode(DrainMode mode)
+{
+    drain();
+    drainMode_ = mode;
 }
 
 TenantId
@@ -53,6 +124,9 @@ CommandQueue::attachMetrics(telemetry::Registry *met)
     qm_.busBytes = &met_->counter("queue.bus_bytes");
     qm_.retries = &met_->counter("queue.transfer_retries");
     qm_.simEvents = &met_->counter("queue.sim_events");
+    qm_.drainPhase1 = &met_->hostGauge("queue.drain.phase1_sec");
+    qm_.drainPhase2 = &met_->hostGauge("queue.drain.phase2_sec");
+    qm_.drainCps = &met_->hostGauge("queue.drain.commands_per_sec");
     telemetry::TimelineSampler &smp = met_->sampler();
     busSid_ = smp.series("util:bus");
     depthSid_ = smp.levelSeries("depth:queue");
@@ -218,7 +292,7 @@ CommandQueue::makeCopy(const DpuSet &set, uint64_t total_bytes,
     cmd.totalBytes = total_bytes;
     cmd.copySeconds = copyDuration(set, total_bytes);
     cmd.blocking = blocking;
-    cmd.ranks = set.ranks();
+    cmd.part = set.partition();
     return cmd;
 }
 
@@ -323,10 +397,8 @@ CommandQueue::launch(const DpuSet &set, unsigned tasklets,
 }
 
 Event
-CommandQueue::launchProgram(
-    const DpuSet &set,
-    std::function<void(sim::Dpu &, unsigned)> program,
-    const CommandOptions &opts)
+CommandQueue::launchProgram(const DpuSet &set, LaunchFn program,
+                            const CommandOptions &opts)
 {
     // A launch with no materialized member would silently run nothing
     // and cost nothing — an experiment bug, not a zero-work launch
@@ -340,11 +412,14 @@ CommandQueue::launchProgram(
     if (rec_ != nullptr)
         cmd.label = opts.label;
     cmd.program = std::move(program);
-    cmd.ranks = set.ranks();
-    cmd.slots = set.slots();
-    cmd.slotCycles.assign(cmd.slots.size(), 0);
-    if (met_ != nullptr)
-        cmd.slotEvents.assign(cmd.slots.size(), 0);
+    cmd.part = set.partition();
+    const size_t nslots = cmd.part->slots.size();
+    cmd.cyclesOff = slotCyclesArena_.size();
+    slotCyclesArena_.resize(cmd.cyclesOff + nslots, 0);
+    if (met_ != nullptr) {
+        cmd.eventsOff = slotEventsArena_.size();
+        slotEventsArena_.resize(cmd.eventsOff + nslots, 0);
+    }
     return enqueue(std::move(cmd));
 }
 
@@ -360,7 +435,7 @@ CommandQueue::launchTimed(const DpuSet &set, double seconds,
     if (rec_ != nullptr)
         cmd.label = opts.label;
     cmd.launchSeconds = seconds;
-    cmd.ranks = set.ranks();
+    cmd.part = set.partition();
     return enqueue(std::move(cmd));
 }
 
@@ -443,39 +518,96 @@ CommandQueue::drain()
                "completion callbacks may enqueue commands but must not "
                "force a drain (no sync/eventSeconds/blocking transfers)");
 
+    const Clock::time_point t_start = Clock::now();
+    const size_t folded = pending_.size();
+
     // Phase 1: execute launch bodies. Each materialized slot runs its
     // launches in enqueue order (one ordered chain per slot), and the
     // chains shard across the host pool — a slot's state is only ever
     // touched by one worker, so per-DPU closures need no locking.
-    std::vector<std::vector<Command *>> chains(sys_.sampleCount());
+    // chains_/activeSlots_ are scratch reused across drains: only the
+    // slots the *previous* drain touched are cleared, so the build is
+    // O(commands' slots), not O(sampleCount).
+    if (chains_.size() < sys_.sampleCount())
+        chains_.resize(sys_.sampleCount());
+    for (const unsigned slot : activeSlots_)
+        chains_[slot].clear();
+    activeSlots_.clear();
+    size_t launch_cmds = 0;
     for (Command &cmd : pending_) {
-        if (cmd.type != Command::Type::Launch)
+        // Timed launches carry no program: nothing to execute here.
+        if (cmd.type != Command::Type::Launch || !cmd.program)
             continue;
-        for (const unsigned slot : cmd.slots)
-            chains[slot].push_back(&cmd);
+        ++launch_cmds;
+        const std::vector<unsigned> &slots = cmd.part->slots;
+        for (unsigned pos = 0;
+             pos < static_cast<unsigned>(slots.size()); ++pos) {
+            const unsigned slot = slots[pos];
+            if (chains_[slot].empty())
+                activeSlots_.push_back(slot);
+            chains_[slot].push_back(ChainEntry{&cmd, pos});
+        }
     }
-    std::vector<unsigned> active;
-    for (unsigned slot = 0; slot < chains.size(); ++slot) {
-        if (!chains[slot].empty())
-            active.push_back(slot);
+    std::sort(activeSlots_.begin(), activeSlots_.end());
+
+    // Pipelined mode: per-command ready counters let the fold start
+    // before every chain finished. Falls back to the barrier when the
+    // engine cannot dispatch (no pool, or a nested drain inside a pool
+    // worker) — the fold below then needs no counters at all.
+    const bool pipelined = drainMode_ == DrainMode::Pipelined
+        && launch_cmds > 0
+        && sys_.engine().canDispatch(activeSlots_.size());
+    if (pipelined) {
+        if (remainingCap_ < pending_.size()) {
+            remaining_ = std::make_unique<std::atomic<uint32_t>[]>(
+                pending_.size());
+            remainingCap_ = pending_.size();
+        }
+        for (size_t k = 0; k < pending_.size(); ++k) {
+            const Command &cmd = pending_[k];
+            const uint32_t n =
+                cmd.type == Command::Type::Launch && cmd.program
+                    ? static_cast<uint32_t>(cmd.part->slots.size())
+                    : 0;
+            remaining_[k].store(n, std::memory_order_relaxed);
+        }
     }
-    sys_.engine().forEach(active.size(), [&](size_t i) {
-        const unsigned slot = active[i];
+    // Named (not a temporary): under dispatch() the engine keeps a
+    // pointer to this function until waitDispatch() below.
+    const std::function<void(size_t)> chainFn = [&](size_t i) {
+        const unsigned slot = activeSlots_[i];
         const unsigned global = sys_.globalIndex(slot);
         sim::Dpu &dpu = sys_.dpu(slot);
-        for (Command *cmd : chains[slot]) {
-            cmd->program(dpu, global);
-            const size_t pos = static_cast<size_t>(
-                std::lower_bound(cmd->slots.begin(), cmd->slots.end(),
-                                 slot)
-                - cmd->slots.begin());
-            cmd->slotCycles[pos] = dpu.lastElapsedCycles();
+        for (const ChainEntry &e : chains_[slot]) {
+            e.cmd->program(dpu, global);
+            slotCyclesArena_[e.cmd->cyclesOff + e.pos] =
+                dpu.lastElapsedCycles();
             // Only sized while metrics are attached; each (cmd, pos)
             // is written by exactly one worker, so no synchronization.
-            if (!cmd->slotEvents.empty())
-                cmd->slotEvents[pos] = dpu.lastSimEvents();
+            if (e.cmd->eventsOff != kNoArena)
+                slotEventsArena_[e.cmd->eventsOff + e.pos] =
+                    dpu.lastSimEvents();
+            if (pipelined) {
+                const size_t k =
+                    static_cast<size_t>(e.cmd - pending_.data());
+                if (remaining_[k].fetch_sub(
+                        1, std::memory_order_acq_rel) == 1) {
+                    // Empty critical section before notifying: the
+                    // fold cannot then miss the wakeup between its
+                    // predicate check and its wait.
+                    { std::lock_guard<std::mutex> g(drainMutex_); }
+                    drainCv_.notify_one();
+                }
+            }
         }
-    });
+    };
+    Clock::time_point t_phase1_end = t_start;
+    if (pipelined) {
+        sys_.engine().dispatch(activeSlots_.size(), chainFn);
+    } else {
+        sys_.engine().forEach(activeSlots_.size(), chainFn);
+        t_phase1_end = Clock::now();
+    }
 
     // Phase 2: fold the commands into the timelines, sequentially and
     // in enqueue order — bit-identical for any worker-thread count.
@@ -522,7 +654,36 @@ CommandQueue::drain()
         met_->sampler().eventDelta(depthSid_, traceEpoch_ + t0, +1);
         met_->sampler().eventDelta(depthSid_, traceEpoch_ + t1, -1);
     };
-    for (Command &cmd : pending_) {
+    const Clock::time_point t_fold_start = Clock::now();
+    for (size_t cmd_idx = 0; cmd_idx < pending_.size(); ++cmd_idx) {
+        Command &cmd = pending_[cmd_idx];
+        if (pipelined
+            && remaining_[cmd_idx].load(std::memory_order_acquire)
+                   != 0) {
+            // Block until every chain entry of this command ran (the
+            // acquire-load pairs with the workers' release-decrements,
+            // publishing the arena spans). The timeout exists only to
+            // notice a worker that died mid-chain: its job drains
+            // without running the remaining entries, so the counter
+            // would never reach zero — join the pool instead, which
+            // rethrows the worker's exception.
+            std::unique_lock<std::mutex> lk(drainMutex_);
+            while (!drainCv_.wait_for(
+                lk, std::chrono::milliseconds(50), [&]() {
+                    return remaining_[cmd_idx].load(
+                               std::memory_order_acquire) == 0;
+                })) {
+                if (sys_.engine().dispatchDone()
+                    && remaining_[cmd_idx].load(
+                           std::memory_order_acquire) != 0) {
+                    lk.unlock();
+                    sys_.engine().waitDispatch();
+                    PIM_PANIC("pipelined drain: launch chains finished "
+                              "without error but command ", cmd_idx,
+                              " never became ready");
+                }
+            }
+        }
         const Event id = static_cast<Event>(
             resolvedBase_ + resolved_.size());
         const double dep =
@@ -570,9 +731,13 @@ CommandQueue::drain()
             // Timed launches (launchSeconds >= 0) ran no program: every
             // rank is charged the analytic duration instead.
             const bool timed = cmd.launchSeconds >= 0.0;
+            const SlotPartition &part = *cmd.part;
             uint64_t all_max = 0;
-            for (const uint64_t c : cmd.slotCycles)
-                all_max = std::max(all_max, c);
+            if (!timed) {
+                for (size_t j = 0; j < part.slots.size(); ++j)
+                    all_max = std::max(
+                        all_max, slotCyclesArena_[cmd.cyclesOff + j]);
+            }
             double launch_end = host_t;
             double launch_work = 0.0;
             // Fault decisions for this launch, made here in the
@@ -580,25 +745,31 @@ CommandQueue::drain()
             const double timeout =
                 inj_ != nullptr ? inj_->launchTimeoutSec() : 0.0;
             const int hang_rank = inj_ != nullptr
-                ? inj_->consumeHang(cmd.ranks, host_t) : -1;
+                ? inj_->consumeHang(part.ranks, host_t) : -1;
             if (hang_rank >= 0 && timeout <= 0.0)
                 PIM_FATAL("launch hang injected on rank ", hang_rank,
                           " but no launch timeout is configured: a hung "
                           "launch would stall the simulated timeline "
                           "forever (set FaultSpec::launchTimeoutSec)");
-            for (const unsigned r : cmd.ranks) {
-                uint64_t rank_max = 0;
-                bool rank_sampled = false;
-                for (size_t i = 0; i < cmd.slots.size(); ++i) {
-                    if (sys_.rankOf(sys_.globalIndex(cmd.slots[i]))
-                        == r) {
-                        rank_sampled = true;
-                        rank_max = std::max(rank_max,
-                                            cmd.slotCycles[i]);
+            for (size_t ri = 0; ri < part.ranks.size(); ++ri) {
+                const unsigned r = part.ranks[ri];
+                // The partition's slots are grouped by rank, so this
+                // rank's sampled members are one contiguous run — the
+                // scan is O(slots of the launch) overall, not
+                // O(ranks x slots).
+                uint64_t cycles = 0;
+                if (!timed) {
+                    const size_t jb = part.rankSlotBegin[ri];
+                    const size_t je = part.rankSlotBegin[ri + 1];
+                    if (je > jb) {
+                        for (size_t j = jb; j < je; ++j)
+                            cycles = std::max(
+                                cycles,
+                                slotCyclesArena_[cmd.cyclesOff + j]);
+                    } else {
+                        cycles = all_max;
                     }
                 }
-                const uint64_t cycles =
-                    rank_sampled ? rank_max : all_max;
                 double dur = timed
                     ? cmd.launchSeconds
                     : sys_.config().dpuCfg.cyclesToSeconds(cycles);
@@ -672,8 +843,10 @@ CommandQueue::drain()
                         host_t);
                 metInFlight(issue_t0, cmd.end);
                 uint64_t ev = 0;
-                for (const uint64_t e : cmd.slotEvents)
-                    ev += e;
+                if (cmd.eventsOff != kNoArena) {
+                    for (size_t j = 0; j < part.slots.size(); ++j)
+                        ev += slotEventsArena_[cmd.eventsOff + j];
+                }
                 qm_.simEvents->add(ev);
             }
             break;
@@ -686,13 +859,13 @@ CommandQueue::drain()
             // ranks neither delay it nor stall on it.
             double start = std::max({host_t, busT_, dep});
             if (cmd.occupyRanks) {
-                for (const unsigned r : cmd.ranks)
+                for (const unsigned r : cmd.part->ranks)
                     start = std::max(start, rankT_[r]);
             }
             double copy_sec = cmd.copySeconds;
             if (inj_ != nullptr) {
                 bool dead_target = false;
-                for (const unsigned r : cmd.ranks) {
+                for (const unsigned r : cmd.part->ranks) {
                     if (inj_->rankFailedBy(r, start)) {
                         dead_target = true;
                         traceRankDeath(r, inj_->rankFailSeconds(r));
@@ -720,7 +893,7 @@ CommandQueue::drain()
             const double end = start + copy_sec;
             busT_ = end;
             if (cmd.occupyRanks && !failed) {
-                for (const unsigned r : cmd.ranks)
+                for (const unsigned r : cmd.part->ranks)
                     rankT_[r] = end;
             }
             if (cmd.blocking)
@@ -734,7 +907,7 @@ CommandQueue::drain()
             if (met_ != nullptr) {
                 metUtil(busSid_, start, end);
                 if (cmd.occupyRanks && !failed) {
-                    for (const unsigned r : cmd.ranks)
+                    for (const unsigned r : cmd.part->ranks)
                         metRankBusy(cmd, start, end, r);
                 }
                 if (!failed) {
@@ -754,7 +927,7 @@ CommandQueue::drain()
                     name += " !fault";
                 span(trace::kBusLane, name, start, end, cmd, id);
                 if (cmd.occupyRanks && !failed) {
-                    for (const unsigned r : cmd.ranks)
+                    for (const unsigned r : cmd.part->ranks)
                         span(trace::rankLane(r), name, start, end, cmd,
                              id);
                 }
@@ -806,7 +979,35 @@ CommandQueue::drain()
         resolved_.push_back(cmd.end);
         resolvedFailed_.push_back(failed ? 1 : 0);
     }
+    const Clock::time_point t_fold_end = Clock::now();
+    if (pipelined) {
+        // The fold consumed every launch, so the chains are done; the
+        // join is immediate and only releases the dispatch slot (and
+        // rethrows a worker exception raised after the last wait).
+        sys_.engine().waitDispatch();
+        t_phase1_end = Clock::now();
+    }
+    stats_.drains += 1;
+    stats_.commands += folded;
+    stats_.phase1Sec +=
+        std::chrono::duration<double>(t_phase1_end - t_start).count();
+    stats_.phase2Sec +=
+        std::chrono::duration<double>(t_fold_end - t_fold_start)
+            .count();
+    stats_.wallSec += secondsSince(t_start);
+    if (met_ != nullptr) {
+        qm_.drainPhase1->set(stats_.phase1Sec);
+        qm_.drainPhase2->set(stats_.phase2Sec);
+        if (stats_.wallSec > 0.0)
+            qm_.drainCps->set(static_cast<double>(stats_.commands)
+                              / stats_.wallSec);
+    }
+    // Clear the commands AND the arenas before dispatching callbacks:
+    // follow-up launches enqueued by a callback must get fresh arena
+    // offsets, not append after this drain's spans.
     pending_.clear();
+    slotCyclesArena_.clear();
+    slotEventsArena_.clear();
 
     // Phase 3: dispatch due completion callbacks. Every registered
     // callback targeted a pending event, and the fold above resolved
@@ -920,6 +1121,7 @@ CommandQueue::resetTimeline()
     launchWork_ = 0.0;
     copyWork_ = 0.0;
     hostWork_ = 0.0;
+    stats_ = DrainStats{};
 }
 
 } // namespace pim::core

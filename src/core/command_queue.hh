@@ -85,12 +85,17 @@
 #ifndef PIM_CORE_COMMAND_QUEUE_HH
 #define PIM_CORE_COMMAND_QUEUE_HH
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/pim_system.hh"
+#include "util/small_function.hh"
 
 namespace pim::trace {
 class Recorder;
@@ -102,6 +107,7 @@ class FaultInjector;
 
 namespace pim::telemetry {
 class Counter;
+class Gauge;
 class Registry;
 }
 
@@ -151,11 +157,88 @@ struct CommandOptions
     TenantId tenant = kDefaultTenant;
 };
 
+/**
+ * A launch-body callable. SmallFunction with 64 bytes of inline
+ * storage: the composed closure launch() builds (a tasklet count plus a
+ * moved std::function body) fits without the per-enqueue heap
+ * allocation std::function's 16-byte buffer would force; larger
+ * closures still work via the heap fallback.
+ */
+using LaunchFn = util::SmallFunction<void(sim::Dpu &, unsigned), 64>;
+
 /** The co-processor command queue of one PimSystem. */
 class CommandQueue
 {
   public:
+    /**
+     * Drain scheduling mode (the PIM_SIM_DRAIN knob). Both modes
+     * produce bit-identical results — the timeline fold is strictly
+     * sequential in enqueue order either way; the mode only decides
+     * whether the fold waits for *all* launch chains before starting.
+     */
+    enum class DrainMode {
+        /** Classic two-phase drain: phase 2 starts after every launch
+         *  chain finished (one pool barrier per drain). */
+        Barrier,
+        /** The fold consumes commands in enqueue order as their slot
+         *  results become ready (per-command atomic remaining-slot
+         *  counters), overlapping DPU simulation with timeline
+         *  folding. Falls back to Barrier when the engine has no pool
+         *  to overlap with (PIM_SIM_THREADS=1 or a nested drain). */
+        Pipelined,
+    };
+
+    /**
+     * Parse a PIM_SIM_DRAIN value: unset / "" / "barrier" -> Barrier,
+     * "pipelined" -> Pipelined; anything else is a fatal config error.
+     */
+    static DrainMode drainModeFromEnv(const char *value);
+
+    /** Process-wide default mode: latched from PIM_SIM_DRAIN on first
+     *  use (or set programmatically); new queues start from it. */
+    static DrainMode defaultDrainMode();
+
+    /** Override the process-wide default (tests, benches). */
+    static void setDefaultDrainMode(DrainMode mode);
+
+    /** Forget the latched default so the next defaultDrainMode() call
+     *  re-reads PIM_SIM_DRAIN (testing only). */
+    static void resetDefaultDrainModeForTesting();
+
+    /** Display name of @p mode ("barrier" / "pipelined"). */
+    static const char *drainModeName(DrainMode mode);
+
+    /**
+     * Cumulative host-wall cost of this queue's drains — the real time
+     * the simulator spent orchestrating, as opposed to the simulated
+     * time the fold computes. phase1Sec spans launch-body execution
+     * (dispatch to pool join), phase2Sec the sequential fold; under
+     * Pipelined the two windows overlap, so they can sum to more than
+     * wallSec. Zeroed by resetTimeline() alongside the work counters.
+     */
+    struct DrainStats
+    {
+        /** Drains that resolved at least one command. */
+        uint64_t drains = 0;
+        /** Commands resolved across those drains. */
+        uint64_t commands = 0;
+        double phase1Sec = 0.0;
+        double phase2Sec = 0.0;
+        double wallSec = 0.0;
+    };
+
     explicit CommandQueue(PimSystem &sys);
+
+    /** This queue's drain mode (latched from defaultDrainMode() at
+     *  construction; see setDrainMode). */
+    DrainMode drainMode() const { return drainMode_; }
+
+    /** Switch the drain mode; pending commands drain under the old
+     *  mode first (results are identical either way). */
+    void setDrainMode(DrainMode mode);
+
+    /** Host-wall drain cost accumulated so far (see DrainStats). */
+    const DrainStats &drainStats() const { return stats_; }
 
     /**
      * Register a tenant: an independent host issue timeline named
@@ -246,8 +329,7 @@ class CommandQueue
      * final Dpu::lastElapsedCycles() — phases before the last run are
      * setup and not charged. @return completion event.
      */
-    Event launchProgram(const DpuSet &set,
-                        std::function<void(sim::Dpu &, unsigned)> program,
+    Event launchProgram(const DpuSet &set, LaunchFn program,
                         const CommandOptions &opts = {});
 
     /**
@@ -532,6 +614,9 @@ class CommandQueue
     telemetry::Registry *metricsRegistry() const { return met_; }
 
   private:
+    /** "Not in an arena" sentinel for Command offsets below. */
+    static constexpr size_t kNoArena = ~static_cast<size_t>(0);
+
     struct Command
     {
         enum class Type { Launch, Copy, HostCompute };
@@ -547,7 +632,7 @@ class CommandQueue
         CopyDirection dir = CopyDirection::HostToPim;
 
         // Launch
-        std::function<void(sim::Dpu &, unsigned)> program;
+        LaunchFn program;
         /** >= 0: analytic launch duration (launchTimed); no program. */
         double launchSeconds = -1.0;
         // Copy
@@ -562,18 +647,33 @@ class CommandQueue
         /** >= 0: idle the host until this absolute time instead. */
         double hostUntil = -1.0;
 
-        // Target (Launch / Copy).
-        std::vector<unsigned> ranks;
-        std::vector<unsigned> slots;
-        /** Per-slot makespan of a launch, filled at drain. */
-        std::vector<uint64_t> slotCycles;
-        /** Per-slot simulation-event counts; sized (alongside
-         *  slotCycles) only while a metrics registry is attached, so
-         *  the non-empty check in phase 1 needs no met_ read. */
-        std::vector<uint64_t> slotEvents;
+        /** Target ranks/slots of a Launch or Copy: the memoized
+         *  slot→rank partition of the addressed DpuSet, borrowed by
+         *  shared_ptr — commands on the same set (every full-system
+         *  command in particular) share one instance instead of each
+         *  copying rank and slot vectors. */
+        std::shared_ptr<const SlotPartition> part;
+        /** Per-slot launch makespans live in the queue's drain arena
+         *  at [cyclesOff, cyclesOff + part->slots.size()); filled in
+         *  phase 1 (Launch with a program only). */
+        size_t cyclesOff = 0;
+        /** Per-slot simulation-event counts in the events arena;
+         *  kNoArena unless a metrics registry was attached at enqueue,
+         *  so the phase-1 check needs no met_ read. */
+        size_t eventsOff = kNoArena;
 
         /** Completion time, filled at drain. */
         double end = 0.0;
+    };
+
+    /** One (command, slot-position) link of a per-slot phase-1 chain:
+     *  the position of the slot inside cmd->part->slots is recorded at
+     *  chain build, so workers index the arenas directly instead of
+     *  re-deriving it by binary search per (command, slot). */
+    struct ChainEntry
+    {
+        Command *cmd;
+        unsigned pos;
     };
 
     Event enqueue(Command cmd);
@@ -675,6 +775,11 @@ class CommandQueue
         telemetry::Counter *busBytes = nullptr;
         telemetry::Counter *retries = nullptr;
         telemetry::Counter *simEvents = nullptr;
+        /** Host-wall drain gauges (Registry::hostGauge — exported but
+         *  excluded from the deterministic snapshot). */
+        telemetry::Gauge *drainPhase1 = nullptr;
+        telemetry::Gauge *drainPhase2 = nullptr;
+        telemetry::Gauge *drainCps = nullptr;
     };
 
     /** Extend tenantMet_ to cover every registered tenant. */
@@ -698,6 +803,40 @@ class CommandQueue
     /** Trace-time origin of the current timeline epoch: resetTimeline
      *  advances it so post-reset spans never overlap pre-reset ones. */
     double traceEpoch_ = 0.0;
+
+    // ------------------------------------------------------------------
+    // Drain machinery. Everything below is scratch reused across
+    // drains (capacity survives clear()) so a steady stream of small
+    // drains allocates nothing.
+    // ------------------------------------------------------------------
+
+    /** This queue's drain scheduling mode. */
+    DrainMode drainMode_;
+    /** Cumulative host-wall drain cost (see drainStats()). */
+    DrainStats stats_;
+    /** Per-slot ordered launch chains, indexed by sample slot; only
+     *  the slots in activeSlots_ are populated (and cleared at the
+     *  next drain), so a drain touches O(active) chain vectors, not
+     *  O(sampleCount). */
+    std::vector<std::vector<ChainEntry>> chains_;
+    /** Sample slots with a non-empty chain this drain, ascending. */
+    std::vector<unsigned> activeSlots_;
+    /** Per-slot launch makespans of the current drain: one span per
+     *  launch command (see Command::cyclesOff), written by phase-1
+     *  workers at disjoint offsets, read by the fold. */
+    std::vector<uint64_t> slotCyclesArena_;
+    /** Per-slot simulation-event counts (metrics attached only). */
+    std::vector<uint64_t> slotEventsArena_;
+    /** Pipelined mode: per-command count of slots whose chain entry
+     *  has not executed yet, indexed by position in pending_. A
+     *  worker's release-decrement to zero publishes the command's
+     *  arena spans; the fold's acquire-load pairs with it. Separately
+     *  allocated (atomics are not movable) and reused across drains. */
+    std::unique_ptr<std::atomic<uint32_t>[]> remaining_;
+    size_t remainingCap_ = 0;
+    /** Wakes the fold when the next unready command's count hits 0. */
+    std::mutex drainMutex_;
+    std::condition_variable drainCv_;
 };
 
 } // namespace pim::core

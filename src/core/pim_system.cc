@@ -78,6 +78,62 @@ DpuSet::DpuSet(const PimSystem *sys, Kind kind, unsigned rank,
     }
 }
 
+namespace {
+
+/** Group @p slots into contiguous per-rank runs over @p ranks. Both
+ *  lists are ascending and every slot's rank is a member of ranks, so
+ *  one merge-style walk builds the run offsets. */
+std::shared_ptr<const SlotPartition>
+buildSlotPartition(const PimSystem &sys, std::vector<unsigned> ranks,
+                   std::vector<unsigned> slots)
+{
+    auto part = std::make_shared<SlotPartition>();
+    part->ranks = std::move(ranks);
+    part->slots = std::move(slots);
+    part->rankSlotBegin.reserve(part->ranks.size() + 1);
+    size_t j = 0;
+    for (const unsigned r : part->ranks) {
+        part->rankSlotBegin.push_back(static_cast<unsigned>(j));
+        while (j < part->slots.size()
+               && sys.rankOf(sys.globalIndex(part->slots[j])) == r)
+            ++j;
+    }
+    part->rankSlotBegin.push_back(static_cast<unsigned>(j));
+    PIM_ASSERT(j == part->slots.size(),
+               "slot outside the set's rank list (DpuSet invariant "
+               "violated)");
+    return part;
+}
+
+} // namespace
+
+const std::shared_ptr<const SlotPartition> &
+DpuSet::partition() const
+{
+    if (part_ == nullptr) {
+        part_ = kind_ == Kind::All
+            ? sys_->allPartition()
+            : buildSlotPartition(*sys_, ranks_, slots_);
+    }
+    return part_;
+}
+
+const std::shared_ptr<const SlotPartition> &
+PimSystem::allPartition() const
+{
+    if (allPart_ == nullptr) {
+        std::vector<unsigned> ranks(numRanks_);
+        for (unsigned r = 0; r < numRanks_; ++r)
+            ranks[r] = r;
+        std::vector<unsigned> slots(sampleCount());
+        for (unsigned s = 0; s < sampleCount(); ++s)
+            slots[s] = s;
+        allPart_ =
+            buildSlotPartition(*this, std::move(ranks), std::move(slots));
+    }
+    return allPart_;
+}
+
 DpuSet
 DpuSet::complement() const
 {

@@ -78,6 +78,26 @@ unsigned sampleGlobalIndex(unsigned slot, unsigned sample,
 
 class PimSystem;
 
+/**
+ * Slot→rank partition of a DpuSet, memoized per set and shared (by
+ * shared_ptr) with every command enqueued against it. Slots are sorted
+ * ascending and globalIndex() is strictly increasing with rankOf()
+ * monotone, so a set's sample slots group into one contiguous run per
+ * touched rank: the run of ranks[i] is slots[rankSlotBegin[i] ..
+ * rankSlotBegin[i+1]) (empty for a touched rank with no materialized
+ * member). The command queue's timeline fold walks the runs in one
+ * O(slots + ranks) pass instead of rescanning every slot per rank.
+ */
+struct SlotPartition
+{
+    /** Rank ids the set touches, ascending (== DpuSet::ranks()). */
+    std::vector<unsigned> ranks;
+    /** Materialized sample slots, ascending (== DpuSet::slots()). */
+    std::vector<unsigned> slots;
+    /** Run offsets into slots, one per rank plus the end sentinel. */
+    std::vector<unsigned> rankSlotBegin;
+};
+
 /** A selection of DPUs a command is addressed to. */
 class DpuSet
 {
@@ -118,6 +138,15 @@ class DpuSet
     /** Materialized sample slots belonging to the set, ascending. */
     const std::vector<unsigned> &slots() const { return slots_; }
 
+    /**
+     * The set's slot→rank partition, built on first use and memoized
+     * (copies of the set share the memo). The canonical full-system set
+     * returns the PimSystem's one cached instance, so every full-set
+     * command of a run borrows the same partition instead of copying
+     * rank/slot vectors.
+     */
+    const std::shared_ptr<const SlotPartition> &partition() const;
+
     /** Owning system. */
     const PimSystem &system() const { return *sys_; }
 
@@ -149,6 +178,9 @@ class DpuSet
     unsigned size_ = 0;
     std::vector<unsigned> ranks_;
     std::vector<unsigned> slots_;
+    /** Lazily built partition (see partition()); mutable because the
+     *  memo does not change the set's observable membership. */
+    mutable std::shared_ptr<const SlotPartition> part_;
 };
 
 /** The DPU set a command queue executes against. */
@@ -215,6 +247,13 @@ class PimSystem
      */
     std::pair<DpuSet, DpuSet> partitionRanks(double fraction) const;
 
+    /**
+     * The cached slot→rank partition of the full system — the one
+     * instance every all()-set command shares (see DpuSet::partition).
+     * Built lazily on first use.
+     */
+    const std::shared_ptr<const SlotPartition> &allPartition() const;
+
     /** Shared host thread pool commands execute on. */
     const ParallelDpuEngine &engine() const { return engine_; }
 
@@ -231,6 +270,8 @@ class PimSystem
     sim::TransferModel xfer_;
     ParallelDpuEngine engine_;
     std::vector<std::unique_ptr<sim::Dpu>> dpus_;
+    /** Lazily built full-system partition (see allPartition()). */
+    mutable std::shared_ptr<const SlotPartition> allPart_;
 };
 
 } // namespace pim::core

@@ -80,6 +80,15 @@ Registry::writeJson(util::JsonWriter &j) const
         j.endObject();
     }
     j.endObject();
+    // Host-wall measurements last: real-time values (drain phase walls,
+    // commands/s) that vary run to run — not part of the deterministic
+    // registry shape above, and absent from snapshotString().
+    if (!hostGauges_.empty()) {
+        j.key("host_wall").beginObject();
+        for (const auto &[name, g] : hostGauges_)
+            j.key(name).value(g.value());
+        j.endObject();
+    }
     j.endObject();
 }
 
@@ -93,6 +102,13 @@ Registry::tables(const std::string &title) const
         for (const auto &[name, c] : counters_)
             t.addRow({name, util::Table::num(c.value())});
         for (const auto &[name, g] : gauges_)
+            t.addRow({name, util::Table::num(g.value(), 3)});
+        out.push_back(std::move(t));
+    }
+    if (!hostGauges_.empty()) {
+        util::Table t("Host-wall metrics: " + title);
+        t.setHeader({"Metric", "Value"});
+        for (const auto &[name, g] : hostGauges_)
             t.addRow({name, util::Table::num(g.value(), 3)});
         out.push_back(std::move(t));
     }

@@ -48,6 +48,21 @@ class Registry
     Gauge &gauge(const std::string &name) { return gauges_[name]; }
     Histogram &histogram(const std::string &name) { return hists_[name]; }
 
+    /**
+     * Get-or-create a *host-wall* gauge: a measurement of real host
+     * time (drain phase walls, commands/s), which varies run to run and
+     * across PIM_SIM_THREADS by nature. Host-wall gauges are exported
+     * by writeJson() (under "host_wall") and tables(), but deliberately
+     * EXCLUDED from snapshotString() — the snapshot is the simulated-
+     * time determinism contract, and a wall-clock value in it would
+     * break the byte-for-byte thread-count invariance every other
+     * metric upholds.
+     */
+    Gauge &hostGauge(const std::string &name)
+    {
+        return hostGauges_[name];
+    }
+
     TimelineSampler &sampler() { return sampler_; }
     const TimelineSampler &sampler() const { return sampler_; }
 
@@ -65,6 +80,10 @@ class Registry
     const std::map<std::string, Histogram> &histograms() const
     {
         return hists_;
+    }
+    const std::map<std::string, Gauge> &hostGauges() const
+    {
+        return hostGauges_;
     }
 
     /**
@@ -93,6 +112,8 @@ class Registry
   private:
     std::map<std::string, Counter> counters_;
     std::map<std::string, Gauge> gauges_;
+    /** Host-wall measurements; see hostGauge() for the contract. */
+    std::map<std::string, Gauge> hostGauges_;
     std::map<std::string, Histogram> hists_;
     TimelineSampler sampler_;
     SloTracker slo_;

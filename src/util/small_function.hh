@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Move-only callable wrapper with guaranteed small-buffer storage.
+ *
+ * std::function's inline buffer is implementation-defined (libstdc++:
+ * 16 bytes), so the composed launch closures the command queue stores —
+ * a tasklet count plus a moved std::function body, ~40 bytes — heap-
+ * allocate on every enqueue. SmallFunction makes the inline capacity a
+ * template parameter: callables up to Capacity bytes (and max_align_t
+ * alignment) are stored in place, larger ones fall back to one heap
+ * allocation. Move-only by design — the queue never copies commands,
+ * and dropping copyability lets it hold move-only captures (e.g. a
+ * moved std::function) without the copy-constructibility tax
+ * std::function imposes.
+ */
+
+#ifndef PIM_UTIL_SMALL_FUNCTION_HH
+#define PIM_UTIL_SMALL_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pim::util {
+
+template <typename Sig, std::size_t Capacity = 48>
+class SmallFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallFunction<R(Args...), Capacity>
+{
+    static_assert(Capacity >= sizeof(void *),
+                  "capacity must at least hold the heap-fallback pointer");
+
+  public:
+    SmallFunction() = default;
+    SmallFunction(std::nullptr_t) {} // NOLINT(google-explicit-constructor)
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, SmallFunction>
+                  && std::is_invocable_r_v<R, D &, Args...>>>
+    SmallFunction(F &&f) // NOLINT(google-explicit-constructor)
+    {
+        if constexpr (fitsInline<D>()) {
+            ::new (static_cast<void *>(store_)) D(std::forward<F>(f));
+            ops_ = &inlineOps<D>;
+        } else {
+            *reinterpret_cast<D **>(store_) = new D(std::forward<F>(f));
+            ops_ = &heapOps<D>;
+        }
+    }
+
+    SmallFunction(SmallFunction &&other) noexcept { moveFrom(other); }
+
+    SmallFunction &operator=(SmallFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFunction(const SmallFunction &) = delete;
+    SmallFunction &operator=(const SmallFunction &) = delete;
+
+    ~SmallFunction() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke; undefined for an empty SmallFunction (callers gate on
+     *  operator bool, matching how the queue skips timed launches). */
+    R operator()(Args... args)
+    {
+        return ops_->invoke(store_, std::forward<Args>(args)...);
+    }
+
+    /** True if a callable of type F is stored without heap fallback. */
+    template <typename F>
+    static constexpr bool fitsInline()
+    {
+        return sizeof(F) <= Capacity
+            && alignof(F) <= alignof(std::max_align_t)
+            && std::is_nothrow_move_constructible_v<F>;
+    }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(unsigned char *store, Args &&...args);
+        /** Move-construct dst's storage from src's and destroy src's. */
+        void (*relocate)(unsigned char *src, unsigned char *dst) noexcept;
+        void (*destroy)(unsigned char *store) noexcept;
+    };
+
+    template <typename D>
+    static D *inlinePtr(unsigned char *store)
+    {
+        return std::launder(reinterpret_cast<D *>(store));
+    }
+
+    template <typename D>
+    static constexpr Ops inlineOps = {
+        [](unsigned char *store, Args &&...args) -> R {
+            return (*inlinePtr<D>(store))(std::forward<Args>(args)...);
+        },
+        [](unsigned char *src, unsigned char *dst) noexcept {
+            ::new (static_cast<void *>(dst))
+                D(std::move(*inlinePtr<D>(src)));
+            inlinePtr<D>(src)->~D();
+        },
+        [](unsigned char *store) noexcept { inlinePtr<D>(store)->~D(); },
+    };
+
+    template <typename D>
+    static constexpr Ops heapOps = {
+        [](unsigned char *store, Args &&...args) -> R {
+            return (**reinterpret_cast<D **>(store))(
+                std::forward<Args>(args)...);
+        },
+        [](unsigned char *src, unsigned char *dst) noexcept {
+            *reinterpret_cast<D **>(dst) = *reinterpret_cast<D **>(src);
+        },
+        [](unsigned char *store) noexcept {
+            delete *reinterpret_cast<D **>(store);
+        },
+    };
+
+    void reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(store_);
+            ops_ = nullptr;
+        }
+    }
+
+    void moveFrom(SmallFunction &other) noexcept
+    {
+        if (other.ops_ != nullptr) {
+            ops_ = other.ops_;
+            ops_->relocate(other.store_, store_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char store_[Capacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace pim::util
+
+#endif // PIM_UTIL_SMALL_FUNCTION_HH

@@ -509,3 +509,61 @@ TEST(CommandQueue, EventSecondsOrdersDependentTimedLaunches)
     // issue point, not the makespan.
     EXPECT_LT(q.elapsedSeconds(), q.eventSeconds(second));
 }
+
+namespace {
+
+/** Check a partition's invariants against the set that produced it. */
+void
+expectPartitionMatchesSet(const PimSystem &sys, const DpuSet &set)
+{
+    const SlotPartition &p = *set.partition();
+    EXPECT_EQ(p.ranks, set.ranks());
+    EXPECT_EQ(p.slots, set.slots());
+    ASSERT_EQ(p.rankSlotBegin.size(), p.ranks.size() + 1);
+    EXPECT_EQ(p.rankSlotBegin.front(), 0u);
+    EXPECT_EQ(p.rankSlotBegin.back(), p.slots.size());
+    for (size_t ri = 0; ri < p.ranks.size(); ++ri) {
+        const unsigned jb = p.rankSlotBegin[ri];
+        const unsigned je = p.rankSlotBegin[ri + 1];
+        EXPECT_LE(jb, je);
+        // Every slot in rank ri's run really belongs to rank ri.
+        for (unsigned j = jb; j < je; ++j)
+            EXPECT_EQ(sys.rankOf(sys.globalIndex(p.slots[j])),
+                      p.ranks[ri]);
+    }
+}
+
+} // namespace
+
+TEST(SlotPartitionCache, RunsCoverRaggedTailSubsetAndComplement)
+{
+    // 130 DPUs over 64-wide ranks: rank 2 is a ragged 2-DPU tail.
+    // Sampling (16 of 130) exercises non-contiguous slot→global maps.
+    PimSystem sys(smallSystem(130, 64, 16));
+    expectPartitionMatchesSet(sys, sys.all());
+    expectPartitionMatchesSet(sys, sys.rank(2));
+    expectPartitionMatchesSet(sys, sys.rankRange(1, 2));
+    expectPartitionMatchesSet(sys, sys.rank(1).complement());
+    expectPartitionMatchesSet(sys, sys.ranks({0, 2}));
+    // Explicit subset straddling all three ranks, incl. the tail.
+    expectPartitionMatchesSet(sys, sys.subset({0, 63, 64, 127, 129}));
+    // Unsampled full-population system for comparison.
+    PimSystem full(smallSystem(130, 64));
+    expectPartitionMatchesSet(full, full.all());
+    expectPartitionMatchesSet(full, full.subset({5, 70, 128}));
+}
+
+TEST(SlotPartitionCache, MemoizedPerSetAndSharedForFullSystem)
+{
+    PimSystem sys(smallSystem(256, 64, 32));
+    const DpuSet sub = sys.rankRange(0, 2);
+    // Repeated partition() calls on one set return the same instance.
+    EXPECT_EQ(sub.partition().get(), sub.partition().get());
+    // Every full-system set shares the system-wide cached partition.
+    EXPECT_EQ(sys.all().partition().get(), sys.allPartition().get());
+    EXPECT_EQ(sys.all().partition().get(), sys.all().partition().get());
+    // Distinct subset sets memoize independently but agree on content.
+    const DpuSet twin = sys.rankRange(0, 2);
+    EXPECT_NE(sub.partition().get(), twin.partition().get());
+    EXPECT_EQ(sub.partition()->slots, twin.partition()->slots);
+}

@@ -12,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,8 @@
 #include "telemetry/registry.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/slo.hh"
+#include "util/json.hh"
+#include "util/table.hh"
 #include "workloads/graph/update_driver.hh"
 #include "workloads/llm/serving_engine.hh"
 #include "workloads/microbench.hh"
@@ -413,4 +417,62 @@ TEST(ThreadInvariance, ServingSnapshotIsByteIdenticalAcrossWorkerCounts)
     EXPECT_FALSE(one.empty());
     EXPECT_EQ(servingSnapshotAtThreads(4), one);
     EXPECT_EQ(servingSnapshotAtThreads(7), one);
+}
+
+TEST(HostWallGauges, ExcludedFromSnapshotButExportedToJsonAndTables)
+{
+    telemetry::Registry met;
+    met.gauge("sim.value").set(1.5);
+    met.hostGauge("queue.drain.phase1_sec").set(0.125);
+
+    // Host-wall values vary run to run, so the deterministic snapshot
+    // (the thread-invariance contract) must not mention them.
+    const std::string snap = met.snapshotString();
+    EXPECT_NE(snap.find("sim.value"), std::string::npos);
+    EXPECT_EQ(snap.find("phase1_sec"), std::string::npos);
+    EXPECT_EQ(snap.find("host_wall"), std::string::npos);
+
+    // The JSON export carries them under a dedicated section...
+    std::ostringstream os;
+    util::JsonWriter j(os);
+    met.writeJson(j);
+    EXPECT_TRUE(j.complete());
+    EXPECT_NE(os.str().find("\"host_wall\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"queue.drain.phase1_sec\""),
+              std::string::npos);
+
+    // ...and the table rendering gives them their own section too.
+    std::ostringstream ts;
+    for (const auto &t : met.tables("t"))
+        t.print(ts);
+    EXPECT_NE(ts.str().find("Host-wall metrics"), std::string::npos);
+    EXPECT_NE(ts.str().find("queue.drain.phase1_sec"), std::string::npos);
+
+    // Repeated lookups hit the same gauge.
+    met.hostGauge("queue.drain.phase1_sec").set(0.25);
+    EXPECT_DOUBLE_EQ(
+        met.hostGauges().at("queue.drain.phase1_sec").value(), 0.25);
+}
+
+TEST(HostWallGauges, DrainFoldPublishesPhaseWallsWhenAttached)
+{
+    core::PimSystem sys(smallSystem());
+    core::CommandQueue q(sys);
+    telemetry::Registry met;
+    q.attachMetrics(&met);
+    std::atomic<uint64_t> work{0};
+    q.launch(sys.all(), 1,
+             [&](sim::Tasklet &t, unsigned) { t.execute(64); ++work; });
+    q.sync();
+    EXPECT_GT(work.load(), 0u);
+    EXPECT_GT(met.hostGauges().at("queue.drain.phase1_sec").value(), 0.0);
+    EXPECT_GE(met.hostGauges().at("queue.drain.phase2_sec").value(), 0.0);
+    EXPECT_GT(met.hostGauges().at("queue.drain.commands_per_sec").value(),
+              0.0);
+    // Detached queues publish nothing: zero-cost when unattached.
+    core::CommandQueue bare(sys);
+    bare.launch(sys.all(), 1,
+                [&](sim::Tasklet &t, unsigned) { t.execute(64); });
+    bare.sync();
+    EXPECT_EQ(met.hostGauges().size(), 3u);
 }
